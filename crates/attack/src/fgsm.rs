@@ -1,0 +1,122 @@
+//! Fast gradient sign method (Goodfellow et al.), targeting output
+//! variation.
+
+use itne_nn::train::input_gradient;
+use itne_nn::Network;
+
+/// One-shot FGSM perturbation of `x` for output `j`: moves every input
+/// coordinate `delta` in the direction `sign · sign(∂F_j/∂x)`, clamped to
+/// `domain` when given. `sign = +1` pushes the output up, `-1` down.
+///
+/// # Panics
+///
+/// Panics if dimensions disagree.
+pub fn fgsm_perturb(
+    net: &Network,
+    x: &[f64],
+    delta: f64,
+    j: usize,
+    sign: f64,
+    domain: Option<&[(f64, f64)]>,
+) -> Vec<f64> {
+    assert_eq!(x.len(), net.input_dim(), "input dimension mismatch");
+    let mut dl = vec![0.0; net.output_dim()];
+    dl[j] = 1.0;
+    let g = input_gradient(net, x, &dl);
+    x.iter()
+        .zip(&g)
+        .enumerate()
+        .map(|(d, (&v, &gv))| {
+            let step = if gv > 0.0 { delta } else if gv < 0.0 { -delta } else { 0.0 };
+            let out = v + sign * step;
+            match domain {
+                Some(dom) => out.clamp(dom[d].0, dom[d].1),
+                None => out,
+            }
+        })
+        .collect()
+}
+
+/// The largest output variation `|F(x̂)_j − F(x)_j|` achieved by FGSM in
+/// either polarity. Returns `(variation, adversarial input)`.
+pub fn fgsm_variation(
+    net: &Network,
+    x: &[f64],
+    delta: f64,
+    j: usize,
+    domain: Option<&[(f64, f64)]>,
+) -> (f64, Vec<f64>) {
+    let f0 = net.forward(x)[j];
+    let mut best = (0.0f64, x.to_vec());
+    for sign in [1.0, -1.0] {
+        let xh = fgsm_perturb(net, x, delta, j, sign, domain);
+        let v = (net.forward(&xh)[j] - f0).abs();
+        if v > best.0 {
+            best = (v, xh);
+        }
+    }
+    best
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use itne_nn::NetworkBuilder;
+
+    fn linear_net() -> Network {
+        // F(x) = 2x₀ - 3x₁ (no ReLU): FGSM is exactly optimal here.
+        NetworkBuilder::input(2)
+            .dense(&[&[2.0, -3.0]], &[0.0], false)
+            .unwrap()
+            .build()
+    }
+
+    #[test]
+    fn fgsm_is_optimal_on_linear_networks() {
+        let net = linear_net();
+        let (v, _) = fgsm_variation(&net, &[0.2, 0.3], 0.1, 0, None);
+        // Optimal variation = δ·‖w‖₁ = 0.1 · 5.
+        assert!((v - 0.5).abs() < 1e-9, "got {v}");
+    }
+
+    #[test]
+    fn fgsm_respects_domain_clamp() {
+        let net = linear_net();
+        let dom = [(0.0, 1.0), (0.0, 1.0)];
+        let xh = fgsm_perturb(&net, &[1.0, 0.0], 0.2, 0, 1.0, Some(&dom));
+        assert!(xh.iter().zip(&dom).all(|(&v, &(lo, hi))| v >= lo && v <= hi));
+        // x₀ already at the upper bound: gradient positive, step clamped.
+        assert_eq!(xh[0], 1.0);
+        assert_eq!(xh[1], 0.0); // negative gradient, already at lower bound
+    }
+
+    #[test]
+    fn fgsm_beats_random_noise_on_trained_like_net() {
+        // A ReLU net with mixed signs: FGSM should beat axis-aligned noise.
+        let net = NetworkBuilder::input(3)
+            .dense(
+                &[&[1.0, -0.5, 0.2], &[-0.7, 0.9, 0.4]],
+                &[0.05, -0.05],
+                true,
+            )
+            .unwrap()
+            .dense(&[&[1.2, -0.8]], &[0.0], false)
+            .unwrap()
+            .build();
+        let x = [0.3, 0.4, 0.1];
+        let delta = 0.05;
+        let (v, _) = fgsm_variation(&net, &x, delta, 0, None);
+        // Random ±δ patterns.
+        let mut worst_random = 0.0f64;
+        let f0 = net.forward(&x)[0];
+        for mask in 0..8 {
+            let xh: Vec<f64> = x
+                .iter()
+                .enumerate()
+                .map(|(d, &xv)| xv + if (mask >> d) & 1 == 1 { delta } else { -delta })
+                .collect();
+            worst_random = worst_random.max((net.forward(&xh)[0] - f0).abs());
+        }
+        assert!(v + 1e-12 >= worst_random, "fgsm {v} < random corners {worst_random}");
+    }
+}

@@ -1,0 +1,92 @@
+//! Property-based checks of the attack crate: attacks never escape their
+//! constraint set, and never beat sound certified bounds.
+
+use itne_attack::{fgsm_variation, pgd_variation, PgdOptions};
+use itne_core::{certify_global, CertifyOptions};
+use itne_nn::{Network, NetworkBuilder};
+use proptest::prelude::*;
+
+fn random_net() -> impl Strategy<Value = Network> {
+    (
+        2usize..=4,
+        1usize..=3,
+        proptest::collection::vec((-50i32..=50).prop_map(|v| v as f64 / 25.0), 80),
+    )
+        .prop_map(|(input, hidden, pool)| {
+            let mut k = 0usize;
+            let mut next = |n: usize| {
+                let mut v = Vec::with_capacity(n);
+                for _ in 0..n {
+                    v.push(pool[k % pool.len()]);
+                    k += 1;
+                }
+                v
+            };
+            let flat = next(hidden * input);
+            let bias = next(hidden);
+            let rows: Vec<&[f64]> = flat.chunks(input).collect();
+            let b = NetworkBuilder::input(input)
+                .dense(&rows, &bias, true)
+                .expect("consistent");
+            let flat2 = next(hidden);
+            let rows2: Vec<&[f64]> = flat2.chunks(hidden).collect();
+            b.dense(&rows2, &next(1), false).expect("consistent").build()
+        })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    /// PGD/FGSM outputs stay within the δ-ball and the domain.
+    #[test]
+    fn attacks_respect_constraints(
+        net in random_net(),
+        x_raw in proptest::collection::vec(0i32..=100, 4),
+        delta_pct in 1u32..=20,
+    ) {
+        let dim = net.input_dim();
+        let x: Vec<f64> = x_raw.iter().take(dim).map(|&v| v as f64 / 100.0).collect();
+        prop_assume!(x.len() == dim);
+        let delta = delta_pct as f64 / 100.0;
+        let dom = vec![(0.0, 1.0); dim];
+
+        let (_, fg) = fgsm_variation(&net, &x, delta, 0, Some(&dom));
+        let (_, pg) = pgd_variation(&net, &x, delta, 0, Some(&dom), &PgdOptions::default());
+        for adv in [fg, pg] {
+            for d in 0..dim {
+                prop_assert!((adv[d] - x[d]).abs() <= delta + 1e-12);
+                prop_assert!((0.0..=1.0).contains(&adv[d]));
+            }
+        }
+    }
+
+    /// Attack-found variation never exceeds the certified global bound: the
+    /// empirical half of the Table-I sandwich.
+    #[test]
+    fn attacks_never_beat_certificates(
+        net in random_net(),
+        x_raw in proptest::collection::vec(0i32..=100, 4),
+    ) {
+        let dim = net.input_dim();
+        let x: Vec<f64> = x_raw.iter().take(dim).map(|&v| v as f64 / 100.0).collect();
+        prop_assume!(x.len() == dim);
+        let delta = 0.05;
+        let dom = vec![(0.0, 1.0); dim];
+
+        let cert = certify_global(&net, &dom, delta, &CertifyOptions::default())
+            .expect("certifies");
+        let (v, _) = pgd_variation(
+            &net,
+            &x,
+            delta,
+            0,
+            Some(&dom),
+            &PgdOptions { steps: 30, restarts: 3, ..Default::default() },
+        );
+        prop_assert!(
+            v <= cert.epsilon(0) + 1e-7,
+            "PGD found {v} > certified {}",
+            cert.epsilon(0)
+        );
+    }
+}

@@ -1,0 +1,63 @@
+//! Criterion benchmarks of end-to-end certification on small networks.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use itne_core::example::fig1_network;
+use itne_core::{certify_global, exact_global, CertifyOptions};
+use itne_milp::SolveOptions;
+use itne_nn::{initialize, Network, NetworkBuilder};
+use std::hint::black_box;
+
+fn trained(width: usize) -> Network {
+    let mut net = NetworkBuilder::input(7)
+        .dense_zeros(width, true)
+        .expect("shape")
+        .dense_zeros(width, true)
+        .expect("shape")
+        .dense_zeros(1, false)
+        .expect("shape")
+        .build();
+    initialize(&mut net, 11);
+    net
+}
+
+fn bench_certify(c: &mut Criterion) {
+    let mut g = c.benchmark_group("certify");
+    g.warm_up_time(std::time::Duration::from_millis(500));
+    g.measurement_time(std::time::Duration::from_secs(3));
+    g.sample_size(10);
+
+    let fig1 = fig1_network();
+    let dom2 = [(-1.0, 1.0), (-1.0, 1.0)];
+    g.bench_function("fig1_algorithm1", |b| {
+        b.iter(|| {
+            black_box(
+                certify_global(&fig1, &dom2, 0.1, &CertifyOptions::default())
+                    .expect("certifies"),
+            )
+        })
+    });
+    g.bench_function("fig1_exact_milp", |b| {
+        b.iter(|| {
+            black_box(
+                exact_global(&fig1, &dom2, 0.1, SolveOptions::default()).expect("solves"),
+            )
+        })
+    });
+
+    let dom7 = vec![(0.0, 1.0); 7];
+    for width in [4usize, 8] {
+        let net = trained(width);
+        g.bench_with_input(BenchmarkId::new("algorithm1_mpg", width), &net, |b, net| {
+            b.iter(|| {
+                black_box(
+                    certify_global(net, &dom7, 0.001, &CertifyOptions::default())
+                        .expect("certifies"),
+                )
+            })
+        });
+    }
+    g.finish();
+}
+
+criterion_group!(benches, bench_certify);
+criterion_main!(benches);

@@ -1,0 +1,40 @@
+//! Criterion micro-benchmarks of sub-network encoding (model construction).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use itne_core::encode::{encode_subnet, EncodeOptions, TargetKind};
+use itne_core::ibp::ibp_twin;
+use itne_core::subnet::SubNetwork;
+use itne_core::Interval;
+use itne_nn::{initialize, AffineNetwork, NetworkBuilder};
+use std::hint::black_box;
+
+fn bench_encode(c: &mut Criterion) {
+    let mut g = c.benchmark_group("encode_subnet");
+    g.warm_up_time(std::time::Duration::from_millis(500));
+    g.measurement_time(std::time::Duration::from_secs(3));
+    for width in [16usize, 64, 128] {
+        let mut net = NetworkBuilder::input(16)
+            .dense_zeros(width, true)
+            .expect("shape")
+            .dense_zeros(width, true)
+            .expect("shape")
+            .dense_zeros(1, false)
+            .expect("shape")
+            .build();
+        initialize(&mut net, 3);
+        let aff = AffineNetwork::from_network(&net).expect("lowers");
+        let domain = vec![Interval::new(0.0, 1.0); 16];
+        let bounds = ibp_twin(&aff, &domain, 0.01);
+        let opts = EncodeOptions { delta: 0.01, ..Default::default() };
+        g.bench_with_input(BenchmarkId::from_parameter(width), &aff, |b, aff| {
+            b.iter(|| {
+                let sub = SubNetwork::decompose(aff, 2, 0, 2);
+                black_box(encode_subnet(&sub, &bounds, TargetKind::PostActivation, &opts))
+            })
+        });
+    }
+    g.finish();
+}
+
+criterion_group!(benches, bench_encode);
+criterion_main!(benches);

@@ -1,0 +1,37 @@
+//! Criterion micro-benchmarks of twin interval propagation.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use itne_core::ibp::ibp_twin;
+use itne_core::Interval;
+use itne_nn::{initialize, AffineNetwork, NetworkBuilder};
+use std::hint::black_box;
+
+fn make(width: usize) -> AffineNetwork {
+    let mut net = NetworkBuilder::input(16)
+        .dense_zeros(width, true)
+        .expect("shape")
+        .dense_zeros(width, true)
+        .expect("shape")
+        .dense_zeros(4, false)
+        .expect("shape")
+        .build();
+    initialize(&mut net, 3);
+    AffineNetwork::from_network(&net).expect("lowers")
+}
+
+fn bench_ibp(c: &mut Criterion) {
+    let mut g = c.benchmark_group("ibp_twin");
+    g.warm_up_time(std::time::Duration::from_millis(500));
+    g.measurement_time(std::time::Duration::from_secs(3));
+    for width in [64usize, 256, 1024] {
+        let aff = make(width);
+        let domain = vec![Interval::new(0.0, 1.0); 16];
+        g.bench_with_input(BenchmarkId::from_parameter(width), &aff, |b, aff| {
+            b.iter(|| black_box(ibp_twin(aff, &domain, 0.01)))
+        });
+    }
+    g.finish();
+}
+
+criterion_group!(benches, bench_ibp);
+criterion_main!(benches);

@@ -1,0 +1,41 @@
+//! Criterion micro-benchmarks of the LP solver hot path.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use itne_milp::{Cmp, LinExpr, Model, Sense};
+use std::hint::black_box;
+
+/// A random dense LP with n variables and n constraints (deterministic).
+fn random_lp(n: usize, seed: u64) -> Model {
+    let mut state = seed | 1;
+    let mut next = move || {
+        state ^= state << 13;
+        state ^= state >> 7;
+        state ^= state << 17;
+        ((state >> 11) as f64 / (1u64 << 53) as f64) * 2.0 - 1.0
+    };
+    let mut m = Model::new();
+    let vars: Vec<_> = (0..n).map(|_| m.add_var(-1.0, 1.0)).collect();
+    for _ in 0..n {
+        let e = LinExpr::from_terms(vars.iter().map(|&v| (v, next())), 0.0);
+        m.add_constraint(e, Cmp::Le, 0.5 + next().abs());
+    }
+    let obj = LinExpr::from_terms(vars.iter().map(|&v| (v, next())), 0.0);
+    m.set_objective(Sense::Maximize, obj);
+    m
+}
+
+fn bench_lp(c: &mut Criterion) {
+    let mut g = c.benchmark_group("lp_solve");
+    g.warm_up_time(std::time::Duration::from_millis(500));
+    g.measurement_time(std::time::Duration::from_secs(3));
+    for n in [10usize, 40, 100] {
+        let m = random_lp(n, 42);
+        g.bench_with_input(BenchmarkId::from_parameter(n), &m, |b, m| {
+            b.iter(|| black_box(m.solve().expect("bounded LPs solve")))
+        });
+    }
+    g.finish();
+}
+
+criterion_group!(benches, bench_lp);
+criterion_main!(benches);

@@ -1,0 +1,41 @@
+//! Criterion micro-benchmarks of branch-and-bound on ReLU-style MILPs.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use itne_milp::{Cmp, Model, Sense};
+use std::hint::black_box;
+
+/// A chain of big-M ReLU gadgets: y_{i+1} = relu(a·y_i + b) with binaries.
+fn relu_chain(len: usize) -> Model {
+    let mut m = Model::new();
+    let mut y = m.add_var(-1.0, 1.0);
+    for i in 0..len {
+        let a = if i % 2 == 0 { 1.3 } else { -0.8 };
+        let pre = m.add_var(-4.0, 4.0);
+        m.add_constraint(1.0 * pre - a * y, Cmp::Eq, 0.1);
+        let x = m.add_var(0.0, 4.0);
+        let z = m.add_binary();
+        m.add_constraint(1.0 * x - 1.0 * pre, Cmp::Ge, 0.0);
+        m.add_constraint(1.0 * x - 1.0 * pre + 4.0 * z, Cmp::Le, 4.0);
+        m.add_constraint(1.0 * x - 4.0 * z, Cmp::Le, 0.0);
+        y = x;
+    }
+    m.set_objective(Sense::Maximize, 1.0 * y);
+    m
+}
+
+fn bench_milp(c: &mut Criterion) {
+    let mut g = c.benchmark_group("milp_relu_chain");
+    g.warm_up_time(std::time::Duration::from_millis(500));
+    g.measurement_time(std::time::Duration::from_secs(3));
+    g.sample_size(20);
+    for len in [4usize, 8, 12] {
+        let m = relu_chain(len);
+        g.bench_with_input(BenchmarkId::from_parameter(len), &m, |b, m| {
+            b.iter(|| black_box(m.solve().expect("chain is feasible")))
+        });
+    }
+    g.finish();
+}
+
+criterion_group!(benches, bench_milp);
+criterion_main!(benches);

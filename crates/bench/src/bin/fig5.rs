@@ -1,0 +1,46 @@
+//! Regenerates the paper's Fig. 5 artifacts: (b) an example camera image,
+//! (c)/(d) the lower/upper per-pixel bounds of the DNN input space (the
+//! certification domain), plus near/far scene examples. Images are written
+//! as PGM files under `artifacts/figures/`.
+//!
+//! ```text
+//! cargo run --release -p itne-bench --bin fig5
+//! ```
+
+use itne_bench::table::save_pgm;
+use itne_data::camera::{camera_dataset, pixel_bounds, render_scene, CameraSpec};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+fn main() {
+    let spec = CameraSpec::default();
+    let mut rng = StdRng::seed_from_u64(5);
+
+    // (b) Example images captured by the ego vehicle at several distances.
+    for (name, d) in [("fig5b_near", 0.6), ("fig5b_nominal", 1.2), ("fig5b_far", 1.8)] {
+        let img = render_scene(&spec, d, 0.2, 1.0, 0.01, &mut rng);
+        save_pgm(name, spec.width, spec.height, &img);
+        println!("{name}: distance {d} → mean intensity {:.3}", mean(&img));
+    }
+
+    // (c)/(d) Per-pixel lower/upper bounds over the training distribution —
+    // the input domain X that global robustness is certified over.
+    let data = camera_dataset(&spec, 2000, 42);
+    let bounds = pixel_bounds(&data);
+    let lower: Vec<f64> = bounds.iter().map(|b| b.0).collect();
+    let upper: Vec<f64> = bounds.iter().map(|b| b.1).collect();
+    save_pgm("fig5c_domain_lower", spec.width, spec.height, &lower);
+    save_pgm("fig5d_domain_upper", spec.width, spec.height, &upper);
+
+    let width: f64 =
+        bounds.iter().map(|b| b.1 - b.0).sum::<f64>() / bounds.len() as f64;
+    println!(
+        "input space: {} pixels, mean per-pixel range {:.3} (static background narrows the domain)",
+        bounds.len(),
+        width
+    );
+}
+
+fn mean(v: &[f64]) -> f64 {
+    v.iter().sum::<f64>() / v.len() as f64
+}

@@ -1,0 +1,7 @@
+//! Shared helpers for the ITNE benchmark harness (table/figure regeneration
+//! binaries and criterion micro-benchmarks live in this crate).
+
+#![forbid(unsafe_code)]
+
+pub mod nets;
+pub mod table;

@@ -1,0 +1,203 @@
+//! The paper's ACC plant model and safe set.
+//!
+//! Normalized state `x = [d − 1.2, v_e − 0.4]ᵀ` (distance to the reference
+//! vehicle and ego speed), sampled every 100 ms:
+//!
+//! ```text
+//! x[k+1] = [1  -0.1] x[k] + [-0.005] u[k] + [0.1] w₁[k] + w₂[k]
+//!          [0   1  ]        [ 0.1  ]        [ 0 ]
+//! ```
+//!
+//! with `w₁ = 0.4 − v_r` the reference-speed disturbance and `w₂ = [w_d,
+//! w_v]ᵀ` the model-inaccuracy noise (see the crate docs for the `0.1`
+//! coefficient on `w₁`). The feedback law is `u = K·x̂` with
+//! `K = [0.3617, -0.8582]` and `x̂` the *estimated* state.
+
+/// Sampling period in seconds.
+pub const DT: f64 = 0.1;
+/// The paper's feedback gain `K`.
+pub const K_GAIN: [f64; 2] = [0.3617, -0.8582];
+/// Nominal distance (the normalization offset of `x₁`).
+pub const D_NOMINAL: f64 = 1.2;
+/// Nominal ego speed (the normalization offset of `x₂`).
+pub const V_NOMINAL: f64 = 0.4;
+/// Reference vehicle speed range `v_r ∈ [0.2, 0.6]`.
+pub const VR_RANGE: (f64, f64) = (0.2, 0.6);
+/// Bound on the distance-channel model noise `|w_d|`.
+pub const WD_BOUND: f64 = 5e-4;
+/// Bound on the speed-channel model noise `|w_v|`.
+pub const WV_BOUND: f64 = 3e-5;
+
+/// Physical vehicle state.
+#[derive(Copy, Clone, Debug, PartialEq)]
+pub struct AccState {
+    /// Distance to the reference vehicle.
+    pub distance: f64,
+    /// Ego vehicle speed.
+    pub speed: f64,
+}
+
+impl AccState {
+    /// The nominal operating point `d = 1.2, v = 0.4`.
+    pub fn nominal() -> Self {
+        AccState { distance: D_NOMINAL, speed: V_NOMINAL }
+    }
+
+    /// Normalized state `x = [d − 1.2, v_e − 0.4]`.
+    pub fn normalized(self) -> [f64; 2] {
+        [self.distance - D_NOMINAL, self.speed - V_NOMINAL]
+    }
+
+    /// Back from normalized coordinates.
+    pub fn from_normalized(x: [f64; 2]) -> Self {
+        AccState { distance: x[0] + D_NOMINAL, speed: x[1] + V_NOMINAL }
+    }
+}
+
+/// The safe operating region: `d ∈ [0.5, 1.9]`, `v_e ∈ [0.1, 0.7]`.
+#[derive(Copy, Clone, Debug, PartialEq)]
+pub struct SafeSet {
+    /// Allowed distance range.
+    pub distance: (f64, f64),
+    /// Allowed speed range.
+    pub speed: (f64, f64),
+}
+
+impl Default for SafeSet {
+    fn default() -> Self {
+        SafeSet { distance: (0.5, 1.9), speed: (0.1, 0.7) }
+    }
+}
+
+impl SafeSet {
+    /// True if the state is inside the safe region.
+    pub fn contains(&self, s: AccState) -> bool {
+        s.distance >= self.distance.0
+            && s.distance <= self.distance.1
+            && s.speed >= self.speed.0
+            && s.speed <= self.speed.1
+    }
+
+    /// Half-widths of the normalized safe box (`0.7` and `0.3` for the
+    /// paper's values).
+    pub fn normalized_half_widths(&self) -> [f64; 2] {
+        [
+            (self.distance.1 - self.distance.0) / 2.0,
+            (self.speed.1 - self.speed.0) / 2.0,
+        ]
+    }
+}
+
+/// The discrete-time plant.
+#[derive(Copy, Clone, Debug, Default)]
+pub struct AccDynamics;
+
+impl AccDynamics {
+    /// Open-loop `A` matrix (row-major).
+    pub fn a() -> [f64; 4] {
+        [1.0, -DT, 0.0, 1.0]
+    }
+
+    /// Input vector `B`.
+    pub fn b() -> [f64; 2] {
+        [-0.005, DT]
+    }
+
+    /// Disturbance vector `E` multiplying `w₁` (physical reading; see the
+    /// crate docs).
+    pub fn e() -> [f64; 2] {
+        [DT, 0.0]
+    }
+
+    /// Closed-loop matrix `A + B·K`.
+    pub fn closed_loop() -> [f64; 4] {
+        let a = Self::a();
+        let b = Self::b();
+        [
+            a[0] + b[0] * K_GAIN[0],
+            a[1] + b[0] * K_GAIN[1],
+            a[2] + b[1] * K_GAIN[0],
+            a[3] + b[1] * K_GAIN[1],
+        ]
+    }
+
+    /// One control input from the estimated state.
+    pub fn control(x_hat: [f64; 2]) -> f64 {
+        K_GAIN[0] * x_hat[0] + K_GAIN[1] * x_hat[1]
+    }
+
+    /// Advances the physical state one step.
+    ///
+    /// `vr` is the reference vehicle speed, `w2 = [w_d, w_v]` the model
+    /// noise. The `-0.005·u` distance term is the second-order hold of the
+    /// ego acceleration over the 100 ms period (`½·u·dt²`), matching the
+    /// paper's `B` vector.
+    pub fn step(&self, s: AccState, u: f64, vr: f64, w2: [f64; 2]) -> AccState {
+        AccState {
+            distance: s.distance + DT * (vr - s.speed) - 0.005 * u + w2[0],
+            speed: s.speed + DT * u + w2[1],
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// The physical step equals the paper's matrix form in normalized
+    /// coordinates (with the physical `E`).
+    #[test]
+    fn physical_step_matches_matrix_form() {
+        let dyn_ = AccDynamics;
+        let s = AccState { distance: 1.35, speed: 0.52 };
+        let (u, vr, w2) = (0.4, 0.27, [2e-4, -1e-5]);
+        let next = dyn_.step(s, u, vr, w2);
+
+        let x = s.normalized();
+        let a = AccDynamics::a();
+        let b = AccDynamics::b();
+        let e = AccDynamics::e();
+        let w1 = V_NOMINAL - vr;
+        // Note E enters with w₁ = 0.4 − v_r and the sign convention
+        // d⁺ = d + dt(v_r − v_e): in normalized form the w₁ term is −E·w₁.
+        let xn = [
+            a[0] * x[0] + a[1] * x[1] + b[0] * u - e[0] * w1 + w2[0],
+            a[2] * x[0] + a[3] * x[1] + b[1] * u - e[1] * w1 + w2[1],
+        ];
+        let back = AccState::from_normalized(xn);
+        assert!((next.distance - back.distance).abs() < 1e-12);
+        assert!((next.speed - back.speed).abs() < 1e-12);
+    }
+
+    #[test]
+    fn closed_loop_matrix_matches_paper_gain() {
+        let acl = AccDynamics::closed_loop();
+        assert!((acl[0] - 0.9981915).abs() < 1e-9);
+        assert!((acl[1] + 0.095709).abs() < 1e-9);
+        assert!((acl[2] - 0.03617).abs() < 1e-9);
+        assert!((acl[3] - 0.91418).abs() < 1e-9);
+    }
+
+    #[test]
+    fn safe_set_checks_both_coordinates() {
+        let safe = SafeSet::default();
+        assert!(safe.contains(AccState::nominal()));
+        assert!(!safe.contains(AccState { distance: 0.4, speed: 0.4 }));
+        assert!(!safe.contains(AccState { distance: 1.0, speed: 0.75 }));
+        assert_eq!(safe.normalized_half_widths(), [0.7, 0.3]);
+    }
+
+    /// Nominal closed loop (no disturbance, perfect estimation) converges to
+    /// the operating point.
+    #[test]
+    fn closed_loop_is_stable() {
+        let dyn_ = AccDynamics;
+        let mut s = AccState { distance: 1.5, speed: 0.3 };
+        for _ in 0..600 {
+            let u = AccDynamics::control(s.normalized());
+            s = dyn_.step(s, u, V_NOMINAL, [0.0, 0.0]);
+        }
+        assert!((s.distance - D_NOMINAL).abs() < 1e-3, "d → {}", s.distance);
+        assert!((s.speed - V_NOMINAL).abs() < 1e-3, "v → {}", s.speed);
+    }
+}

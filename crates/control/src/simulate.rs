@@ -1,0 +1,175 @@
+//! Closed-loop simulation with FGSM camera perturbation in the loop —
+//! the paper's empirical validation of the verified safety claim ("more
+//! than 1000 minutes of simulation").
+
+use crate::dynamics::{AccDynamics, AccState, SafeSet, VR_RANGE, WD_BOUND, WV_BOUND};
+use crate::perception::PerceptionModel;
+use itne_attack::fgsm_variation;
+use itne_data::render_scene;
+use rand::rngs::StdRng;
+use rand::{RngExt, SeedableRng};
+
+/// Simulation configuration.
+#[derive(Clone, Debug)]
+pub struct SimConfig {
+    /// Independent episodes.
+    pub episodes: usize,
+    /// Steps per episode (100 ms each).
+    pub steps: usize,
+    /// FGSM perturbation bound on camera pixels (0 disables the attack).
+    pub delta: f64,
+    /// RNG seed.
+    pub seed: u64,
+}
+
+impl Default for SimConfig {
+    fn default() -> Self {
+        SimConfig { episodes: 20, steps: 300, delta: 2.0 / 255.0, seed: 7 }
+    }
+}
+
+/// Aggregated simulation outcome.
+#[derive(Clone, Debug, Default)]
+pub struct SimReport {
+    /// Episodes run.
+    pub episodes: usize,
+    /// Episodes that ever left the safe set.
+    pub unsafe_episodes: usize,
+    /// Steps where the estimation error exceeded `dd_bound`.
+    pub exceed_steps: usize,
+    /// Total steps across episodes.
+    pub total_steps: usize,
+    /// Largest observed `|d̂ − d|`.
+    pub max_abs_dd: f64,
+}
+
+impl SimReport {
+    /// Fraction of unsafe episodes.
+    pub fn unsafe_rate(&self) -> f64 {
+        if self.episodes == 0 {
+            0.0
+        } else {
+            self.unsafe_episodes as f64 / self.episodes as f64
+        }
+    }
+}
+
+/// Runs the closed loop: render → (FGSM) perturb → estimate → control →
+/// plant step, counting estimation-error exceedances of `dd_bound` and
+/// safe-set violations.
+pub fn simulate(
+    model: &PerceptionModel,
+    dd_bound: f64,
+    safe: &SafeSet,
+    cfg: &SimConfig,
+) -> SimReport {
+    let dynamics = AccDynamics;
+    let mut rng = StdRng::seed_from_u64(cfg.seed);
+    let mut report = SimReport { episodes: cfg.episodes, ..Default::default() };
+
+    for _ in 0..cfg.episodes {
+        let mut state = AccState {
+            distance: 1.2 + rng.random_range(-0.1..0.1),
+            speed: 0.4 + rng.random_range(-0.05..0.05),
+        };
+        let mut vr: f64 = rng.random_range(0.3..0.5);
+        let mut episode_unsafe = false;
+
+        for _ in 0..cfg.steps {
+            // Reference vehicle speed random-walks within its range.
+            vr = (vr + rng.random_range(-0.02..0.02)).clamp(VR_RANGE.0, VR_RANGE.1);
+
+            // Camera capture with natural scene variation.
+            let lateral = rng.random_range(-0.45..0.45);
+            let brightness = rng.random_range(0.96..1.04);
+            let image = render_scene(&model.spec, state.distance, lateral, brightness, 0.01, &mut rng);
+
+            // Adversarial perturbation maximizing estimation deviation.
+            let observed = if cfg.delta > 0.0 {
+                let unit = vec![(0.0, 1.0); image.len()];
+                let (_, adv) = fgsm_variation(&model.net, &image, cfg.delta, 0, Some(&unit));
+                adv
+            } else {
+                image
+            };
+
+            let d_hat = model.estimate(&observed);
+            let dd = d_hat - state.distance;
+            report.max_abs_dd = report.max_abs_dd.max(dd.abs());
+            if dd.abs() > dd_bound {
+                report.exceed_steps += 1;
+            }
+
+            // Control from estimated distance (speed assumed known).
+            let u = AccDynamics::control([d_hat - 1.2, state.speed - 0.4]);
+            let w2 = [
+                rng.random_range(-WD_BOUND..WD_BOUND),
+                rng.random_range(-WV_BOUND..WV_BOUND),
+            ];
+            state = dynamics.step(state, u, vr, w2);
+            report.total_steps += 1;
+
+            if !safe.contains(state) {
+                episode_unsafe = true;
+            }
+        }
+        if episode_unsafe {
+            report.unsafe_episodes += 1;
+        }
+    }
+    report
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::perception::{PerceptionConfig, PerceptionModel};
+
+    fn quick_model() -> PerceptionModel {
+        let cfg = PerceptionConfig { train_samples: 400, epochs: 20, ..Default::default() };
+        PerceptionModel::train_new(&cfg).0
+    }
+
+    #[test]
+    fn unattacked_loop_stays_safe() {
+        let model = quick_model();
+        let report = simulate(
+            &model,
+            0.2,
+            &SafeSet::default(),
+            &SimConfig { episodes: 5, steps: 200, delta: 0.0, seed: 3 },
+        );
+        assert_eq!(report.unsafe_episodes, 0, "nominal loop went unsafe: {report:?}");
+    }
+
+    #[test]
+    fn attack_increases_estimation_error() {
+        let model = quick_model();
+        let mk = |delta| {
+            simulate(
+                &model,
+                f64::INFINITY,
+                &SafeSet::default(),
+                &SimConfig { episodes: 3, steps: 100, delta, seed: 5 },
+            )
+        };
+        let clean = mk(0.0);
+        let attacked = mk(6.0 / 255.0);
+        assert!(
+            attacked.max_abs_dd > clean.max_abs_dd,
+            "attack did not increase error: {} vs {}",
+            attacked.max_abs_dd,
+            clean.max_abs_dd
+        );
+    }
+
+    #[test]
+    fn report_counts_are_consistent() {
+        let model = quick_model();
+        let cfg = SimConfig { episodes: 2, steps: 50, delta: 0.0, seed: 1 };
+        let r = simulate(&model, 0.0, &SafeSet::default(), &cfg);
+        assert_eq!(r.total_steps, 100);
+        // dd_bound = 0 ⇒ every step exceeds (estimator is never exact).
+        assert_eq!(r.exceed_steps, 100);
+    }
+}

@@ -1,0 +1,77 @@
+//! Property-based checks of the control substrate.
+
+use itne_control::dynamics::{AccDynamics, AccState, SafeSet};
+use itne_control::invariant::{analyze, mrpi_box};
+use proptest::prelude::*;
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(128))]
+
+    /// Normalized-coordinate round trip is exact.
+    #[test]
+    fn state_normalization_round_trips(d in 0.0f64..3.0, v in 0.0f64..1.0) {
+        let s = AccState { distance: d, speed: v };
+        let back = AccState::from_normalized(s.normalized());
+        prop_assert!((back.distance - d).abs() < 1e-12);
+        prop_assert!((back.speed - v).abs() < 1e-12);
+    }
+
+    /// The RPI support is monotone in the disturbance box.
+    #[test]
+    fn rpi_monotone_in_disturbance(c1 in 1u32..=50, c2 in 1u32..=50) {
+        let a = AccDynamics::closed_loop();
+        let small = [c1 as f64 * 1e-4, c2 as f64 * 1e-4];
+        let big = [small[0] * 1.5, small[1] * 1.5];
+        let hs = mrpi_box(a, small);
+        let hb = mrpi_box(a, big);
+        prop_assert!(hb[0] >= hs[0] && hb[1] >= hs[1]);
+    }
+
+    /// Any random disturbance trajectory from the origin stays inside the
+    /// RPI box — the defining property of robust positive invariance.
+    #[test]
+    fn random_trajectories_stay_in_rpi(seed in 1u64..10_000) {
+        let beta = 0.08;
+        let an = analyze(beta, &SafeSet::default());
+        let a = AccDynamics::closed_loop();
+        // Reconstruct the disturbance box the analysis used.
+        let b = AccDynamics::b();
+        let e = AccDynamics::e();
+        let c = [
+            (b[0] * itne_control::dynamics::K_GAIN[0]).abs() * beta
+                + e[0] * 0.2
+                + itne_control::dynamics::WD_BOUND,
+            (b[1] * itne_control::dynamics::K_GAIN[0]).abs() * beta
+                + itne_control::dynamics::WV_BOUND,
+        ];
+        let mut s = seed | 1;
+        let mut unit = move || {
+            s ^= s << 13;
+            s ^= s >> 7;
+            s ^= s << 17;
+            (s >> 11) as f64 / (1u64 << 53) as f64 * 2.0 - 1.0
+        };
+        let mut x = [0.0f64, 0.0];
+        for k in 0..800 {
+            let w = [unit() * c[0], unit() * c[1]];
+            x = [a[0] * x[0] + a[1] * x[1] + w[0], a[2] * x[0] + a[3] * x[1] + w[1]];
+            prop_assert!(
+                x[0].abs() <= an.rpi_half_widths[0] + 1e-9
+                    && x[1].abs() <= an.rpi_half_widths[1] + 1e-9,
+                "escaped RPI at step {k}: {x:?}"
+            );
+        }
+    }
+
+    /// Safe-set membership matches its normalized half-width description.
+    #[test]
+    fn safe_set_consistency(d in 0.0f64..3.0, v in 0.0f64..1.0) {
+        let safe = SafeSet::default();
+        let s = AccState { distance: d, speed: v };
+        let n = s.normalized();
+        let hw = safe.normalized_half_widths();
+        // The normalized box is centered on the nominal point.
+        let inside_box = n[0].abs() <= hw[0] && n[1].abs() <= hw[1];
+        prop_assert_eq!(safe.contains(s), inside_box);
+    }
+}

@@ -1,0 +1,574 @@
+//! The efficient global robustness over-approximation algorithm
+//! (paper Algorithm 1), generalized over encoding kind, window, relaxation
+//! and refinement so that every baseline and ablation shares one engine.
+//!
+//! Layer by layer, neuron by neuron (optionally in parallel — the paper's
+//! stated future work), the engine decomposes the network into window-`W`
+//! sub-networks, encodes them, and derives the ranges `(y, Δy)` via
+//! `LpRelaxY` then `(x, Δx)` via `LpRelaxX`. The final layer's `Δx` ranges
+//! yield `ε̄ = max(|Δx⁽ⁿ⁾.lo|, |Δx⁽ⁿ⁾.hi|)` per output.
+
+use crate::bounds::TwinBounds;
+use crate::encode::{
+    encode_subnet, encode_subnet_with, EncodeOptions, EncodingKind, Relaxation, TargetKind,
+    TargetOverride,
+};
+use crate::error::CertifyError;
+use crate::ibp::ibp_twin;
+use crate::interval::{distance_relaxation_bounds, relu_distance_range, Interval};
+use crate::query::{lp_relax_x, lp_relax_y, QueryStats};
+use crate::refine::select_refined;
+use crate::subnet::SubNetwork;
+use itne_milp::SolveOptions;
+use itne_nn::{AffineNetwork, Network};
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::Mutex;
+use std::time::{Duration, Instant};
+
+/// Configuration of the certification engine.
+#[derive(Clone, Debug)]
+pub struct CertifyOptions {
+    /// Window size `W` (sub-network depth). The effective window for layer
+    /// `i` is `min(W, i+1)`.
+    pub window: usize,
+    /// Twin encoding for the certification (the contribution is
+    /// [`EncodingKind::Itne`]; [`EncodingKind::Btne`] reproduces the
+    /// baseline).
+    pub encoding: EncodingKind,
+    /// Exact (MILP) or relaxed (LP) treatment of unstable ReLUs per
+    /// sub-problem. `Exact` + small window = the paper's "ND"; `Lpr` +
+    /// window = Algorithm 1.
+    pub relaxation: Relaxation,
+    /// Number of selectively-refined neurons per sub-problem (under `Lpr`).
+    pub refine: usize,
+    /// Extension (default off = paper-faithful): y-aware distance bounds.
+    pub y_aware_distance: bool,
+    /// Skip `LpRelaxX` solves whose LP optimum has a provably equal closed
+    /// form (pure engineering; results are identical — see the
+    /// `closed_form_equals_lp` test).
+    pub closed_form_x: bool,
+    /// Worker threads for the per-neuron loop (1 = serial).
+    pub threads: usize,
+    /// Per-solve limits and tolerances.
+    pub solver: SolveOptions,
+    /// Overall wall-clock deadline; on expiry remaining neurons keep their
+    /// sound IBP ranges (the result stays sound, only looser).
+    pub deadline: Option<Instant>,
+}
+
+impl Default for CertifyOptions {
+    fn default() -> Self {
+        CertifyOptions {
+            window: 2,
+            encoding: EncodingKind::Itne,
+            relaxation: Relaxation::Lpr,
+            refine: 0,
+            y_aware_distance: false,
+            closed_form_x: true,
+            threads: 1,
+            solver: SolveOptions {
+                // Per-query budget: a rare degenerate-stalling LP must not
+                // dominate the run — it falls back to the sound IBP range
+                // (counted in `CertifyStats::query::fallbacks`).
+                max_pivots: 30_000,
+                ..SolveOptions::default()
+            },
+            deadline: None,
+        }
+    }
+}
+
+impl CertifyOptions {
+    /// The paper's headline configuration: ITNE + LPR with the given window
+    /// and per-sub-problem refinement count.
+    pub fn paper(window: usize, refine: usize) -> Self {
+        CertifyOptions { window, refine, ..Default::default() }
+    }
+
+    fn encode_options(&self, delta: f64) -> EncodeOptions {
+        EncodeOptions {
+            kind: self.encoding,
+            relax: self.relaxation,
+            refine: self.refine,
+            y_aware_distance: self.y_aware_distance,
+            delta,
+        }
+    }
+
+    fn solver_options(&self) -> SolveOptions {
+        let mut s = self.solver.clone();
+        s.deadline = match (s.deadline, self.deadline) {
+            (Some(a), Some(b)) => Some(a.min(b)),
+            (a, b) => a.or(b),
+        };
+        s
+    }
+}
+
+/// Work counters and timing for one certification run.
+#[derive(Copy, Clone, Debug, Default)]
+pub struct CertifyStats {
+    /// Accumulated query counters (LP solves, pivots, nodes, fallbacks).
+    pub query: QueryStats,
+    /// Sub-problems processed (one per neuron per pass).
+    pub subproblems: u64,
+    /// `LpRelaxX` solves replaced by their provably-equal closed form.
+    pub closed_form_hits: u64,
+    /// Wall-clock time.
+    pub wall: Duration,
+}
+
+/// The result of a global robustness certification.
+#[derive(Clone, Debug)]
+pub struct GlobalReport {
+    /// `ε̄` per network output: the certified output variation bound.
+    pub epsilons: Vec<f64>,
+    /// All derived ranges (inputs to further analysis, e.g. the case study).
+    pub bounds: TwinBounds,
+    /// Work counters.
+    pub stats: CertifyStats,
+}
+
+impl GlobalReport {
+    /// The certified bound for output `j`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `j` is out of range.
+    pub fn epsilon(&self, j: usize) -> f64 {
+        self.epsilons[j]
+    }
+
+    /// The largest certified bound across outputs.
+    pub fn max_epsilon(&self) -> f64 {
+        self.epsilons.iter().fold(0.0f64, |m, &e| m.max(e))
+    }
+}
+
+/// Certifies `(δ, ε)`-global robustness of `net` over the box `domain`,
+/// returning the minimal certified `ε̄` per output (Problem 1).
+///
+/// # Errors
+///
+/// [`CertifyError::InvalidInput`] for dimension mismatches or a negative
+/// `delta`; [`CertifyError::Lower`] if the network cannot be lowered.
+pub fn certify_global(
+    net: &Network,
+    domain: &[(f64, f64)],
+    delta: f64,
+    opts: &CertifyOptions,
+) -> Result<GlobalReport, CertifyError> {
+    let aff = AffineNetwork::from_network(net).map_err(CertifyError::Lower)?;
+    certify_global_affine(&aff, domain, delta, opts)
+}
+
+/// [`certify_global`] on an already-lowered network.
+///
+/// # Errors
+///
+/// See [`certify_global`].
+pub fn certify_global_affine(
+    aff: &AffineNetwork,
+    domain: &[(f64, f64)],
+    delta: f64,
+    opts: &CertifyOptions,
+) -> Result<GlobalReport, CertifyError> {
+    validate(aff, domain, delta, opts)?;
+    let domain: Vec<Interval> = domain.iter().map(|&(lo, hi)| Interval::new(lo, hi)).collect();
+    let t0 = Instant::now();
+    let (bounds, mut stats) = propagate(aff, &domain, delta, opts);
+    stats.wall = t0.elapsed();
+    Ok(GlobalReport { epsilons: bounds.epsilons(), bounds, stats })
+}
+
+fn validate(
+    aff: &AffineNetwork,
+    domain: &[(f64, f64)],
+    delta: f64,
+    opts: &CertifyOptions,
+) -> Result<(), CertifyError> {
+    if domain.len() != aff.input_dim {
+        return Err(CertifyError::InvalidInput(format!(
+            "domain has {} dimensions, network input is {}",
+            domain.len(),
+            aff.input_dim
+        )));
+    }
+    if domain.iter().any(|&(lo, hi)| !lo.is_finite() || !hi.is_finite() || lo > hi) {
+        return Err(CertifyError::InvalidInput("domain box must be finite and ordered".into()));
+    }
+    if !(delta >= 0.0) {
+        return Err(CertifyError::InvalidInput(format!("delta must be ≥ 0, got {delta}")));
+    }
+    if opts.window == 0 {
+        return Err(CertifyError::InvalidInput("window must be ≥ 1".into()));
+    }
+    if aff.layers.is_empty() {
+        return Err(CertifyError::InvalidInput("network has no layers".into()));
+    }
+    Ok(())
+}
+
+/// The engine: runs the layered range derivation and returns the tightened
+/// bounds. This is Algorithm 1 when `opts` = ITNE/LPR, the ND baseline when
+/// `opts.relaxation = Exact`, and the BTNE baseline when
+/// `opts.encoding = Btne`.
+pub fn propagate(
+    aff: &AffineNetwork,
+    domain: &[Interval],
+    delta: f64,
+    opts: &CertifyOptions,
+) -> (TwinBounds, CertifyStats) {
+    // IBP seeds every range soundly (Algorithm 1 lines 1-2 plus the
+    // pre-pass that makes the relaxation ranges and big-M constants valid).
+    let mut bounds = ibp_twin(aff, domain, delta);
+    if opts.encoding == EncodingKind::Btne {
+        bounds.decouple_distances();
+    }
+    let mut stats = CertifyStats::default();
+    let solver = opts.solver_options();
+
+    for li in 0..aff.layers.len() {
+        let width = aff.layers[li].width();
+        let results = if opts.threads <= 1 {
+            (0..width)
+                .map(|j| process_neuron(aff, &bounds, li, j, delta, opts, &solver))
+                .collect::<Vec<_>>()
+        } else {
+            parallel_layer(aff, &bounds, li, width, delta, opts, &solver)
+        };
+        for r in results {
+            bounds.y[li][r.j] = r.y;
+            bounds.dy[li][r.j] = r.dy;
+            bounds.x[li][r.j] = r.x;
+            bounds.dx[li][r.j] = r.dx;
+            stats.query.absorb(r.stats);
+            stats.subproblems += r.subproblems;
+            stats.closed_form_hits += r.closed_form;
+        }
+    }
+    (bounds, stats)
+}
+
+struct NeuronResult {
+    j: usize,
+    y: Interval,
+    dy: Interval,
+    x: Interval,
+    dx: Interval,
+    stats: QueryStats,
+    subproblems: u64,
+    closed_form: u64,
+}
+
+fn parallel_layer(
+    aff: &AffineNetwork,
+    bounds: &TwinBounds,
+    li: usize,
+    width: usize,
+    delta: f64,
+    opts: &CertifyOptions,
+    solver: &SolveOptions,
+) -> Vec<NeuronResult> {
+    let next = AtomicUsize::new(0);
+    let out = Mutex::new(Vec::with_capacity(width));
+    std::thread::scope(|s| {
+        for _ in 0..opts.threads {
+            s.spawn(|| {
+                let mut local = Vec::new();
+                loop {
+                    let j = next.fetch_add(1, Ordering::Relaxed);
+                    if j >= width {
+                        break;
+                    }
+                    local.push(process_neuron(aff, bounds, li, j, delta, opts, solver));
+                }
+                out.lock().expect("no panics hold this lock").extend(local);
+            });
+        }
+    });
+    out.into_inner().expect("scope joined all threads")
+}
+
+/// Lines 5-11 of Algorithm 1 for one neuron: decompose, encode, `LpRelaxY`,
+/// then `LpRelaxX` (or its provably-equal closed form).
+fn process_neuron(
+    aff: &AffineNetwork,
+    bounds: &TwinBounds,
+    li: usize,
+    j: usize,
+    delta: f64,
+    opts: &CertifyOptions,
+    solver: &SolveOptions,
+) -> NeuronResult {
+    let enc_opts = opts.encode_options(delta);
+    let mut stats = QueryStats::default();
+    let sub = SubNetwork::decompose(aff, li, j, opts.window);
+
+    // --- LpRelaxY: ranges of (y, Δy). ---
+    let mut enc_y = encode_subnet(&sub, bounds, TargetKind::PreActivation, &enc_opts);
+    let (yr, dyr) = lp_relax_y(&mut enc_y, bounds.y[li][j], bounds.dy[li][j], solver, &mut stats);
+    let mut subproblems = 1;
+
+    // --- LpRelaxX: ranges of (x, Δx). ---
+    let relu = aff.layers[li].relu;
+    let (xr, dxr, closed) = if !relu {
+        (yr, dyr, 0)
+    } else if opts.closed_form_x && closed_form_applies(&sub, bounds, yr, dyr, opts, &enc_opts) {
+        let (x, dx) = closed_form_x(yr, dyr, opts.encoding);
+        (x, dx, 1)
+    } else {
+        subproblems += 1;
+        // Thread the freshly-derived target ranges through so the target's
+        // own relaxation uses them rather than the stale stored ones.
+        let over = TargetOverride {
+            y: yr,
+            dy: dyr,
+            x: yr.relu(),
+            dx: fallback_dx(yr, dyr, opts.encoding),
+        };
+        let mut enc_x =
+            encode_subnet_with(&sub, bounds, TargetKind::PostActivation, &enc_opts, Some(over));
+        let (x, dx) = lp_relax_x(&mut enc_x, over.x, over.dx, solver, &mut stats);
+        (x, dx, 0)
+    };
+
+    NeuronResult { j, y: yr, dy: dyr, x: xr, dx: dxr, stats, subproblems, closed_form: closed }
+}
+
+/// Sound fallback for the target's `Δx` given fresh `(y, Δy)` ranges.
+fn fallback_dx(yr: Interval, dyr: Interval, kind: EncodingKind) -> Interval {
+    match kind {
+        EncodingKind::Single => Interval::point(0.0),
+        EncodingKind::Itne => relu_distance_range(yr, dyr),
+        EncodingKind::Btne => {
+            // Decoupled copies: Δx ranges over x̂_range − x_range.
+            let x = yr.relu();
+            Interval::new(x.lo - x.hi, x.hi - x.lo)
+        }
+    }
+}
+
+/// Whether the `LpRelaxX` optimum equals the closed form (ITNE/Single, LPR,
+/// target unrefined, paper-faithful distance relaxation, and a phase
+/// combination whose relaxed LP optimum is attained at the range corners).
+fn closed_form_applies(
+    sub: &SubNetwork<'_>,
+    bounds: &TwinBounds,
+    yr: Interval,
+    dyr: Interval,
+    opts: &CertifyOptions,
+    enc_opts: &EncodeOptions,
+) -> bool {
+    if opts.relaxation != Relaxation::Lpr || opts.y_aware_distance {
+        return false;
+    }
+    if opts.encoding == EncodingKind::Btne {
+        return false; // input-coupled windows make the LP strictly tighter
+    }
+    // The target itself must not be selectively refined.
+    if opts.refine > 0 {
+        let layer = sub.cone.layer;
+        let target = sub.target();
+        let refined = select_refined(sub, bounds, TargetKind::PostActivation, enc_opts);
+        if refined.contains(&(layer, target)) {
+            return false;
+        }
+    }
+    match opts.encoding {
+        EncodingKind::Single => true,
+        EncodingKind::Itne => {
+            let yhr = yr.add(dyr);
+            let both_stable = (yr.stable_active() && yhr.stable_active())
+                || (yr.stable_inactive() && yhr.stable_inactive());
+            let both_unstable = !(yr.stable_active() || yr.stable_inactive())
+                && !(yhr.stable_active() || yhr.stable_inactive());
+            // Mixed phases admit exact linear couplings (x̂ = ŷ etc.) that
+            // make the LP strictly tighter than the corner formula, so only
+            // the two symmetric cases use the closed form.
+            both_stable || both_unstable
+        }
+        EncodingKind::Btne => false,
+    }
+}
+
+/// The closed form of the `LpRelaxX` LP optimum (see
+/// [`closed_form_applies`]): `x = relu(y)` ranges and the Eq. 6 corner box
+/// for `Δx` (or `Δy` when both copies are provably active).
+fn closed_form_x(yr: Interval, dyr: Interval, kind: EncodingKind) -> (Interval, Interval) {
+    let xr = yr.relu();
+    match kind {
+        EncodingKind::Single => (xr, Interval::point(0.0)),
+        EncodingKind::Itne => {
+            let yhr = yr.add(dyr);
+            if yr.stable_active() && yhr.stable_active() {
+                (xr, dyr)
+            } else if yr.stable_inactive() && yhr.stable_inactive() {
+                (Interval::point(0.0), Interval::point(0.0))
+            } else {
+                let (l, u) = distance_relaxation_bounds(dyr);
+                (xr, Interval::new(l, u))
+            }
+        }
+        EncodingKind::Btne => unreachable!("closed form never applies to BTNE"),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::example::{fig1_affine, fig1_network};
+
+    const DOM: [(f64, f64); 2] = [(-1.0, 1.0), (-1.0, 1.0)];
+
+    /// Fig. 4 "Interleaving ND" row: window-1 exact sub-networks give
+    /// Δx⁽¹⁾ ∈ [-0.15, 0.15]², Δx⁽²⁾ ∈ [-0.3, 0.3] → ε = 0.3 (1.5× exact).
+    #[test]
+    fn fig4_itne_nd_row() {
+        let net = fig1_network();
+        let opts = CertifyOptions {
+            window: 1,
+            relaxation: Relaxation::Exact,
+            ..Default::default()
+        };
+        let r = certify_global(&net, &DOM, 0.1, &opts).unwrap();
+        for j in 0..2 {
+            let d = r.bounds.dx[0][j];
+            assert!((d.lo + 0.15).abs() < 1e-5 && (d.hi - 0.15).abs() < 1e-5, "Δx⁽¹⁾ {d}");
+        }
+        assert!((r.epsilon(0) - 0.3).abs() < 1e-5, "ε = {}", r.epsilon(0));
+    }
+
+    /// Fig. 4 "Basic Encoding ND" row: distance information is lost between
+    /// sub-networks, giving Δx⁽²⁾ ∈ [-1.5, 1.5] → ε = 1.5 (7.5× exact).
+    #[test]
+    fn fig4_btne_nd_row() {
+        let net = fig1_network();
+        let opts = CertifyOptions {
+            window: 1,
+            encoding: EncodingKind::Btne,
+            relaxation: Relaxation::Exact,
+            ..Default::default()
+        };
+        let r = certify_global(&net, &DOM, 0.1, &opts).unwrap();
+        assert!((r.epsilon(0) - 1.5).abs() < 1e-5, "ε = {}", r.epsilon(0));
+        // Per-copy ranges stay exact: x⁽¹⁾ ∈ [0, 1.5].
+        assert!((r.bounds.x[0][0].hi - 1.5).abs() < 1e-5);
+    }
+
+    /// Algorithm 1 defaults (ITNE + LPR, W = 2) on the example give
+    /// ε = 0.25 — *tighter* than Fig. 4's one-shot LPR value 0.275, because
+    /// `LpRelaxX` reuses the fresh `Δy⁽²⁾ ∈ [-0.25, 0.25]` from `LpRelaxY`
+    /// (Algorithm 1 lines 8 → 11) instead of the IBP range `[-0.3, 0.3]`
+    /// that the §II-D illustration relaxes against.
+    #[test]
+    fn algorithm1_default_matches_lpr() {
+        let net = fig1_network();
+        let r = certify_global(&net, &DOM, 0.1, &CertifyOptions::default()).unwrap();
+        assert!((r.epsilon(0) - 0.25).abs() < 1e-5, "ε = {}", r.epsilon(0));
+        let dy_out = r.bounds.dy[1][0];
+        assert!((dy_out.hi - 0.25).abs() < 1e-5, "Δy⁽²⁾ {dy_out}");
+        assert!(r.stats.query.fallbacks == 0);
+    }
+
+    /// The closed-form LpRelaxX fast path is bit-identical to solving the LP.
+    #[test]
+    fn closed_form_equals_lp() {
+        let net = fig1_network();
+        for refine in [0usize, 1, 2] {
+            let mk = |closed: bool| CertifyOptions {
+                closed_form_x: closed,
+                refine,
+                ..Default::default()
+            };
+            let a = certify_global(&net, &DOM, 0.1, &mk(true)).unwrap();
+            let b = certify_global(&net, &DOM, 0.1, &mk(false)).unwrap();
+            for (da, db) in a.bounds.dx.iter().flatten().zip(b.bounds.dx.iter().flatten()) {
+                assert!(
+                    (da.lo - db.lo).abs() < 1e-6 && (da.hi - db.hi).abs() < 1e-6,
+                    "closed form {da} vs LP {db} (refine {refine})"
+                );
+            }
+            assert!(a.stats.closed_form_hits > 0 || refine > 0);
+        }
+    }
+
+    /// Parallel execution returns the same bounds as serial.
+    #[test]
+    fn parallel_matches_serial() {
+        let net = fig1_network();
+        let serial = certify_global(&net, &DOM, 0.1, &CertifyOptions::default()).unwrap();
+        let parallel = certify_global(
+            &net,
+            &DOM,
+            0.1,
+            &CertifyOptions { threads: 4, ..Default::default() },
+        )
+        .unwrap();
+        assert_eq!(serial.epsilons, parallel.epsilons);
+    }
+
+    /// Refinement tightens monotonically toward the exact 0.2.
+    #[test]
+    fn refinement_tightens_layered_bound() {
+        let net = fig1_network();
+        let eps = |r: usize| {
+            certify_global(
+                &net,
+                &DOM,
+                0.1,
+                &CertifyOptions { refine: r, ..Default::default() },
+            )
+            .unwrap()
+            .epsilon(0)
+        };
+        let (e0, e3) = (eps(0), eps(3));
+        assert!(e3 <= e0 + 1e-9, "refined {e3} worse than unrefined {e0}");
+        assert!(e3 >= 0.2 - 1e-6, "refined bound {e3} below exact");
+    }
+
+    /// A wider perturbation bound can only widen the certified ε.
+    #[test]
+    fn epsilon_monotone_in_delta() {
+        let net = fig1_network();
+        let mut last = 0.0;
+        for delta in [0.01, 0.05, 0.1, 0.2] {
+            let e = certify_global(&net, &DOM, delta, &CertifyOptions::default())
+                .unwrap()
+                .epsilon(0);
+            assert!(e + 1e-9 >= last, "ε not monotone in δ");
+            last = e;
+        }
+    }
+
+    /// Invalid inputs are rejected with informative errors.
+    #[test]
+    fn invalid_inputs_rejected() {
+        let aff = fig1_affine();
+        let opts = CertifyOptions::default();
+        assert!(certify_global_affine(&aff, &[(-1.0, 1.0)], 0.1, &opts).is_err());
+        assert!(certify_global_affine(&aff, &DOM, -0.1, &opts).is_err());
+        assert!(certify_global_affine(
+            &aff,
+            &DOM,
+            0.1,
+            &CertifyOptions { window: 0, ..Default::default() }
+        )
+        .is_err());
+        assert!(certify_global_affine(&aff, &[(1.0, -1.0), (0.0, 1.0)], 0.1, &opts).is_err());
+    }
+
+    /// An expired global deadline degrades to (sound) IBP ranges.
+    #[test]
+    fn expired_deadline_returns_ibp() {
+        let net = fig1_network();
+        let opts = CertifyOptions {
+            deadline: Some(Instant::now() - std::time::Duration::from_secs(1)),
+            ..Default::default()
+        };
+        let r = certify_global(&net, &DOM, 0.1, &opts).unwrap();
+        // IBP ε for the example is 0.3; sound and loose.
+        assert!((r.epsilon(0) - 0.3).abs() < 1e-9);
+        assert!(r.stats.query.fallbacks > 0);
+    }
+}

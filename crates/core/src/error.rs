@@ -1,0 +1,42 @@
+//! Certification error type.
+
+use itne_nn::NnError;
+use std::error::Error;
+use std::fmt;
+
+/// Errors raised by the certification entry points.
+///
+/// Solver trouble never surfaces here: the engine falls back to sound IBP
+/// ranges instead, recording the event in the run's statistics.
+#[derive(Clone, Debug, PartialEq)]
+pub enum CertifyError {
+    /// Mismatched dimensions, malformed domain box, negative `δ`, or invalid
+    /// options.
+    InvalidInput(String),
+    /// The network could not be lowered to the affine IR.
+    Lower(NnError),
+}
+
+impl fmt::Display for CertifyError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            CertifyError::InvalidInput(why) => write!(f, "invalid input: {why}"),
+            CertifyError::Lower(e) => write!(f, "cannot lower network: {e}"),
+        }
+    }
+}
+
+impl Error for CertifyError {
+    fn source(&self) -> Option<&(dyn Error + 'static)> {
+        match self {
+            CertifyError::Lower(e) => Some(e),
+            CertifyError::InvalidInput(_) => None,
+        }
+    }
+}
+
+impl From<NnError> for CertifyError {
+    fn from(e: NnError) -> Self {
+        CertifyError::Lower(e)
+    }
+}

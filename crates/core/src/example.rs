@@ -1,0 +1,40 @@
+//! The paper's Fig. 1 illustrating network, shared by tests, docs and the
+//! Fig. 3/4 reproduction binaries.
+
+use itne_nn::{AffineNetwork, Network, NetworkBuilder};
+
+/// The 2-input, 2-hidden, 1-output ReLU network of the paper's Fig. 1:
+///
+/// ```text
+/// y⁽¹⁾₁ = x₁ + 0.5·x₂    y⁽¹⁾₂ = -0.5·x₁ + x₂    (both ReLU)
+/// y⁽²⁾  = x⁽¹⁾₁ − x⁽¹⁾₂                           (ReLU)
+/// ```
+///
+/// All biases are zero. Used throughout §II-D with input domain
+/// `X = [-1, 1]²` and perturbation bound `δ = 0.1`.
+pub fn fig1_network() -> Network {
+    NetworkBuilder::input(2)
+        .dense(&[&[1.0, 0.5], &[-0.5, 1.0]], &[0.0, 0.0], true)
+        .expect("static shapes are valid")
+        .dense(&[&[1.0, -1.0]], &[0.0], true)
+        .expect("static shapes are valid")
+        .build()
+}
+
+/// [`fig1_network`] lowered to the affine IR.
+pub fn fig1_affine() -> AffineNetwork {
+    AffineNetwork::from_network(&fig1_network()).expect("fig1 network lowers")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn fig1_has_expected_shape() {
+        let net = fig1_network();
+        assert_eq!(net.input_dim(), 2);
+        assert_eq!(net.output_dim(), 1);
+        assert_eq!(net.hidden_neurons(), 2);
+    }
+}

@@ -1,0 +1,245 @@
+//! Closed intervals and the ReLU / ReLU-distance interval arithmetic that
+//! underpins both the IBP seeding pass and every encoding's variable bounds.
+
+use serde::{Deserialize, Serialize};
+use std::fmt;
+
+/// A closed interval `[lo, hi]`.
+#[derive(Copy, Clone, Debug, PartialEq, Serialize, Deserialize)]
+pub struct Interval {
+    /// Lower bound.
+    pub lo: f64,
+    /// Upper bound.
+    pub hi: f64,
+}
+
+impl Interval {
+    /// `[lo, hi]`.
+    ///
+    /// # Panics
+    ///
+    /// Panics (debug only) if `lo > hi` beyond rounding noise.
+    pub fn new(lo: f64, hi: f64) -> Self {
+        debug_assert!(lo <= hi + 1e-12, "interval [{lo}, {hi}] is inverted");
+        Interval { lo, hi: hi.max(lo) }
+    }
+
+    /// The degenerate interval `[v, v]`.
+    pub fn point(v: f64) -> Self {
+        Interval { lo: v, hi: v }
+    }
+
+    /// The symmetric interval `[-r, r]`.
+    pub fn symmetric(r: f64) -> Self {
+        debug_assert!(r >= 0.0);
+        Interval { lo: -r, hi: r }
+    }
+
+    /// Width `hi − lo`.
+    pub fn width(self) -> f64 {
+        self.hi - self.lo
+    }
+
+    /// Midpoint.
+    pub fn mid(self) -> f64 {
+        0.5 * (self.lo + self.hi)
+    }
+
+    /// Largest absolute value in the interval.
+    pub fn max_abs(self) -> f64 {
+        self.lo.abs().max(self.hi.abs())
+    }
+
+    /// True if `v` lies inside (with `tol` slack).
+    pub fn contains(self, v: f64, tol: f64) -> bool {
+        v >= self.lo - tol && v <= self.hi + tol
+    }
+
+    /// True if `other` is entirely inside (with `tol` slack).
+    pub fn encloses(self, other: Interval, tol: f64) -> bool {
+        other.lo >= self.lo - tol && other.hi <= self.hi + tol
+    }
+
+    /// Minkowski sum.
+    pub fn add(self, other: Interval) -> Interval {
+        Interval { lo: self.lo + other.lo, hi: self.hi + other.hi }
+    }
+
+    /// Shift by a scalar.
+    pub fn shift(self, k: f64) -> Interval {
+        Interval { lo: self.lo + k, hi: self.hi + k }
+    }
+
+    /// Scale by a scalar (swaps ends when negative).
+    pub fn scale(self, k: f64) -> Interval {
+        if k >= 0.0 {
+            Interval { lo: self.lo * k, hi: self.hi * k }
+        } else {
+            Interval { lo: self.hi * k, hi: self.lo * k }
+        }
+    }
+
+    /// Exact image under `relu`.
+    pub fn relu(self) -> Interval {
+        Interval { lo: self.lo.max(0.0), hi: self.hi.max(0.0) }
+    }
+
+    /// Tightest interval containing both.
+    pub fn union(self, other: Interval) -> Interval {
+        Interval { lo: self.lo.min(other.lo), hi: self.hi.max(other.hi) }
+    }
+
+    /// Intersection; `None` when disjoint beyond `tol`.
+    pub fn intersect(self, other: Interval, tol: f64) -> Option<Interval> {
+        let lo = self.lo.max(other.lo);
+        let hi = self.hi.min(other.hi);
+        if lo <= hi + tol {
+            Some(Interval { lo: lo.min(hi), hi })
+        } else {
+            None
+        }
+    }
+
+    /// Widens both ends outward by `eps` (soundness slack).
+    pub fn inflate(self, eps: f64) -> Interval {
+        Interval { lo: self.lo - eps, hi: self.hi + eps }
+    }
+
+    /// True if every point is ≥ 0 (ReLU provably identity).
+    pub fn stable_active(self) -> bool {
+        self.lo >= 0.0
+    }
+
+    /// True if every point is ≤ 0 (ReLU provably zero).
+    pub fn stable_inactive(self) -> bool {
+        self.hi <= 0.0
+    }
+}
+
+impl fmt::Display for Interval {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "[{:.6}, {:.6}]", self.lo, self.hi)
+    }
+}
+
+/// The ReLU distance function `g(y, d) = relu(y + d) − relu(y)` (paper
+/// Eq. 5): the output difference of a twin ReLU pair whose pre-activations
+/// differ by `d`.
+pub fn relu_distance(y: f64, d: f64) -> f64 {
+    (y + d).max(0.0) - y.max(0.0)
+}
+
+/// Tight range of [`relu_distance`] over the box `y × dy`.
+///
+/// `g` is non-decreasing in `d` for any `y`. For fixed `d ≥ 0` it is
+/// non-decreasing in `y`; for fixed `d ≤ 0` it is non-increasing in `y`.
+/// Extremes therefore sit at box corners:
+///
+/// * maximum at `d = dy.hi`, with `y = y.hi` if `dy.hi ≥ 0` else `y = y.lo`;
+/// * minimum at `d = dy.lo`, with `y = y.lo` if `dy.lo ≥ 0` else `y = y.hi`.
+///
+/// This is *tighter* than the paper's Eq. 6 relaxation box `[min(0, dy.lo),
+/// max(0, dy.hi)]` because it uses the `y` range; both are sound.
+pub fn relu_distance_range(y: Interval, dy: Interval) -> Interval {
+    let max = if dy.hi >= 0.0 {
+        relu_distance(y.hi, dy.hi)
+    } else {
+        relu_distance(y.lo, dy.hi)
+    };
+    let min = if dy.lo >= 0.0 {
+        relu_distance(y.lo, dy.lo)
+    } else {
+        relu_distance(y.hi, dy.lo)
+    };
+    Interval::new(min, max)
+}
+
+/// The paper's Eq. 6 relaxation bounds for the ReLU distance relation,
+/// oblivious to the `y` range (valid for all `y ∈ R`): with
+/// `l = min(0, dy.lo)` and `u = max(0, dy.hi)`,
+///
+/// ```text
+/// l(u − Δy)/(u − l)  ≤  Δx  ≤  u(Δy − l)/(u − l)
+/// ```
+///
+/// Returns `(l, u)`; the caller forms the two linear constraints. When
+/// `u − l` vanishes the relation degenerates to `Δx = 0`.
+pub fn distance_relaxation_bounds(dy: Interval) -> (f64, f64) {
+    (dy.lo.min(0.0), dy.hi.max(0.0))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn basic_arithmetic() {
+        let a = Interval::new(-1.0, 2.0);
+        assert_eq!(a.width(), 3.0);
+        assert_eq!(a.max_abs(), 2.0);
+        assert_eq!(a.scale(-2.0), Interval::new(-4.0, 2.0));
+        assert_eq!(a.add(Interval::new(1.0, 1.5)), Interval::new(0.0, 3.5));
+        assert_eq!(a.relu(), Interval::new(0.0, 2.0));
+    }
+
+    #[test]
+    fn union_and_intersection() {
+        let a = Interval::new(0.0, 2.0);
+        let b = Interval::new(1.0, 3.0);
+        assert_eq!(a.union(b), Interval::new(0.0, 3.0));
+        assert_eq!(a.intersect(b, 0.0), Some(Interval::new(1.0, 2.0)));
+        assert_eq!(a.intersect(Interval::new(5.0, 6.0), 0.0), None);
+    }
+
+    #[test]
+    fn relu_distance_matches_definition() {
+        assert_eq!(relu_distance(1.0, 0.5), 0.5); // both active
+        assert_eq!(relu_distance(-1.0, 0.5), 0.0); // both inactive
+        assert_eq!(relu_distance(-0.25, 0.5), 0.25); // crossing up
+        assert_eq!(relu_distance(0.25, -0.5), -0.25); // crossing down
+    }
+
+    #[test]
+    fn distance_range_brute_force_agreement() {
+        // Exhaustive grid check of corner formulas on assorted boxes.
+        let cases = [
+            (Interval::new(-1.0, 1.0), Interval::new(-0.5, 0.5)),
+            (Interval::new(0.2, 1.0), Interval::new(-0.5, 0.5)),
+            (Interval::new(-1.0, -0.2), Interval::new(-0.5, 0.5)),
+            (Interval::new(-1.0, 1.0), Interval::new(0.1, 0.5)),
+            (Interval::new(-1.0, 1.0), Interval::new(-0.5, -0.1)),
+            (Interval::new(5.0, 10.0), Interval::new(-1.0, -0.5)),
+            (Interval::new(-0.3, 0.1), Interval::new(-0.2, 0.4)),
+        ];
+        for (y, dy) in cases {
+            let r = relu_distance_range(y, dy);
+            let (mut lo, mut hi) = (f64::INFINITY, f64::NEG_INFINITY);
+            let n = 160;
+            for i in 0..=n {
+                for j in 0..=n {
+                    let yv = y.lo + y.width() * i as f64 / n as f64;
+                    let dv = dy.lo + dy.width() * j as f64 / n as f64;
+                    let g = relu_distance(yv, dv);
+                    lo = lo.min(g);
+                    hi = hi.max(g);
+                }
+            }
+            assert!((r.lo - lo).abs() < 1e-9, "lo mismatch for {y} × {dy}: {} vs {lo}", r.lo);
+            assert!((r.hi - hi).abs() < 1e-9, "hi mismatch for {y} × {dy}: {} vs {hi}", r.hi);
+        }
+    }
+
+    #[test]
+    fn eq6_box_contains_tight_range() {
+        let cases = [
+            (Interval::new(-1.0, 1.0), Interval::new(-0.5, 0.5)),
+            (Interval::new(3.0, 4.0), Interval::new(-2.0, -1.0)),
+            (Interval::new(-4.0, -3.0), Interval::new(1.0, 2.0)),
+        ];
+        for (y, dy) in cases {
+            let tight = relu_distance_range(y, dy);
+            let (l, u) = distance_relaxation_bounds(dy);
+            assert!(l <= tight.lo + 1e-12 && tight.hi <= u + 1e-12);
+        }
+    }
+}

@@ -1,0 +1,215 @@
+//! Range queries over encoded sub-networks: the paper's `LpRelaxY` and
+//! `LpRelaxX` sub-problems.
+//!
+//! Every query returns a *sound* interval: LP/MILP relaxation optima are
+//! outer bounds by construction; solver failures fall back to the caller's
+//! interval (typically IBP), and successful results are intersected with
+//! that fallback (both are sound, so the intersection is sound and tighter).
+
+use crate::encode::EncodedSubNet;
+use crate::interval::Interval;
+use itne_milp::{LinExpr, Model, Sense, SolveOptions, Status};
+
+/// Slack added to LP optima before use as bounds, absorbing solver
+/// tolerances.
+const SOUND_SLACK: f64 = 1e-7;
+
+/// Work counters accumulated across queries.
+#[derive(Copy, Clone, Debug, Default, PartialEq, Eq)]
+pub struct QueryStats {
+    /// LP/MILP solves issued.
+    pub solves: u64,
+    /// Total simplex pivots.
+    pub pivots: u64,
+    /// Total branch-and-bound nodes.
+    pub nodes: u64,
+    /// Queries that fell back to the caller's interval (solver failure or
+    /// early-out on deadline).
+    pub fallbacks: u64,
+}
+
+impl QueryStats {
+    /// Accumulates another counter set.
+    pub fn absorb(&mut self, other: QueryStats) {
+        self.solves += other.solves;
+        self.pivots += other.pivots;
+        self.nodes += other.nodes;
+        self.fallbacks += other.fallbacks;
+    }
+}
+
+/// Minimizes and maximizes `expr` over the encoded model, returning a sound
+/// interval clipped to `fallback`.
+pub fn range_of_expr(
+    model: &mut Model,
+    expr: LinExpr,
+    fallback: Interval,
+    solver: &SolveOptions,
+    stats: &mut QueryStats,
+) -> Interval {
+    let lo = directed_bound(model, expr.clone(), Sense::Minimize, fallback.lo, solver, stats);
+    let hi = directed_bound(model, expr, Sense::Maximize, fallback.hi, solver, stats);
+    // Both [lo, hi] and fallback are sound outer ranges; intersect.
+    Interval::new(lo.min(hi), hi.max(lo))
+        .intersect(fallback, 1e-9)
+        .unwrap_or(fallback)
+}
+
+/// One directed solve. Returns `fallback_bound` when the solver cannot
+/// produce a *sound* bound (errors, or a timed-out MILP whose frontier bound
+/// is unavailable).
+fn directed_bound(
+    model: &mut Model,
+    expr: LinExpr,
+    sense: Sense,
+    fallback_bound: f64,
+    solver: &SolveOptions,
+    stats: &mut QueryStats,
+) -> f64 {
+    if let Some(deadline) = solver.deadline {
+        if std::time::Instant::now() >= deadline {
+            stats.fallbacks += 1;
+            return fallback_bound;
+        }
+    }
+    model.set_objective(sense, expr);
+    stats.solves += 1;
+    match model.solve_with(solver) {
+        Ok(sol) => {
+            stats.pivots += sol.stats.pivots;
+            stats.nodes += sol.stats.nodes;
+            // A non-optimal MILP incumbent is *not* an outer bound; use the
+            // search frontier's relaxation bound instead, which is.
+            let v = match sol.status {
+                Status::Optimal => sol.objective,
+                Status::TimedOut | Status::NodeLimit => sol.stats.best_bound,
+            };
+            match sense {
+                Sense::Maximize => v + SOUND_SLACK + v.abs() * 1e-9,
+                Sense::Minimize => v - SOUND_SLACK - v.abs() * 1e-9,
+            }
+        }
+        Err(_) => {
+            stats.fallbacks += 1;
+            fallback_bound
+        }
+    }
+}
+
+/// `LpRelaxY`: ranges of the target's pre-activation and its distance,
+/// `(y, Δy)`. For BTNE encodings the distance is the expression `ŷ − y`; for
+/// single-copy encodings it is `[0, 0]`.
+pub fn lp_relax_y(
+    enc: &mut EncodedSubNet,
+    fallback_y: Interval,
+    fallback_dy: Interval,
+    solver: &SolveOptions,
+    stats: &mut QueryStats,
+) -> (Interval, Interval) {
+    let t = enc.target_vars();
+    let y = t.y.expect("target has a pre-activation variable");
+    let yr = range_of_expr(&mut enc.model, (1.0 * y).compact(), fallback_y, solver, stats);
+    let dyr = if let Some(dy) = t.dy {
+        range_of_expr(&mut enc.model, (1.0 * dy).compact(), fallback_dy, solver, stats)
+    } else if let Some(yh) = t.yh {
+        range_of_expr(&mut enc.model, 1.0 * yh - 1.0 * y, fallback_dy, solver, stats)
+    } else {
+        Interval::point(0.0)
+    };
+    (yr, dyr)
+}
+
+/// `LpRelaxX`: ranges of the target's post-activation and its distance,
+/// `(x, Δx)`.
+pub fn lp_relax_x(
+    enc: &mut EncodedSubNet,
+    fallback_x: Interval,
+    fallback_dx: Interval,
+    solver: &SolveOptions,
+    stats: &mut QueryStats,
+) -> (Interval, Interval) {
+    let t = enc.target_vars();
+    let x = t.x.expect("target has a post-activation variable");
+    let xr = range_of_expr(&mut enc.model, (1.0 * x).compact(), fallback_x, solver, stats);
+    let dxr = if let Some(dx) = t.dx {
+        range_of_expr(&mut enc.model, (1.0 * dx).compact(), fallback_dx, solver, stats)
+    } else if let Some(xh) = t.xh {
+        range_of_expr(&mut enc.model, 1.0 * xh - 1.0 * x, fallback_dx, solver, stats)
+    } else {
+        Interval::point(0.0)
+    };
+    (xr, dxr)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::encode::{encode_subnet, EncodeOptions, EncodingKind, Relaxation, TargetKind};
+    use crate::example::fig1_affine;
+    use crate::ibp::ibp_twin;
+    use crate::subnet::SubNetwork;
+
+    #[test]
+    fn query_clips_to_fallback() {
+        // Query with an artificially tight fallback: result must stay inside.
+        let net = fig1_affine();
+        let domain = vec![Interval::new(-1.0, 1.0); 2];
+        let bounds = ibp_twin(&net, &domain, 0.1);
+        let sub = SubNetwork::decompose(&net, 0, 0, 1);
+        let opts = EncodeOptions { delta: 0.1, ..Default::default() };
+        let mut enc = encode_subnet(&sub, &bounds, TargetKind::PreActivation, &opts);
+        let tight = Interval::new(-0.5, 0.5);
+        let mut stats = QueryStats::default();
+        let (yr, _) =
+            lp_relax_y(&mut enc, tight, Interval::symmetric(0.15), &SolveOptions::default(), &mut stats);
+        assert!(tight.encloses(yr, 1e-9));
+        assert_eq!(stats.fallbacks, 0);
+        assert!(stats.solves >= 2);
+    }
+
+    #[test]
+    fn first_layer_ranges_are_exact() {
+        // Layer 1 of Fig. 1 is affine in the inputs: LP ranges must be exact:
+        // y⁽¹⁾₁ ∈ [-1.5, 1.5], Δy⁽¹⁾₁ ∈ [-0.15, 0.15].
+        let net = fig1_affine();
+        let domain = vec![Interval::new(-1.0, 1.0); 2];
+        let bounds = ibp_twin(&net, &domain, 0.1);
+        let sub = SubNetwork::decompose(&net, 0, 0, 1);
+        let opts = EncodeOptions {
+            kind: EncodingKind::Itne,
+            relax: Relaxation::Lpr,
+            delta: 0.1,
+            ..Default::default()
+        };
+        let mut enc = encode_subnet(&sub, &bounds, TargetKind::PreActivation, &opts);
+        let mut stats = QueryStats::default();
+        let (yr, dyr) = lp_relax_y(
+            &mut enc,
+            bounds.y[0][0],
+            bounds.dy[0][0],
+            &SolveOptions::default(),
+            &mut stats,
+        );
+        assert!((yr.lo + 1.5).abs() < 1e-5 && (yr.hi - 1.5).abs() < 1e-5, "{yr}");
+        assert!((dyr.lo + 0.15).abs() < 1e-5 && (dyr.hi - 0.15).abs() < 1e-5, "{dyr}");
+    }
+
+    #[test]
+    fn expired_deadline_falls_back() {
+        let net = fig1_affine();
+        let domain = vec![Interval::new(-1.0, 1.0); 2];
+        let bounds = ibp_twin(&net, &domain, 0.1);
+        let sub = SubNetwork::decompose(&net, 0, 0, 1);
+        let opts = EncodeOptions { delta: 0.1, ..Default::default() };
+        let mut enc = encode_subnet(&sub, &bounds, TargetKind::PreActivation, &opts);
+        let solver = SolveOptions {
+            deadline: Some(std::time::Instant::now() - std::time::Duration::from_secs(1)),
+            ..Default::default()
+        };
+        let mut stats = QueryStats::default();
+        let fb = Interval::new(-9.0, 9.0);
+        let (yr, _) = lp_relax_y(&mut enc, fb, fb, &solver, &mut stats);
+        assert_eq!(yr, fb);
+        assert!(stats.fallbacks >= 2);
+    }
+}

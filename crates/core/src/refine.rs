@@ -1,0 +1,153 @@
+//! Selective refinement: scoring relaxed ReLU relations and picking the
+//! top-`r` neurons to encode exactly (§II-E "Selective Refinement").
+//!
+//! The score of a relaxation is its worst-case inaccuracy — the maximum
+//! vertical distance between the relaxation's lower and upper bounding
+//! functions:
+//!
+//! * triangle relaxation (Eq. 4): `−y.lo·y.hi / (y.hi − y.lo)`;
+//! * distance relaxation (Eq. 6): `max(|Δy.lo|, |Δy.hi|)`.
+
+use crate::bounds::TwinBounds;
+use crate::encode::{EncodeOptions, EncodingKind, TargetKind};
+use crate::interval::Interval;
+use crate::subnet::SubNetwork;
+use std::collections::HashSet;
+
+/// Worst-case inaccuracy of the triangle relaxation over `y ∈ [lo, hi]`
+/// (0 when the ReLU is stable).
+pub fn triangle_score(y: Interval) -> f64 {
+    if y.stable_active() || y.stable_inactive() {
+        0.0
+    } else {
+        -y.lo * y.hi / (y.hi - y.lo)
+    }
+}
+
+/// Worst-case inaccuracy of the Eq. 6 distance relaxation over
+/// `Δy ∈ [lo, hi]`.
+pub fn distance_score(dy: Interval) -> f64 {
+    dy.lo.abs().max(dy.hi.abs())
+}
+
+/// Scores one neuron under the given encoding; `None` when nothing about it
+/// is relaxed (stable in every relevant phase).
+fn neuron_score(
+    kind: EncodingKind,
+    y: Interval,
+    dy: Interval,
+) -> Option<f64> {
+    let yh = y.add(dy);
+    let y_unstable = !(y.stable_active() || y.stable_inactive());
+    let yh_unstable = !(yh.stable_active() || yh.stable_inactive());
+    let mut score = 0.0f64;
+    let mut any = false;
+    match kind {
+        EncodingKind::Single => {
+            if y_unstable {
+                score = triangle_score(y);
+                any = true;
+            }
+        }
+        EncodingKind::Btne => {
+            if y_unstable {
+                score = score.max(triangle_score(y));
+                any = true;
+            }
+            if yh_unstable {
+                score = score.max(triangle_score(yh));
+                any = true;
+            }
+        }
+        EncodingKind::Itne => {
+            if y_unstable {
+                score = score.max(triangle_score(y));
+                any = true;
+            }
+            if yh_unstable {
+                score = score.max(distance_score(dy));
+                any = true;
+            }
+        }
+    }
+    any.then_some(score)
+}
+
+/// Picks the top-`opts.refine` relaxable neurons of the sub-network by
+/// score. Returns `(affine layer, neuron index)` pairs.
+pub fn select_refined(
+    sub: &SubNetwork<'_>,
+    bounds: &TwinBounds,
+    target: TargetKind,
+    opts: &EncodeOptions,
+) -> HashSet<(usize, usize)> {
+    if opts.refine == 0 {
+        return HashSet::new();
+    }
+    let w = sub.window();
+    let mut scored: Vec<(f64, usize, usize)> = Vec::new();
+    for k in 1..=w {
+        if k == w && target == TargetKind::PreActivation {
+            break; // the target has no activation in LpRelaxY problems
+        }
+        let layer = sub.layer_at(k);
+        if !sub.net.layers[layer].relu {
+            continue;
+        }
+        for &j in &sub.cone.levels[k] {
+            if let Some(s) = neuron_score(opts.kind, bounds.y[layer][j], bounds.dy[layer][j]) {
+                scored.push((s, layer, j));
+            }
+        }
+    }
+    scored.sort_by(|a, b| b.0.total_cmp(&a.0).then(a.1.cmp(&b.1)).then(a.2.cmp(&b.2)));
+    scored.into_iter().take(opts.refine).map(|(_, l, j)| (l, j)).collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::example::fig1_affine;
+    use crate::ibp::ibp_twin;
+
+    #[test]
+    fn triangle_score_formula() {
+        // y ∈ [-1, 1]: score = 1/2; stable ranges score 0.
+        assert!((triangle_score(Interval::new(-1.0, 1.0)) - 0.5).abs() < 1e-12);
+        assert_eq!(triangle_score(Interval::new(0.0, 2.0)), 0.0);
+        assert_eq!(triangle_score(Interval::new(-2.0, 0.0)), 0.0);
+    }
+
+    #[test]
+    fn distance_score_is_linf_of_dy() {
+        assert_eq!(distance_score(Interval::new(-0.2, 0.1)), 0.2);
+    }
+
+    #[test]
+    fn refinement_picks_highest_scores_first() {
+        let net = fig1_affine();
+        let domain = vec![Interval::new(-1.0, 1.0); 2];
+        let bounds = ibp_twin(&net, &domain, 0.1);
+        let sub = SubNetwork::decompose(&net, 1, 0, 2);
+        let opts = EncodeOptions {
+            refine: 1,
+            delta: 0.1,
+            ..Default::default()
+        };
+        let set = select_refined(&sub, &bounds, TargetKind::PostActivation, &opts);
+        assert_eq!(set.len(), 1);
+        // All three neurons have y ∈ [-1.5, 1.5] (score 0.75 each) and the
+        // tie-break favours the earliest layer/index.
+        assert!(set.contains(&(0, 0)), "got {set:?}");
+    }
+
+    #[test]
+    fn zero_refine_selects_nothing() {
+        let net = fig1_affine();
+        let domain = vec![Interval::new(-1.0, 1.0); 2];
+        let bounds = ibp_twin(&net, &domain, 0.1);
+        let sub = SubNetwork::decompose(&net, 1, 0, 2);
+        let opts = EncodeOptions { refine: 0, ..Default::default() };
+        assert!(select_refined(&sub, &bounds, TargetKind::PostActivation, &opts).is_empty());
+    }
+}

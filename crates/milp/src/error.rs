@@ -1,0 +1,40 @@
+//! Error type shared by the LP and MILP solvers.
+
+use std::error::Error;
+use std::fmt;
+
+/// Reasons a solve can fail to produce a usable solution.
+///
+/// Callers that use LP optima as *sound bounds* (as the ITNE certifier does)
+/// must treat every variant as "no bound available" and fall back to a sound
+/// alternative; a partially-converged LP value is not a valid bound.
+#[derive(Clone, Debug, PartialEq)]
+pub enum SolveError {
+    /// The constraint system has no feasible point.
+    Infeasible,
+    /// The objective is unbounded over the feasible region.
+    Unbounded,
+    /// The simplex iteration limit was exceeded before reaching optimality.
+    IterationLimit,
+    /// A deadline expired before any feasible solution was found.
+    Timeout,
+    /// The model is malformed (e.g. a NaN coefficient, or `lo > hi`).
+    InvalidModel(String),
+    /// The solver detected numerical breakdown it could not recover from.
+    Numerical(String),
+}
+
+impl fmt::Display for SolveError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            SolveError::Infeasible => write!(f, "model is infeasible"),
+            SolveError::Unbounded => write!(f, "objective is unbounded"),
+            SolveError::IterationLimit => write!(f, "simplex iteration limit exceeded"),
+            SolveError::Timeout => write!(f, "deadline expired with no feasible solution"),
+            SolveError::InvalidModel(why) => write!(f, "invalid model: {why}"),
+            SolveError::Numerical(why) => write!(f, "numerical breakdown: {why}"),
+        }
+    }
+}
+
+impl Error for SolveError {}

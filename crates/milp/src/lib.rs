@@ -1,0 +1,120 @@
+//! A pure-Rust linear-programming and mixed-integer-linear-programming solver.
+//!
+//! This crate is the optimization substrate for the ITNE global-robustness
+//! certifier. The paper solves all of its LP/MILP problems with Gurobi; no
+//! comparable solver exists as an offline Rust crate, so this crate implements
+//! the required subset from scratch:
+//!
+//! * a **two-phase primal simplex** method with *bounded variables*
+//!   ([`Model::solve`] on continuous models). Box bounds are handled directly
+//!   in the ratio test instead of as explicit rows, which matters because the
+//!   certification encodings bound every variable;
+//! * a **branch-and-bound** search over integer (in practice binary ReLU
+//!   indicator) variables, with deadline and node-limit support
+//!   ([`Model::solve`] on mixed models).
+//!
+//! The API is deliberately Gurobi-shaped: build a [`Model`], add variables with
+//! bounds, add linear constraints, set a linear objective, and solve.
+//!
+//! ```
+//! use itne_milp::{Model, Sense, Cmp};
+//!
+//! # fn main() -> Result<(), itne_milp::SolveError> {
+//! let mut m = Model::new();
+//! let x = m.add_var(0.0, 10.0);
+//! let y = m.add_var(0.0, 10.0);
+//! m.add_constraint(x + y, Cmp::Le, 6.0);
+//! m.add_constraint(2.0 * x + y, Cmp::Le, 9.0);
+//! m.set_objective(Sense::Maximize, 3.0 * x + 2.0 * y);
+//! let sol = m.solve()?;
+//! assert!((sol.objective - 15.0).abs() < 1e-6); // x = 3, y = 3
+//! # Ok(())
+//! # }
+//! ```
+//!
+//! # Scope and numerics
+//!
+//! The solver targets the dense, well-scaled problems produced by neural
+//! network verification encodings (equalities defining pre-activations,
+//! triangle/distance ReLU relaxations, big-M indicator constraints). It uses a
+//! dense tableau, Dantzig pricing with a Bland anti-cycling fallback, and
+//! absolute tolerances tuned for coefficients in roughly `1e-6 ..= 1e6`.
+//! Solutions report their maximum constraint residual in [`Stats`] so callers
+//! can detect numerical trouble and fall back to interval bounds (which the
+//! certifier does, keeping its results sound).
+
+#![forbid(unsafe_code)]
+
+mod branch_bound;
+mod error;
+mod linexpr;
+mod model;
+mod options;
+mod simplex;
+
+pub use error::SolveError;
+pub use linexpr::LinExpr;
+pub use model::{Cmp, Model, Sense, VarId, VarType};
+pub use options::{SolveOptions, Tolerances};
+
+use serde::{Deserialize, Serialize};
+
+/// Termination status of a successful solve.
+///
+/// `Optimal` is a proof; the other variants mean the search stopped early but
+/// still produced the best solution found so far (MILP only — LP solves are
+/// either optimal or an error).
+#[derive(Copy, Clone, Debug, PartialEq, Eq, Serialize, Deserialize)]
+pub enum Status {
+    /// Proven optimal (within tolerances).
+    Optimal,
+    /// A deadline expired; the reported solution is feasible but possibly
+    /// sub-optimal. [`Stats::best_bound`] brackets the true optimum.
+    TimedOut,
+    /// The branch-and-bound node limit was hit before the tree was exhausted.
+    NodeLimit,
+}
+
+/// Solver work counters and quality diagnostics attached to every [`Solution`].
+#[derive(Copy, Clone, Debug, Default, PartialEq, Serialize, Deserialize)]
+pub struct Stats {
+    /// Total simplex pivots performed (across all branch-and-bound nodes).
+    pub pivots: u64,
+    /// Branch-and-bound nodes explored (`0` for pure LPs).
+    pub nodes: u64,
+    /// Best dual/relaxation bound on the objective at termination. For an
+    /// `Optimal` status this equals `objective` up to tolerances.
+    pub best_bound: f64,
+    /// Maximum absolute row residual `|a·x - b|` of the returned point,
+    /// measured against the *original* model data.
+    pub max_residual: f64,
+}
+
+/// The result of a solve: an objective value, a variable assignment, a
+/// [`Status`], and work [`Stats`].
+#[derive(Clone, Debug, Serialize, Deserialize)]
+pub struct Solution {
+    /// Objective value at the returned point (in the model's own sense).
+    pub objective: f64,
+    /// Termination status.
+    pub status: Status,
+    /// Work counters and diagnostics.
+    pub stats: Stats,
+    values: Vec<f64>,
+}
+
+impl Solution {
+    /// The value assigned to variable `v`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `v` does not belong to the model that produced this solution.
+    pub fn value(&self, v: VarId) -> f64 {
+        self.values[v.index()]
+    }
+
+    /// The full assignment, indexed by variable creation order.
+    pub fn values(&self) -> &[f64] {
+        &self.values
+    }
+}

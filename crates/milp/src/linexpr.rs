@@ -1,0 +1,221 @@
+//! Sparse linear expressions over model variables.
+
+use crate::model::VarId;
+use std::ops::{Add, Mul, Neg, Sub};
+
+/// A sparse linear expression `Σ cᵢ·xᵢ + k`.
+///
+/// Expressions are built with ordinary arithmetic on [`VarId`]s and `f64`s:
+///
+/// ```
+/// use itne_milp::{LinExpr, Model};
+/// let mut m = Model::new();
+/// let x = m.add_var(0.0, 1.0);
+/// let y = m.add_var(0.0, 1.0);
+/// let e: LinExpr = 2.0 * x - y + 3.0;
+/// assert_eq!(e.constant(), 3.0);
+/// ```
+///
+/// Duplicate variables are allowed and are merged lazily by
+/// [`LinExpr::compact`] (the model compacts rows when they are added).
+#[derive(Clone, Debug, Default, PartialEq)]
+pub struct LinExpr {
+    terms: Vec<(VarId, f64)>,
+    constant: f64,
+}
+
+impl LinExpr {
+    /// The empty expression `0`.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// An expression consisting of a constant only.
+    pub fn constant_term(k: f64) -> Self {
+        LinExpr { terms: Vec::new(), constant: k }
+    }
+
+    /// Builds an expression from `(variable, coefficient)` pairs and a constant.
+    pub fn from_terms<I: IntoIterator<Item = (VarId, f64)>>(terms: I, constant: f64) -> Self {
+        LinExpr { terms: terms.into_iter().collect(), constant }
+    }
+
+    /// Adds `coef * var` to the expression.
+    pub fn add_term(&mut self, var: VarId, coef: f64) -> &mut Self {
+        self.terms.push((var, coef));
+        self
+    }
+
+    /// Adds a constant to the expression.
+    pub fn add_constant(&mut self, k: f64) -> &mut Self {
+        self.constant += k;
+        self
+    }
+
+    /// The constant part `k`.
+    pub fn constant(&self) -> f64 {
+        self.constant
+    }
+
+    /// The (possibly duplicated) terms in insertion order.
+    pub fn terms(&self) -> &[(VarId, f64)] {
+        &self.terms
+    }
+
+    /// Merges duplicate variables and drops exact-zero coefficients,
+    /// returning the canonical form sorted by variable index.
+    pub fn compact(mut self) -> Self {
+        self.terms.sort_by_key(|(v, _)| v.index());
+        let mut merged: Vec<(VarId, f64)> = Vec::with_capacity(self.terms.len());
+        for (v, c) in self.terms {
+            match merged.last_mut() {
+                Some((lv, lc)) if *lv == v => *lc += c,
+                _ => merged.push((v, c)),
+            }
+        }
+        merged.retain(|(_, c)| *c != 0.0);
+        LinExpr { terms: merged, constant: self.constant }
+    }
+
+    /// Evaluates the expression at the given dense assignment.
+    pub fn eval(&self, values: &[f64]) -> f64 {
+        let mut acc = self.constant;
+        for (v, c) in &self.terms {
+            acc += c * values[v.index()];
+        }
+        acc
+    }
+
+    /// True if the expression has a coefficient that is NaN or infinite.
+    pub fn has_non_finite(&self) -> bool {
+        !self.constant.is_finite() || self.terms.iter().any(|(_, c)| !c.is_finite())
+    }
+}
+
+impl From<VarId> for LinExpr {
+    fn from(v: VarId) -> Self {
+        LinExpr { terms: vec![(v, 1.0)], constant: 0.0 }
+    }
+}
+
+impl From<f64> for LinExpr {
+    fn from(k: f64) -> Self {
+        LinExpr::constant_term(k)
+    }
+}
+
+macro_rules! impl_binop {
+    ($lhs:ty, $rhs:ty) => {
+        impl Add<$rhs> for $lhs {
+            type Output = LinExpr;
+            fn add(self, rhs: $rhs) -> LinExpr {
+                let mut out: LinExpr = self.into();
+                let rhs: LinExpr = rhs.into();
+                out.terms.extend(rhs.terms);
+                out.constant += rhs.constant;
+                out
+            }
+        }
+        impl Sub<$rhs> for $lhs {
+            type Output = LinExpr;
+            fn sub(self, rhs: $rhs) -> LinExpr {
+                let mut out: LinExpr = self.into();
+                let rhs: LinExpr = rhs.into();
+                out.terms.extend(rhs.terms.into_iter().map(|(v, c)| (v, -c)));
+                out.constant -= rhs.constant;
+                out
+            }
+        }
+    };
+}
+
+impl_binop!(LinExpr, LinExpr);
+impl_binop!(LinExpr, VarId);
+impl_binop!(LinExpr, f64);
+impl_binop!(VarId, LinExpr);
+impl_binop!(VarId, VarId);
+impl_binop!(VarId, f64);
+impl_binop!(f64, LinExpr);
+impl_binop!(f64, VarId);
+
+impl Neg for LinExpr {
+    type Output = LinExpr;
+    fn neg(self) -> LinExpr {
+        LinExpr {
+            terms: self.terms.into_iter().map(|(v, c)| (v, -c)).collect(),
+            constant: -self.constant,
+        }
+    }
+}
+
+impl Mul<f64> for LinExpr {
+    type Output = LinExpr;
+    fn mul(self, k: f64) -> LinExpr {
+        LinExpr {
+            terms: self.terms.into_iter().map(|(v, c)| (v, c * k)).collect(),
+            constant: self.constant * k,
+        }
+    }
+}
+
+impl Mul<LinExpr> for f64 {
+    type Output = LinExpr;
+    fn mul(self, e: LinExpr) -> LinExpr {
+        e * self
+    }
+}
+
+impl Mul<VarId> for f64 {
+    type Output = LinExpr;
+    fn mul(self, v: VarId) -> LinExpr {
+        LinExpr { terms: vec![(v, self)], constant: 0.0 }
+    }
+}
+
+impl Mul<f64> for VarId {
+    type Output = LinExpr;
+    fn mul(self, k: f64) -> LinExpr {
+        LinExpr { terms: vec![(self, k)], constant: 0.0 }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use crate::Model;
+
+    #[test]
+    fn arithmetic_builds_expected_terms() {
+        let mut m = Model::new();
+        let x = m.add_var(0.0, 1.0);
+        let y = m.add_var(0.0, 1.0);
+        let e = (2.0 * x + 3.0 * y - x + 1.5).compact();
+        assert_eq!(e.terms(), &[(x, 1.0), (y, 3.0)]);
+        assert_eq!(e.constant(), 1.5);
+    }
+
+    #[test]
+    fn compact_drops_cancelled_terms() {
+        let mut m = Model::new();
+        let x = m.add_var(0.0, 1.0);
+        let e = (x - x).compact();
+        assert!(e.terms().is_empty());
+    }
+
+    #[test]
+    fn eval_matches_manual_computation() {
+        let mut m = Model::new();
+        let x = m.add_var(0.0, 10.0);
+        let y = m.add_var(0.0, 10.0);
+        let e = 2.0 * x - 0.5 * y + 4.0;
+        assert_eq!(e.eval(&[3.0, 2.0]), 2.0 * 3.0 - 0.5 * 2.0 + 4.0);
+    }
+
+    #[test]
+    fn negation_flips_all_signs() {
+        let mut m = Model::new();
+        let x = m.add_var(0.0, 1.0);
+        let e = -(2.0 * x + 1.0);
+        assert_eq!(e.terms(), &[(x, -2.0)]);
+        assert_eq!(e.constant(), -1.0);
+    }
+}

@@ -1,0 +1,244 @@
+//! The optimization model: variables, constraints, objective.
+
+use crate::error::SolveError;
+use crate::linexpr::LinExpr;
+use crate::options::SolveOptions;
+use crate::{branch_bound, simplex, Solution};
+
+/// Handle to a model variable. Cheap to copy; only valid for the model that
+/// created it.
+#[derive(Copy, Clone, Debug, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct VarId(pub(crate) usize);
+
+impl VarId {
+    /// Position of the variable in creation order (also its index in
+    /// [`Solution::values`](crate::Solution::values)).
+    pub fn index(self) -> usize {
+        self.0
+    }
+}
+
+/// Continuous or integer-constrained variable.
+#[derive(Copy, Clone, Debug, PartialEq, Eq)]
+pub enum VarType {
+    /// Ordinary continuous variable.
+    Continuous,
+    /// Integer-valued variable (branch-and-bound enforces integrality).
+    Integer,
+}
+
+/// Constraint comparison operator.
+#[derive(Copy, Clone, Debug, PartialEq, Eq)]
+pub enum Cmp {
+    /// `expr ≤ rhs`
+    Le,
+    /// `expr ≥ rhs`
+    Ge,
+    /// `expr = rhs`
+    Eq,
+}
+
+/// Optimization direction.
+#[derive(Copy, Clone, Debug, PartialEq, Eq)]
+pub enum Sense {
+    /// Minimize the objective.
+    Minimize,
+    /// Maximize the objective.
+    Maximize,
+}
+
+#[derive(Clone, Debug)]
+pub(crate) struct Column {
+    pub lo: f64,
+    pub hi: f64,
+    pub ty: VarType,
+}
+
+#[derive(Clone, Debug)]
+pub(crate) struct Row {
+    /// Compacted sparse terms, sorted by variable index.
+    pub terms: Vec<(usize, f64)>,
+    pub cmp: Cmp,
+    pub rhs: f64,
+}
+
+/// A linear optimization model over bounded variables.
+///
+/// See the [crate-level docs](crate) for a complete example. Models containing
+/// at least one [`VarType::Integer`] variable are solved by branch-and-bound;
+/// purely continuous models by the simplex method directly.
+#[derive(Clone, Debug, Default)]
+pub struct Model {
+    pub(crate) cols: Vec<Column>,
+    pub(crate) rows: Vec<Row>,
+    pub(crate) objective: Vec<(usize, f64)>,
+    pub(crate) obj_constant: f64,
+    pub(crate) sense: Option<Sense>,
+}
+
+impl Model {
+    /// An empty model.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Adds a continuous variable with inclusive bounds `lo ≤ x ≤ hi`.
+    /// Either bound may be infinite.
+    pub fn add_var(&mut self, lo: f64, hi: f64) -> VarId {
+        self.cols.push(Column { lo, hi, ty: VarType::Continuous });
+        VarId(self.cols.len() - 1)
+    }
+
+    /// Adds a binary (0/1 integer) variable.
+    pub fn add_binary(&mut self) -> VarId {
+        self.cols.push(Column { lo: 0.0, hi: 1.0, ty: VarType::Integer });
+        VarId(self.cols.len() - 1)
+    }
+
+    /// Adds an integer variable with inclusive bounds.
+    pub fn add_integer(&mut self, lo: f64, hi: f64) -> VarId {
+        self.cols.push(Column { lo, hi, ty: VarType::Integer });
+        VarId(self.cols.len() - 1)
+    }
+
+    /// Number of variables.
+    pub fn num_vars(&self) -> usize {
+        self.cols.len()
+    }
+
+    /// Number of constraints.
+    pub fn num_constraints(&self) -> usize {
+        self.rows.len()
+    }
+
+    /// Number of integer variables.
+    pub fn num_integers(&self) -> usize {
+        self.cols.iter().filter(|c| c.ty == VarType::Integer).count()
+    }
+
+    /// Bounds of a variable.
+    pub fn bounds(&self, v: VarId) -> (f64, f64) {
+        (self.cols[v.0].lo, self.cols[v.0].hi)
+    }
+
+    /// Tightens (or loosens) the bounds of an existing variable.
+    pub fn set_bounds(&mut self, v: VarId, lo: f64, hi: f64) {
+        self.cols[v.0].lo = lo;
+        self.cols[v.0].hi = hi;
+    }
+
+    /// Adds the constraint `expr cmp rhs`. The expression's constant moves to
+    /// the right-hand side.
+    pub fn add_constraint(&mut self, expr: impl Into<LinExpr>, cmp: Cmp, rhs: f64) {
+        let e = expr.into().compact();
+        let adjusted = rhs - e.constant();
+        self.rows.push(Row {
+            terms: e.terms().iter().map(|&(v, c)| (v.index(), c)).collect(),
+            cmp,
+            rhs: adjusted,
+        });
+    }
+
+    /// Sets the objective `sense expr`. A model without an objective is a pure
+    /// feasibility problem (objective `0`).
+    pub fn set_objective(&mut self, sense: Sense, expr: impl Into<LinExpr>) {
+        let e = expr.into().compact();
+        self.objective = e.terms().iter().map(|&(v, c)| (v.index(), c)).collect();
+        self.obj_constant = e.constant();
+        self.sense = Some(sense);
+    }
+
+    /// Solves with default options.
+    ///
+    /// # Errors
+    ///
+    /// See [`SolveError`]; notably [`SolveError::Infeasible`] and
+    /// [`SolveError::Unbounded`].
+    pub fn solve(&self) -> Result<Solution, SolveError> {
+        self.solve_with(&SolveOptions::default())
+    }
+
+    /// Solves with explicit options (tolerances, limits, deadline).
+    ///
+    /// # Errors
+    ///
+    /// See [`SolveError`].
+    pub fn solve_with(&self, opts: &SolveOptions) -> Result<Solution, SolveError> {
+        self.validate()?;
+        if self.num_integers() == 0 {
+            simplex::solve_lp(self, opts)
+        } else {
+            branch_bound::solve_milp(self, opts)
+        }
+    }
+
+    /// Re-solves the model for both senses of the same objective expression,
+    /// returning `(min, max)` objective values. Convenience for range
+    /// derivation, which is the certifier's dominant query pattern.
+    ///
+    /// # Errors
+    ///
+    /// See [`SolveError`].
+    pub fn solve_range(
+        &mut self,
+        expr: impl Into<LinExpr>,
+        opts: &SolveOptions,
+    ) -> Result<(f64, f64), SolveError> {
+        let e = expr.into();
+        self.set_objective(Sense::Minimize, e.clone());
+        let lo = self.solve_with(opts)?.objective;
+        self.set_objective(Sense::Maximize, e);
+        let hi = self.solve_with(opts)?.objective;
+        Ok((lo, hi))
+    }
+
+    fn validate(&self) -> Result<(), SolveError> {
+        for (i, c) in self.cols.iter().enumerate() {
+            if c.lo.is_nan() || c.hi.is_nan() {
+                return Err(SolveError::InvalidModel(format!("variable {i} has NaN bound")));
+            }
+            if c.lo > c.hi {
+                return Err(SolveError::InvalidModel(format!(
+                    "variable {i} has lo {} > hi {}",
+                    c.lo, c.hi
+                )));
+            }
+        }
+        for (i, r) in self.rows.iter().enumerate() {
+            if !r.rhs.is_finite() {
+                return Err(SolveError::InvalidModel(format!("row {i} has non-finite rhs")));
+            }
+            for &(v, c) in &r.terms {
+                if !c.is_finite() {
+                    return Err(SolveError::InvalidModel(format!(
+                        "row {i} has non-finite coefficient on variable {v}"
+                    )));
+                }
+            }
+        }
+        for &(_, c) in &self.objective {
+            if !c.is_finite() {
+                return Err(SolveError::InvalidModel("non-finite objective coefficient".into()));
+            }
+        }
+        Ok(())
+    }
+
+    /// Maximum absolute violation of rows and bounds at `values`.
+    pub fn violation(&self, values: &[f64]) -> f64 {
+        let mut worst = 0.0f64;
+        for r in &self.rows {
+            let lhs: f64 = r.terms.iter().map(|&(v, c)| c * values[v]).sum();
+            let viol = match r.cmp {
+                Cmp::Le => (lhs - r.rhs).max(0.0),
+                Cmp::Ge => (r.rhs - lhs).max(0.0),
+                Cmp::Eq => (lhs - r.rhs).abs(),
+            };
+            worst = worst.max(viol);
+        }
+        for (c, &x) in self.cols.iter().zip(values) {
+            worst = worst.max(c.lo - x).max(x - c.hi);
+        }
+        worst
+    }
+}

@@ -1,0 +1,68 @@
+//! Solver configuration: tolerances, limits, deadlines.
+
+use std::time::Instant;
+
+/// Absolute numerical tolerances used throughout the solver.
+#[derive(Copy, Clone, Debug, PartialEq)]
+pub struct Tolerances {
+    /// A point is feasible if every row residual and bound violation is below
+    /// this value.
+    pub feasibility: f64,
+    /// A reduced cost smaller in magnitude than this is treated as zero
+    /// (optimality test).
+    pub optimality: f64,
+    /// Tableau entries smaller in magnitude than this are never used as
+    /// pivots.
+    pub pivot: f64,
+    /// An integer variable is integral if within this distance of an integer.
+    pub integrality: f64,
+}
+
+impl Default for Tolerances {
+    fn default() -> Self {
+        Tolerances { feasibility: 1e-7, optimality: 1e-7, pivot: 1e-9, integrality: 1e-6 }
+    }
+}
+
+/// Limits and behaviour switches for [`crate::Model::solve_with`].
+#[derive(Clone, Debug)]
+pub struct SolveOptions {
+    /// Numerical tolerances.
+    pub tolerances: Tolerances,
+    /// Maximum simplex pivots per LP solve. `0` means "scale with model size"
+    /// (`200 · (rows + cols) + 2000`).
+    pub max_pivots: u64,
+    /// Maximum branch-and-bound nodes before giving up with
+    /// [`crate::Status::NodeLimit`].
+    pub max_nodes: u64,
+    /// Wall-clock deadline. When it passes, branch-and-bound returns the
+    /// incumbent with [`crate::Status::TimedOut`] (or
+    /// [`crate::SolveError::Timeout`] if none exists).
+    pub deadline: Option<Instant>,
+}
+
+impl Default for SolveOptions {
+    fn default() -> Self {
+        SolveOptions {
+            tolerances: Tolerances::default(),
+            max_pivots: 0,
+            max_nodes: 20_000_000,
+            deadline: None,
+        }
+    }
+}
+
+impl SolveOptions {
+    /// Options with a wall-clock budget measured from now.
+    pub fn with_budget(budget: std::time::Duration) -> Self {
+        SolveOptions { deadline: Some(Instant::now() + budget), ..Self::default() }
+    }
+
+    pub(crate) fn pivot_cap(&self, rows: usize, cols: usize) -> u64 {
+        if self.max_pivots > 0 {
+            self.max_pivots
+        } else {
+            200 * (rows as u64 + cols as u64) + 2000
+        }
+    }
+}

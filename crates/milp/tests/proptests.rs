@@ -1,0 +1,191 @@
+//! Property-based cross-checks of the LP/MILP solver.
+//!
+//! * Any solution reported `Optimal` must be feasible and must dominate every
+//!   feasible point we can find by sampling.
+//! * Branch-and-bound must agree with brute-force enumeration over all binary
+//!   assignments (each completed by an LP on the continuous remainder).
+
+use itne_milp::{Cmp, LinExpr, Model, Sense, SolveError};
+use proptest::prelude::*;
+
+#[derive(Debug, Clone)]
+struct RandomLp {
+    n: usize,
+    bounds: Vec<(f64, f64)>,
+    rows: Vec<(Vec<f64>, Cmp, f64)>,
+    obj: Vec<f64>,
+    sense: Sense,
+}
+
+fn cmp_strategy() -> impl Strategy<Value = Cmp> {
+    prop_oneof![Just(Cmp::Le), Just(Cmp::Ge), Just(Cmp::Eq)]
+}
+
+fn coef() -> impl Strategy<Value = f64> {
+    // Small integers keep instances well-scaled and make failures readable.
+    (-4i32..=4).prop_map(|v| v as f64)
+}
+
+fn random_lp() -> impl Strategy<Value = RandomLp> {
+    (2usize..=5, 1usize..=4, prop_oneof![Just(Sense::Minimize), Just(Sense::Maximize)])
+        .prop_flat_map(|(n, m, sense)| {
+            let bounds = proptest::collection::vec((-3i32..=0, 0i32..=3), n)
+                .prop_map(|bs| bs.into_iter().map(|(l, h)| (l as f64, h as f64)).collect());
+            let rows = proptest::collection::vec(
+                (proptest::collection::vec(coef(), n), cmp_strategy(), -5i32..=5),
+                m,
+            )
+            .prop_map(|rs| {
+                rs.into_iter()
+                    .map(|(cs, cmp, rhs)| (cs, cmp, rhs as f64))
+                    .collect::<Vec<_>>()
+            });
+            let obj = proptest::collection::vec(coef(), n);
+            (Just(n), bounds, rows, obj, Just(sense))
+        })
+        .prop_map(|(n, bounds, rows, obj, sense)| RandomLp { n, bounds, rows, obj, sense })
+}
+
+fn build(lp: &RandomLp) -> (Model, Vec<itne_milp::VarId>) {
+    let mut m = Model::new();
+    let vars: Vec<_> = lp.bounds.iter().map(|&(l, h)| m.add_var(l, h)).collect();
+    for (cs, cmp, rhs) in &lp.rows {
+        let e = LinExpr::from_terms(vars.iter().copied().zip(cs.iter().copied()), 0.0);
+        m.add_constraint(e, *cmp, *rhs);
+    }
+    let obj = LinExpr::from_terms(vars.iter().copied().zip(lp.obj.iter().copied()), 0.0);
+    m.set_objective(lp.sense, obj);
+    (m, vars)
+}
+
+/// Deterministic low-discrepancy point in the variable box.
+fn sample_point(lp: &RandomLp, k: usize) -> Vec<f64> {
+    lp.bounds
+        .iter()
+        .enumerate()
+        .map(|(j, &(l, h))| {
+            let t = ((k * 2654435761 + j * 40503) % 1000) as f64 / 999.0;
+            l + t * (h - l)
+        })
+        .collect()
+}
+
+fn feasible(lp: &RandomLp, x: &[f64]) -> bool {
+    lp.rows.iter().all(|(cs, cmp, rhs)| {
+        let lhs: f64 = cs.iter().zip(x).map(|(c, v)| c * v).sum();
+        match cmp {
+            Cmp::Le => lhs <= rhs + 1e-9,
+            Cmp::Ge => lhs >= rhs - 1e-9,
+            Cmp::Eq => (lhs - rhs).abs() <= 1e-9,
+        }
+    })
+}
+
+fn objective(lp: &RandomLp, x: &[f64]) -> f64 {
+    lp.obj.iter().zip(x).map(|(c, v)| c * v).sum()
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(256))]
+
+    #[test]
+    fn lp_solutions_are_feasible_and_dominant(lp in random_lp()) {
+        let (model, _) = build(&lp);
+        match model.solve() {
+            Ok(sol) => {
+                prop_assert!(model.violation(sol.values()) < 1e-6,
+                    "reported optimal point violates constraints by {}",
+                    model.violation(sol.values()));
+                // Sampled feasible points must not beat the reported optimum.
+                for k in 0..400 {
+                    let p = sample_point(&lp, k);
+                    if feasible(&lp, &p) {
+                        let v = objective(&lp, &p);
+                        match lp.sense {
+                            Sense::Maximize =>
+                                prop_assert!(v <= sol.objective + 1e-6,
+                                    "sample {v} beats reported max {}", sol.objective),
+                            Sense::Minimize =>
+                                prop_assert!(v >= sol.objective - 1e-6,
+                                    "sample {v} beats reported min {}", sol.objective),
+                        }
+                    }
+                }
+            }
+            Err(SolveError::Infeasible) => {
+                // No sampled point may be feasible. (Equality rows are thin:
+                // samples rarely hit them, so only check inequality-only LPs.)
+                if lp.rows.iter().all(|(_, cmp, _)| *cmp != Cmp::Eq) {
+                    for k in 0..400 {
+                        let p = sample_point(&lp, k);
+                        prop_assert!(!feasible(&lp, &p),
+                            "solver said infeasible but {p:?} is feasible");
+                    }
+                }
+            }
+            Err(SolveError::Unbounded) => {
+                // All variables are boxed, so LPs here are never unbounded.
+                prop_assert!(false, "bounded LP reported unbounded");
+            }
+            Err(e) => prop_assert!(false, "unexpected solver error: {e}"),
+        }
+    }
+
+    #[test]
+    fn min_never_exceeds_max_over_same_feasible_set(lp in random_lp()) {
+        let (mut model, vars) = build(&lp);
+        let e = LinExpr::from_terms(vars.iter().copied().zip(lp.obj.iter().copied()), 0.0);
+        if let Ok((lo, hi)) = model.solve_range(e, &itne_milp::SolveOptions::default()) {
+            prop_assert!(lo <= hi + 1e-9, "min {lo} > max {hi}");
+        }
+    }
+
+    #[test]
+    fn branch_and_bound_matches_binary_enumeration(
+        nb in 2usize..=6,
+        nc in 1usize..=2,
+        rows in proptest::collection::vec(
+            (proptest::collection::vec(-3i32..=3, 8), cmp_strategy(), -4i32..=6), 1..=3),
+        obj in proptest::collection::vec(-3i32..=3, 8),
+    ) {
+        let mut m = Model::new();
+        let bins: Vec<_> = (0..nb).map(|_| m.add_binary()).collect();
+        let conts: Vec<_> = (0..nc).map(|_| m.add_var(-2.0, 2.0)).collect();
+        let all: Vec<_> = bins.iter().chain(&conts).copied().collect();
+        for (cs, cmp, rhs) in &rows {
+            let e = LinExpr::from_terms(
+                all.iter().copied().zip(cs.iter().map(|&c| c as f64)), 0.0);
+            m.add_constraint(e, *cmp, *rhs as f64);
+        }
+        let objective = LinExpr::from_terms(
+            all.iter().copied().zip(obj.iter().map(|&c| c as f64)), 0.0);
+        m.set_objective(Sense::Maximize, objective.clone());
+
+        let got = m.solve();
+
+        // Brute force: fix each binary assignment, solve the continuous rest.
+        let mut best: Option<f64> = None;
+        for mask in 0u32..(1 << nb) {
+            let mut fixed = m.clone();
+            for (i, &b) in bins.iter().enumerate() {
+                let v = ((mask >> i) & 1) as f64;
+                fixed.set_bounds(b, v, v);
+            }
+            if let Ok(s) = fixed.solve() {
+                best = Some(best.map_or(s.objective, |b: f64| b.max(s.objective)));
+            }
+        }
+
+        match (got, best) {
+            (Ok(sol), Some(b)) => prop_assert!(
+                (sol.objective - b).abs() < 1e-5,
+                "B&B {} vs enumeration {b}", sol.objective),
+            (Err(SolveError::Infeasible), None) => {}
+            (Ok(sol), None) => prop_assert!(false,
+                "B&B found {} but enumeration says infeasible", sol.objective),
+            (Err(SolveError::Infeasible), Some(b)) => prop_assert!(false,
+                "B&B says infeasible but enumeration found {b}"),
+            (Err(e), _) => prop_assert!(false, "unexpected error: {e}"),
+        }
+    }
+}

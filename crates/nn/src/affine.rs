@@ -1,0 +1,349 @@
+//! The lowered sparse-affine view of a network, and backward-cone extraction.
+//!
+//! Every certification encoding in `itne-core` works neuron-by-neuron on the
+//! relation `y⁽ⁱ⁾_j = Σ w·x⁽ⁱ⁻¹⁾ + b`, so networks are lowered once into a
+//! stack of [`AffineLayer`]s whose rows are sparse in the previous layer's
+//! outputs. Dense layers lower to dense rows; convolutions and average
+//! pooling lower to *local* rows (a few dozen terms), which is what makes the
+//! paper's network decomposition effective on conv nets: the backward
+//! dependency cone of one neuron over a w-layer window stays small.
+
+use crate::error::NnError;
+use crate::layer::Layer;
+use crate::network::Network;
+use serde::{Deserialize, Serialize};
+
+/// One neuron's affine dependence on the previous layer:
+/// `y = Σ (coef · x_prev[idx]) + bias`.
+#[derive(Clone, Debug, Default, PartialEq, Serialize, Deserialize)]
+pub struct SparseRow {
+    /// `(previous-layer index, coefficient)` pairs, sorted by index.
+    pub terms: Vec<(usize, f64)>,
+    /// Additive bias.
+    pub bias: f64,
+}
+
+impl SparseRow {
+    /// Evaluates the row on the previous layer's output.
+    pub fn eval(&self, prev: &[f64]) -> f64 {
+        let mut acc = self.bias;
+        for &(i, c) in &self.terms {
+            acc += c * prev[i];
+        }
+        acc
+    }
+
+    /// Sum of absolute coefficients (the row's L1 gain, used for distance
+    /// interval propagation).
+    pub fn abs_gain(&self) -> f64 {
+        self.terms.iter().map(|&(_, c)| c.abs()).sum()
+    }
+}
+
+/// An affine layer: `width` rows over the previous layer, with an optional
+/// ReLU applied to every row.
+#[derive(Clone, Debug, PartialEq, Serialize, Deserialize)]
+pub struct AffineLayer {
+    /// One row per neuron.
+    pub rows: Vec<SparseRow>,
+    /// Whether a ReLU follows the affine map.
+    pub relu: bool,
+}
+
+impl AffineLayer {
+    /// Number of neurons.
+    pub fn width(&self) -> usize {
+        self.rows.len()
+    }
+}
+
+/// A network lowered to affine layers (flattens removed, pooling made
+/// explicit). Layer `0` consumes the network input.
+#[derive(Clone, Debug, PartialEq, Serialize, Deserialize)]
+pub struct AffineNetwork {
+    /// Flat input dimension `m₀`.
+    pub input_dim: usize,
+    /// The affine layers in order.
+    pub layers: Vec<AffineLayer>,
+}
+
+impl AffineNetwork {
+    /// Lowers a [`Network`]. Fails only on malformed networks (which the
+    /// builder prevents), so most callers can unwrap.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`NnError::ShapeMismatch`] if layer shapes do not chain.
+    pub fn from_network(net: &Network) -> Result<Self, NnError> {
+        let shapes = net.shapes();
+        let mut layers = Vec::new();
+        for (li, layer) in net.layers().iter().enumerate() {
+            let in_shape = &shapes[li];
+            match layer {
+                Layer::Flatten => continue, // identity on flat data
+                Layer::Dense(d) => {
+                    if in_shape.len() != d.in_dim {
+                        return Err(NnError::ShapeMismatch(format!(
+                            "dense layer {li} expects {} inputs",
+                            d.in_dim
+                        )));
+                    }
+                    let rows = (0..d.out_dim)
+                        .map(|o| SparseRow {
+                            terms: (0..d.in_dim)
+                                .map(|i| (i, d.w(o, i)))
+                                .filter(|&(_, c)| c != 0.0)
+                                .collect(),
+                            bias: d.bias[o],
+                        })
+                        .collect();
+                    layers.push(AffineLayer { rows, relu: d.relu });
+                }
+                Layer::Conv2d(c) => {
+                    let dims = &in_shape.0;
+                    let (h, w) = (dims[1], dims[2]);
+                    let (oh, ow) = c.out_hw(h, w);
+                    let pad = c.padding as isize;
+                    let mut rows = Vec::with_capacity(c.out_c * oh * ow);
+                    for oc in 0..c.out_c {
+                        for oy in 0..oh {
+                            for ox in 0..ow {
+                                let mut terms = Vec::new();
+                                let base_y = (oy * c.stride) as isize - pad;
+                                let base_x = (ox * c.stride) as isize - pad;
+                                for ic in 0..c.in_c {
+                                    for ky in 0..c.kh {
+                                        let iy = base_y + ky as isize;
+                                        if iy < 0 || iy >= h as isize {
+                                            continue;
+                                        }
+                                        for kx in 0..c.kw {
+                                            let ix = base_x + kx as isize;
+                                            if ix < 0 || ix >= w as isize {
+                                                continue;
+                                            }
+                                            let coef = c.kernels[c.k_index(oc, ic, ky, kx)];
+                                            if coef != 0.0 {
+                                                let idx = (ic * h + iy as usize) * w + ix as usize;
+                                                terms.push((idx, coef));
+                                            }
+                                        }
+                                    }
+                                }
+                                terms.sort_by_key(|&(i, _)| i);
+                                rows.push(SparseRow { terms, bias: c.bias[oc] });
+                            }
+                        }
+                    }
+                    layers.push(AffineLayer { rows, relu: c.relu });
+                }
+                Layer::AvgPool2d(p) => {
+                    let dims = &in_shape.0;
+                    let (ch, h, w) = (dims[0], dims[1], dims[2]);
+                    let (oh, ow) = p.out_hw(h, w);
+                    let inv = 1.0 / (p.kernel * p.kernel) as f64;
+                    let mut rows = Vec::with_capacity(ch * oh * ow);
+                    for c in 0..ch {
+                        for oy in 0..oh {
+                            for ox in 0..ow {
+                                let mut terms = Vec::new();
+                                for ky in 0..p.kernel {
+                                    for kx in 0..p.kernel {
+                                        let iy = oy * p.stride + ky;
+                                        let ix = ox * p.stride + kx;
+                                        terms.push(((c * h + iy) * w + ix, inv));
+                                    }
+                                }
+                                terms.sort_by_key(|&(i, _)| i);
+                                rows.push(SparseRow { terms, bias: 0.0 });
+                            }
+                        }
+                    }
+                    layers.push(AffineLayer { rows, relu: false });
+                }
+            }
+        }
+        Ok(AffineNetwork { input_dim: net.input_dim(), layers })
+    }
+
+    /// Number of affine layers `n`.
+    pub fn depth(&self) -> usize {
+        self.layers.len()
+    }
+
+    /// Width `mᵢ` of layer `i` (0-based).
+    pub fn width(&self, layer: usize) -> usize {
+        self.layers[layer].width()
+    }
+
+    /// Output dimension `mₙ`.
+    pub fn output_dim(&self) -> usize {
+        self.layers.last().map(AffineLayer::width).unwrap_or(self.input_dim)
+    }
+
+    /// Forward pass through the lowered form (used to cross-check lowering
+    /// against [`Network::forward`]).
+    pub fn forward(&self, input: &[f64]) -> Vec<f64> {
+        let mut x = input.to_vec();
+        for l in &self.layers {
+            let mut y: Vec<f64> = l.rows.iter().map(|r| r.eval(&x)).collect();
+            if l.relu {
+                for v in &mut y {
+                    *v = v.max(0.0);
+                }
+            }
+            x = y;
+        }
+        x
+    }
+
+    /// Extracts the backward dependency [`Cone`] of neuron `target` in layer
+    /// `layer` (0-based) spanning `window` affine layers — the substrate of
+    /// the paper's `NetDecompose(F, ·, w)`.
+    ///
+    /// The cone records, for each of the `window + 1` involved levels, which
+    /// neuron indices influence the target. Level `0` is the sub-network
+    /// input `x⁽ⁱ⁻ʷ⁾`; level `window` contains only `target`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `layer >= depth()`, `window == 0`, or `window > layer + 1`.
+    pub fn cone(&self, layer: usize, target: usize, window: usize) -> Cone {
+        assert!(layer < self.depth(), "layer out of range");
+        assert!(window >= 1, "window must be at least 1");
+        assert!(window <= layer + 1, "window deeper than available prefix");
+        let mut levels = vec![Vec::new(); window + 1];
+        levels[window] = vec![target];
+        for k in (0..window).rev() {
+            let l = &self.layers[layer - (window - 1 - k)];
+            let mut wanted: Vec<usize> = Vec::new();
+            for &j in &levels[k + 1] {
+                for &(i, _) in &l.rows[j].terms {
+                    wanted.push(i);
+                }
+            }
+            wanted.sort_unstable();
+            wanted.dedup();
+            levels[k] = wanted;
+        }
+        Cone { layer, window, levels }
+    }
+}
+
+/// The backward dependency cone of a single neuron across a window of layers.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct Cone {
+    /// The (0-based) affine layer of the target neuron.
+    pub layer: usize,
+    /// Number of affine layers spanned.
+    pub window: usize,
+    /// `levels[k]` = sorted indices at depth `layer - window + 1 + k - 1`…
+    /// i.e. level 0 indexes `x` entering the sub-network, level `window`
+    /// holds exactly the target neuron.
+    pub levels: Vec<Vec<usize>>,
+}
+
+impl Cone {
+    /// The affine-layer index feeding level `k ∈ 1..=window`.
+    pub fn layer_at(&self, k: usize) -> usize {
+        self.layer + k - self.window
+    }
+
+    /// Total neurons involved (all levels).
+    pub fn size(&self) -> usize {
+        self.levels.iter().map(Vec::len).sum()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::network::NetworkBuilder;
+
+    fn fig1() -> AffineNetwork {
+        let net = NetworkBuilder::input(2)
+            .dense(&[&[1.0, 0.5], &[-0.5, 1.0]], &[0.0, 0.0], true)
+            .unwrap()
+            .dense(&[&[1.0, -1.0]], &[0.0], true)
+            .unwrap()
+            .build();
+        AffineNetwork::from_network(&net).unwrap()
+    }
+
+    #[test]
+    fn lowering_matches_forward() {
+        let net = NetworkBuilder::input(2)
+            .dense(&[&[1.0, 0.5], &[-0.5, 1.0]], &[0.1, -0.2], true)
+            .unwrap()
+            .dense(&[&[1.0, -1.0]], &[0.3], false)
+            .unwrap()
+            .build();
+        let aff = AffineNetwork::from_network(&net).unwrap();
+        for p in [[0.3, -0.4], [1.0, 1.0], [-1.0, 0.5]] {
+            assert_eq!(aff.forward(&p), net.forward(&p));
+        }
+    }
+
+    #[test]
+    fn flatten_disappears() {
+        let net = NetworkBuilder::input_image(1, 2, 2)
+            .conv2d(1, 1, 1, 0, true)
+            .unwrap()
+            .flatten()
+            .unwrap()
+            .dense_zeros(3, false)
+            .unwrap()
+            .build();
+        let aff = AffineNetwork::from_network(&net).unwrap();
+        assert_eq!(aff.depth(), 2);
+        assert_eq!(aff.width(0), 4);
+        assert_eq!(aff.width(1), 3);
+    }
+
+    #[test]
+    fn conv_rows_are_local() {
+        let mut net = NetworkBuilder::input_image(1, 6, 6).conv2d(2, 3, 1, 0, true).unwrap().build();
+        // Give the conv non-zero weights so terms survive.
+        if let crate::layer::Layer::Conv2d(c) = &mut net.layers_mut()[0] {
+            c.kernels.iter_mut().enumerate().for_each(|(i, k)| *k = 1.0 + i as f64);
+        }
+        let aff = AffineNetwork::from_network(&net).unwrap();
+        // Every conv row touches exactly kh·kw·in_c = 9 inputs.
+        for r in &aff.layers[0].rows {
+            assert_eq!(r.terms.len(), 9);
+        }
+    }
+
+    #[test]
+    fn cone_of_fc_layer_is_everything() {
+        let aff = fig1();
+        let cone = aff.cone(1, 0, 2);
+        assert_eq!(cone.levels[0], vec![0, 1]); // both inputs
+        assert_eq!(cone.levels[1], vec![0, 1]); // both hidden neurons
+        assert_eq!(cone.levels[2], vec![0]);
+    }
+
+    #[test]
+    fn cone_of_conv_is_receptive_field() {
+        let net = NetworkBuilder::input_image(1, 5, 5)
+            .conv2d(1, 3, 1, 0, true)
+            .unwrap()
+            .build();
+        let mut net = net;
+        if let crate::layer::Layer::Conv2d(c) = &mut net.layers_mut()[0] {
+            c.kernels.iter_mut().for_each(|k| *k = 1.0);
+        }
+        let aff = AffineNetwork::from_network(&net).unwrap();
+        // Output (0,0) depends on the 3×3 patch at the top-left.
+        let cone = aff.cone(0, 0, 1);
+        assert_eq!(cone.levels[0], vec![0, 1, 2, 5, 6, 7, 10, 11, 12]);
+    }
+
+    #[test]
+    fn avgpool_lowers_to_uniform_weights() {
+        let net = NetworkBuilder::input_image(1, 2, 2).avg_pool(2, 2).unwrap().build();
+        let aff = AffineNetwork::from_network(&net).unwrap();
+        assert_eq!(aff.layers[0].rows[0].terms, vec![(0, 0.25), (1, 0.25), (2, 0.25), (3, 0.25)]);
+        assert_eq!(aff.forward(&[1.0, 2.0, 3.0, 4.0]), vec![2.5]);
+    }
+}

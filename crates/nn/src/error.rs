@@ -1,0 +1,28 @@
+//! Error type for network construction and serialization.
+
+use std::error::Error;
+use std::fmt;
+
+/// Errors raised while building, lowering, or (de)serializing networks.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum NnError {
+    /// Layer input size does not match the previous layer's output size.
+    ShapeMismatch(String),
+    /// A layer parameter is structurally invalid (e.g. empty weight matrix,
+    /// ragged rows, zero stride).
+    InvalidLayer(String),
+    /// Serialized model could not be parsed.
+    Parse(String),
+}
+
+impl fmt::Display for NnError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            NnError::ShapeMismatch(why) => write!(f, "shape mismatch: {why}"),
+            NnError::InvalidLayer(why) => write!(f, "invalid layer: {why}"),
+            NnError::Parse(why) => write!(f, "parse error: {why}"),
+        }
+    }
+}
+
+impl Error for NnError {}

@@ -1,0 +1,95 @@
+//! Weight initialization.
+
+use crate::layer::Layer;
+use crate::network::Network;
+use rand::rngs::StdRng;
+use rand::{RngExt, SeedableRng};
+
+/// Weight-initialization schemes.
+#[derive(Copy, Clone, Debug, PartialEq, Eq)]
+pub enum WeightInit {
+    /// He (Kaiming) uniform — suited to ReLU layers.
+    HeUniform,
+    /// Glorot (Xavier) uniform — suited to linear outputs.
+    GlorotUniform,
+}
+
+impl WeightInit {
+    fn limit(self, fan_in: usize, fan_out: usize) -> f64 {
+        match self {
+            WeightInit::HeUniform => (6.0 / fan_in as f64).sqrt(),
+            WeightInit::GlorotUniform => (6.0 / (fan_in + fan_out) as f64).sqrt(),
+        }
+    }
+}
+
+/// Initializes every trainable layer of `net` in place, deterministically
+/// from `seed`. ReLU layers get He-uniform weights, linear layers
+/// Glorot-uniform; biases start at zero.
+pub fn initialize(net: &mut Network, seed: u64) {
+    let mut rng = StdRng::seed_from_u64(seed);
+    for layer in net.layers_mut() {
+        match layer {
+            Layer::Dense(d) => {
+                let scheme =
+                    if d.relu { WeightInit::HeUniform } else { WeightInit::GlorotUniform };
+                let lim = scheme.limit(d.in_dim, d.out_dim);
+                for w in &mut d.weights {
+                    *w = rng.random_range(-lim..lim);
+                }
+                d.bias.iter_mut().for_each(|b| *b = 0.0);
+            }
+            Layer::Conv2d(c) => {
+                let fan_in = c.in_c * c.kh * c.kw;
+                let fan_out = c.out_c * c.kh * c.kw;
+                let scheme =
+                    if c.relu { WeightInit::HeUniform } else { WeightInit::GlorotUniform };
+                let lim = scheme.limit(fan_in, fan_out);
+                for k in &mut c.kernels {
+                    *k = rng.random_range(-lim..lim);
+                }
+                c.bias.iter_mut().for_each(|b| *b = 0.0);
+            }
+            Layer::AvgPool2d(_) | Layer::Flatten => {}
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::network::NetworkBuilder;
+
+    #[test]
+    fn initialization_is_deterministic() {
+        let build = || {
+            NetworkBuilder::input(4)
+                .dense_zeros(8, true)
+                .unwrap()
+                .dense_zeros(1, false)
+                .unwrap()
+                .build()
+        };
+        let mut a = build();
+        let mut b = build();
+        initialize(&mut a, 42);
+        initialize(&mut b, 42);
+        assert_eq!(a, b);
+        let mut c = build();
+        initialize(&mut c, 43);
+        assert_ne!(a, c);
+    }
+
+    #[test]
+    fn weights_are_bounded_by_he_limit() {
+        let mut net = NetworkBuilder::input(9).dense_zeros(4, true).unwrap().build();
+        initialize(&mut net, 7);
+        let lim = (6.0f64 / 9.0).sqrt();
+        if let Layer::Dense(d) = &net.layers()[0] {
+            assert!(d.weights.iter().all(|w| w.abs() <= lim));
+            assert!(d.weights.iter().any(|w| *w != 0.0));
+        } else {
+            panic!("expected dense layer");
+        }
+    }
+}

@@ -1,0 +1,65 @@
+//! Model (de)serialization as JSON, so benchmark binaries can reuse trained
+//! networks deterministically without retraining.
+
+use crate::error::NnError;
+use crate::network::Network;
+use std::fs;
+use std::path::Path;
+
+impl Network {
+    /// Serializes the network to a JSON string.
+    pub fn to_json(&self) -> String {
+        serde_json::to_string(self).expect("network serialization cannot fail")
+    }
+
+    /// Parses a network from JSON.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`NnError::Parse`] on malformed input.
+    pub fn from_json(s: &str) -> Result<Self, NnError> {
+        serde_json::from_str(s).map_err(|e| NnError::Parse(e.to_string()))
+    }
+
+    /// Saves the network to a file as JSON.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`NnError::Parse`] wrapping any I/O failure.
+    pub fn save(&self, path: impl AsRef<Path>) -> Result<(), NnError> {
+        fs::write(path, self.to_json()).map_err(|e| NnError::Parse(e.to_string()))
+    }
+
+    /// Loads a network previously written by [`Network::save`].
+    ///
+    /// # Errors
+    ///
+    /// Returns [`NnError::Parse`] on I/O or parse failure.
+    pub fn load(path: impl AsRef<Path>) -> Result<Self, NnError> {
+        let s = fs::read_to_string(path).map_err(|e| NnError::Parse(e.to_string()))?;
+        Self::from_json(&s)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use crate::network::NetworkBuilder;
+    use crate::Network;
+
+    #[test]
+    fn json_round_trip_preserves_network() {
+        let net = NetworkBuilder::input(2)
+            .dense(&[&[1.0, 0.5], &[-0.5, 1.0]], &[0.25, -0.75], true)
+            .unwrap()
+            .dense(&[&[1.0, -1.0]], &[0.0], false)
+            .unwrap()
+            .build();
+        let back = Network::from_json(&net.to_json()).unwrap();
+        assert_eq!(net, back);
+    }
+
+    #[test]
+    fn malformed_json_is_a_parse_error() {
+        assert!(Network::from_json("{not json").is_err());
+    }
+}

@@ -1,0 +1,390 @@
+//! Layer types and their forward passes.
+//!
+//! Every layer computes a linear map `y = W·x + b` (dense, convolution, and
+//! average pooling are all linear; flatten is the identity), optionally
+//! followed by a ReLU — exactly the layer model the paper's encodings assume.
+
+use crate::error::NnError;
+use crate::tensor::{Shape, Tensor};
+use serde::{Deserialize, Serialize};
+
+/// Fully-connected layer `y = W·x + b` with optional ReLU.
+#[derive(Clone, Debug, PartialEq, Serialize, Deserialize)]
+pub struct Dense {
+    /// Row-major weights, `out_dim × in_dim`.
+    pub weights: Vec<f64>,
+    /// Bias, length `out_dim`.
+    pub bias: Vec<f64>,
+    /// Input dimension.
+    pub in_dim: usize,
+    /// Output dimension.
+    pub out_dim: usize,
+    /// Apply ReLU after the affine map.
+    pub relu: bool,
+}
+
+impl Dense {
+    /// Builds a dense layer from per-output-row weight slices.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`NnError::InvalidLayer`] for empty or ragged weights, or a
+    /// bias of the wrong length.
+    pub fn new(rows: &[&[f64]], bias: &[f64], relu: bool) -> Result<Self, NnError> {
+        if rows.is_empty() || rows[0].is_empty() {
+            return Err(NnError::InvalidLayer("dense layer needs a non-empty weight matrix".into()));
+        }
+        let in_dim = rows[0].len();
+        if rows.iter().any(|r| r.len() != in_dim) {
+            return Err(NnError::InvalidLayer("ragged dense weight rows".into()));
+        }
+        if bias.len() != rows.len() {
+            return Err(NnError::InvalidLayer(format!(
+                "bias length {} != output dim {}",
+                bias.len(),
+                rows.len()
+            )));
+        }
+        Ok(Dense {
+            weights: rows.iter().flat_map(|r| r.iter().copied()).collect(),
+            bias: bias.to_vec(),
+            in_dim,
+            out_dim: rows.len(),
+            relu,
+        })
+    }
+
+    /// Weight `W[o][i]`.
+    #[inline]
+    pub fn w(&self, o: usize, i: usize) -> f64 {
+        self.weights[o * self.in_dim + i]
+    }
+}
+
+/// 2-D convolution over `[channels, height, width]` tensors, with optional
+/// zero padding and ReLU.
+#[derive(Clone, Debug, PartialEq, Serialize, Deserialize)]
+pub struct Conv2d {
+    /// Kernels, flat `[out_c][in_c][kh][kw]`.
+    pub kernels: Vec<f64>,
+    /// Bias per output channel.
+    pub bias: Vec<f64>,
+    /// Input channels.
+    pub in_c: usize,
+    /// Output channels.
+    pub out_c: usize,
+    /// Kernel height.
+    pub kh: usize,
+    /// Kernel width.
+    pub kw: usize,
+    /// Stride (same in both dimensions).
+    pub stride: usize,
+    /// Zero padding (same on all sides).
+    pub padding: usize,
+    /// Apply ReLU after the affine map.
+    pub relu: bool,
+}
+
+impl Conv2d {
+    /// A convolution with given geometry and all-zero parameters (fill via
+    /// [`crate::WeightInit`] or training).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`NnError::InvalidLayer`] for zero-sized geometry.
+    pub fn zeros(
+        in_c: usize,
+        out_c: usize,
+        kh: usize,
+        kw: usize,
+        stride: usize,
+        padding: usize,
+        relu: bool,
+    ) -> Result<Self, NnError> {
+        if in_c == 0 || out_c == 0 || kh == 0 || kw == 0 || stride == 0 {
+            return Err(NnError::InvalidLayer("conv2d geometry must be positive".into()));
+        }
+        Ok(Conv2d {
+            kernels: vec![0.0; out_c * in_c * kh * kw],
+            bias: vec![0.0; out_c],
+            in_c,
+            out_c,
+            kh,
+            kw,
+            stride,
+            padding,
+            relu,
+        })
+    }
+
+    /// Kernel element `K[oc][ic][ky][kx]`.
+    #[inline]
+    pub fn k(&self, oc: usize, ic: usize, ky: usize, kx: usize) -> f64 {
+        self.kernels[((oc * self.in_c + ic) * self.kh + ky) * self.kw + kx]
+    }
+
+    #[inline]
+    pub(crate) fn k_index(&self, oc: usize, ic: usize, ky: usize, kx: usize) -> usize {
+        ((oc * self.in_c + ic) * self.kh + ky) * self.kw + kx
+    }
+
+    /// Output spatial size for an input of `h × w`.
+    pub fn out_hw(&self, h: usize, w: usize) -> (usize, usize) {
+        let oh = (h + 2 * self.padding - self.kh) / self.stride + 1;
+        let ow = (w + 2 * self.padding - self.kw) / self.stride + 1;
+        (oh, ow)
+    }
+}
+
+/// Average pooling over `[channels, height, width]` tensors (a linear layer
+/// with fixed `1/k²` weights; never has a ReLU of its own).
+#[derive(Clone, Debug, PartialEq, Serialize, Deserialize)]
+pub struct AvgPool2d {
+    /// Pooling window (square).
+    pub kernel: usize,
+    /// Stride (same in both dimensions).
+    pub stride: usize,
+}
+
+impl AvgPool2d {
+    /// Output spatial size for an input of `h × w`.
+    pub fn out_hw(&self, h: usize, w: usize) -> (usize, usize) {
+        ((h - self.kernel) / self.stride + 1, (w - self.kernel) / self.stride + 1)
+    }
+}
+
+/// A network layer.
+#[derive(Clone, Debug, PartialEq, Serialize, Deserialize)]
+pub enum Layer {
+    /// Fully-connected.
+    Dense(Dense),
+    /// 2-D convolution.
+    Conv2d(Conv2d),
+    /// Average pooling.
+    AvgPool2d(AvgPool2d),
+    /// Shape-only flatten to rank 1.
+    Flatten,
+}
+
+impl Layer {
+    /// Whether the layer ends with a ReLU activation.
+    pub fn has_relu(&self) -> bool {
+        match self {
+            Layer::Dense(d) => d.relu,
+            Layer::Conv2d(c) => c.relu,
+            Layer::AvgPool2d(_) | Layer::Flatten => false,
+        }
+    }
+
+    /// Number of trainable parameters.
+    pub fn num_params(&self) -> usize {
+        match self {
+            Layer::Dense(d) => d.weights.len() + d.bias.len(),
+            Layer::Conv2d(c) => c.kernels.len() + c.bias.len(),
+            Layer::AvgPool2d(_) | Layer::Flatten => 0,
+        }
+    }
+
+    /// Output shape for a given input shape.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`NnError::ShapeMismatch`] if the layer cannot accept the
+    /// input shape.
+    pub fn output_shape(&self, input: &Shape) -> Result<Shape, NnError> {
+        match self {
+            Layer::Dense(d) => {
+                if input.len() != d.in_dim {
+                    return Err(NnError::ShapeMismatch(format!(
+                        "dense expects {} inputs, got shape {input}",
+                        d.in_dim
+                    )));
+                }
+                Ok(Shape(vec![d.out_dim]))
+            }
+            Layer::Conv2d(c) => {
+                let dims = &input.0;
+                if dims.len() != 3 || dims[0] != c.in_c {
+                    return Err(NnError::ShapeMismatch(format!(
+                        "conv2d expects [{}, h, w], got {input}",
+                        c.in_c
+                    )));
+                }
+                let (h, w) = (dims[1], dims[2]);
+                if h + 2 * c.padding < c.kh || w + 2 * c.padding < c.kw {
+                    return Err(NnError::ShapeMismatch(format!(
+                        "conv2d kernel {}×{} larger than padded input {input}",
+                        c.kh, c.kw
+                    )));
+                }
+                let (oh, ow) = c.out_hw(h, w);
+                Ok(Shape(vec![c.out_c, oh, ow]))
+            }
+            Layer::AvgPool2d(p) => {
+                let dims = &input.0;
+                if dims.len() != 3 || dims[1] < p.kernel || dims[2] < p.kernel {
+                    return Err(NnError::ShapeMismatch(format!(
+                        "avgpool {}×{} cannot pool input {input}",
+                        p.kernel, p.kernel
+                    )));
+                }
+                let (oh, ow) = p.out_hw(dims[1], dims[2]);
+                Ok(Shape(vec![dims[0], oh, ow]))
+            }
+            Layer::Flatten => Ok(Shape(vec![input.len()])),
+        }
+    }
+
+    /// Computes the pre-activation `y = W·x + b` (the post-activation output
+    /// is `relu(y)` when [`Layer::has_relu`] is set, `y` otherwise).
+    pub fn forward_pre(&self, x: &Tensor) -> Tensor {
+        match self {
+            Layer::Dense(d) => {
+                let xin = x.data();
+                let mut y = vec![0.0f64; d.out_dim];
+                for o in 0..d.out_dim {
+                    let row = &d.weights[o * d.in_dim..(o + 1) * d.in_dim];
+                    let mut acc = d.bias[o];
+                    for (wv, xv) in row.iter().zip(xin) {
+                        acc += wv * xv;
+                    }
+                    y[o] = acc;
+                }
+                Tensor::from_vec(vec![d.out_dim], y)
+            }
+            Layer::Conv2d(c) => {
+                let dims = &x.shape().0;
+                let (h, w) = (dims[1], dims[2]);
+                let (oh, ow) = c.out_hw(h, w);
+                let mut out = Tensor::zeros(vec![c.out_c, oh, ow]);
+                let pad = c.padding as isize;
+                for oc in 0..c.out_c {
+                    for oy in 0..oh {
+                        for ox in 0..ow {
+                            let mut acc = c.bias[oc];
+                            let base_y = (oy * c.stride) as isize - pad;
+                            let base_x = (ox * c.stride) as isize - pad;
+                            for ic in 0..c.in_c {
+                                for ky in 0..c.kh {
+                                    let iy = base_y + ky as isize;
+                                    if iy < 0 || iy >= h as isize {
+                                        continue;
+                                    }
+                                    for kx in 0..c.kw {
+                                        let ix = base_x + kx as isize;
+                                        if ix < 0 || ix >= w as isize {
+                                            continue;
+                                        }
+                                        acc += c.k(oc, ic, ky, kx)
+                                            * x.at3(ic, iy as usize, ix as usize);
+                                    }
+                                }
+                            }
+                            *out.at3_mut(oc, oy, ox) = acc;
+                        }
+                    }
+                }
+                out
+            }
+            Layer::AvgPool2d(p) => {
+                let dims = &x.shape().0;
+                let (ch, h, w) = (dims[0], dims[1], dims[2]);
+                let (oh, ow) = p.out_hw(h, w);
+                let inv = 1.0 / (p.kernel * p.kernel) as f64;
+                let mut out = Tensor::zeros(vec![ch, oh, ow]);
+                for c in 0..ch {
+                    for oy in 0..oh {
+                        for ox in 0..ow {
+                            let mut acc = 0.0;
+                            for ky in 0..p.kernel {
+                                for kx in 0..p.kernel {
+                                    acc += x.at3(c, oy * p.stride + ky, ox * p.stride + kx);
+                                }
+                            }
+                            *out.at3_mut(c, oy, ox) = acc * inv;
+                        }
+                    }
+                }
+                out
+            }
+            Layer::Flatten => {
+                let n = x.shape().len();
+                x.clone().reshape(vec![n])
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn dense_forward_matches_hand_computation() {
+        let d = Dense::new(&[&[1.0, 2.0], &[3.0, -1.0]], &[0.5, -0.5], false).unwrap();
+        let y = Layer::Dense(d).forward_pre(&Tensor::from_slice(&[2.0, 1.0]));
+        assert_eq!(y.data(), &[1.0 * 2.0 + 2.0 * 1.0 + 0.5, 3.0 * 2.0 - 1.0 - 0.5]);
+    }
+
+    #[test]
+    fn dense_rejects_ragged_rows() {
+        assert!(Dense::new(&[&[1.0, 2.0], &[3.0]], &[0.0, 0.0], false).is_err());
+    }
+
+    #[test]
+    fn conv_identity_kernel_shifts_nothing() {
+        // 1×1 kernel with weight 1 is the identity.
+        let mut c = Conv2d::zeros(1, 1, 1, 1, 1, 0, false).unwrap();
+        c.kernels[0] = 1.0;
+        let x = Tensor::from_vec(vec![1, 2, 2], vec![1.0, 2.0, 3.0, 4.0]);
+        let y = Layer::Conv2d(c).forward_pre(&x);
+        assert_eq!(y.data(), x.data());
+    }
+
+    #[test]
+    fn conv_3x3_sum_kernel() {
+        // 3×3 all-ones kernel, no padding: single output = sum of inputs.
+        let mut c = Conv2d::zeros(1, 1, 3, 3, 1, 0, false).unwrap();
+        c.kernels.iter_mut().for_each(|k| *k = 1.0);
+        let x = Tensor::from_vec(vec![1, 3, 3], (1..=9).map(f64::from).collect());
+        let y = Layer::Conv2d(c).forward_pre(&x);
+        assert_eq!(y.data(), &[45.0]);
+    }
+
+    #[test]
+    fn conv_padding_and_stride_geometry() {
+        let c = Conv2d::zeros(1, 2, 3, 3, 2, 1, true).unwrap();
+        let out = Layer::Conv2d(c)
+            .output_shape(&Shape(vec![1, 5, 5]))
+            .unwrap();
+        // (5 + 2 - 3)/2 + 1 = 3
+        assert_eq!(out.0, vec![2, 3, 3]);
+    }
+
+    #[test]
+    fn conv_padding_values_are_zero() {
+        // 3×3 ones kernel with padding 1 at a corner sees only 4 real cells.
+        let mut c = Conv2d::zeros(1, 1, 3, 3, 1, 1, false).unwrap();
+        c.kernels.iter_mut().for_each(|k| *k = 1.0);
+        let x = Tensor::from_vec(vec![1, 2, 2], vec![1.0, 2.0, 3.0, 4.0]);
+        let y = Layer::Conv2d(c).forward_pre(&x);
+        // Corner output (0,0): cells (0,0),(0,1),(1,0),(1,1) = 10.
+        assert_eq!(y.at3(0, 0, 0), 10.0);
+    }
+
+    #[test]
+    fn avgpool_averages_windows() {
+        let p = AvgPool2d { kernel: 2, stride: 2 };
+        let x = Tensor::from_vec(vec![1, 2, 4], vec![1.0, 3.0, 5.0, 7.0, 1.0, 3.0, 5.0, 7.0]);
+        let y = Layer::AvgPool2d(p).forward_pre(&x);
+        assert_eq!(y.data(), &[2.0, 6.0]);
+    }
+
+    #[test]
+    fn flatten_keeps_data_order() {
+        let x = Tensor::from_vec(vec![2, 1, 2], vec![1.0, 2.0, 3.0, 4.0]);
+        let y = Layer::Flatten.forward_pre(&x);
+        assert_eq!(y.shape().0, vec![4]);
+        assert_eq!(y.data(), &[1.0, 2.0, 3.0, 4.0]);
+    }
+}

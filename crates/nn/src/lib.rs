@@ -1,0 +1,51 @@
+//! Neural-network substrate for the ITNE global-robustness certifier.
+//!
+//! The paper models its networks in TensorFlow; this crate replaces that
+//! dependency with a small, self-contained f64 implementation providing
+//! exactly what the certification pipeline needs:
+//!
+//! * [`Network`] / [`Layer`] — fully-connected, 2-D convolution, average
+//!   pooling and flatten layers, each with an optional ReLU, matching the
+//!   paper's layer model `x⁽ⁱ⁾ = relu(W⁽ⁱ⁾ x⁽ⁱ⁻¹⁾ + b⁽ⁱ⁾)`;
+//! * [`AffineNetwork`] — the lowered sparse-affine view of a network used by
+//!   every encoder in `itne-core` (each neuron as a sparse row over the
+//!   previous layer), plus backward-cone extraction for network
+//!   decomposition;
+//! * [`train`] — plain backpropagation with SGD/Adam, MSE and softmax
+//!   cross-entropy, sufficient to produce realistically-trained weights for
+//!   the experiments;
+//! * gradients with respect to the *input*, required by the FGSM/PGD attacks
+//!   in `itne-attack`.
+//!
+//! ```
+//! use itne_nn::NetworkBuilder;
+//!
+//! # fn main() -> Result<(), itne_nn::NnError> {
+//! // The paper's Fig. 1 network: 2 → 2 (ReLU) → 1 (ReLU), zero bias.
+//! let net = NetworkBuilder::input(2)
+//!     .dense(&[&[1.0, 0.5], &[-0.5, 1.0]], &[0.0, 0.0], true)?
+//!     .dense(&[&[1.0, -1.0]], &[0.0], true)?
+//!     .build();
+//! let y = net.forward(&[1.0, 1.0]);
+//! assert_eq!(y, vec![1.0]); // relu(1.5) - relu(0.5) = 1 → relu(1) = 1
+//! # Ok(())
+//! # }
+//! ```
+
+#![forbid(unsafe_code)]
+
+mod affine;
+mod error;
+mod init;
+mod io;
+mod layer;
+mod network;
+mod tensor;
+pub mod train;
+
+pub use affine::{AffineLayer, AffineNetwork, Cone, SparseRow};
+pub use error::NnError;
+pub use init::{initialize, WeightInit};
+pub use layer::{AvgPool2d, Conv2d, Dense, Layer};
+pub use network::{Network, NetworkBuilder};
+pub use tensor::{Shape, Tensor};

@@ -1,0 +1,300 @@
+//! Networks: ordered layer stacks with shape checking and a builder.
+
+use crate::error::NnError;
+use crate::layer::{AvgPool2d, Conv2d, Dense, Layer};
+use crate::tensor::{Shape, Tensor};
+use serde::{Deserialize, Serialize};
+
+/// A feed-forward network `F : R^{m₀} → R^{mₙ}` as in the paper's §II-A:
+/// each layer is a linear transformation with an optional ReLU.
+#[derive(Clone, Debug, PartialEq, Serialize, Deserialize)]
+pub struct Network {
+    input_shape: Shape,
+    layers: Vec<Layer>,
+}
+
+impl Network {
+    /// The input shape.
+    pub fn input_shape(&self) -> &Shape {
+        &self.input_shape
+    }
+
+    /// Flat input dimension `m₀`.
+    pub fn input_dim(&self) -> usize {
+        self.input_shape.len()
+    }
+
+    /// Flat output dimension `mₙ`.
+    pub fn output_dim(&self) -> usize {
+        self.shapes().last().map(Shape::len).unwrap_or(0)
+    }
+
+    /// The layers in order.
+    pub fn layers(&self) -> &[Layer] {
+        &self.layers
+    }
+
+    /// Mutable layer access (used by training).
+    pub fn layers_mut(&mut self) -> &mut [Layer] {
+        &mut self.layers
+    }
+
+    /// Shapes after each layer (length `layers() + 1`, starting with the
+    /// input shape).
+    pub fn shapes(&self) -> Vec<Shape> {
+        let mut out = vec![self.input_shape.clone()];
+        for l in &self.layers {
+            let next = l
+                .output_shape(out.last().expect("non-empty"))
+                .expect("network was shape-checked at construction");
+            out.push(next);
+        }
+        out
+    }
+
+    /// Total hidden neurons — outputs of every layer except the last, not
+    /// counting shape-only flattens (the quantity reported in the paper's
+    /// Table I).
+    pub fn hidden_neurons(&self) -> usize {
+        let shapes = self.shapes();
+        self.layers
+            .iter()
+            .enumerate()
+            .take(self.layers.len().saturating_sub(1))
+            .filter(|(_, l)| !matches!(l, Layer::Flatten))
+            .map(|(i, _)| shapes[i + 1].len())
+            .sum()
+    }
+
+    /// Total trainable parameters.
+    pub fn num_params(&self) -> usize {
+        self.layers.iter().map(Layer::num_params).sum()
+    }
+
+    /// Runs the network on a flat input slice, returning the flat output.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `input.len()` differs from [`Network::input_dim`].
+    pub fn forward(&self, input: &[f64]) -> Vec<f64> {
+        assert_eq!(input.len(), self.input_dim(), "input length mismatch");
+        let mut x = Tensor::from_vec(self.input_shape.clone(), input.to_vec());
+        for l in &self.layers {
+            let mut y = l.forward_pre(&x);
+            if l.has_relu() {
+                y.map_inplace(|v| v.max(0.0));
+            }
+            x = y;
+        }
+        x.into_vec()
+    }
+
+    /// Forward pass retaining every pre-activation `y⁽ⁱ⁾` and post-activation
+    /// `x⁽ⁱ⁾` (index 0 is the input) — the trace consumed by backprop and by
+    /// certification tests.
+    pub fn forward_trace(&self, input: &[f64]) -> Trace {
+        assert_eq!(input.len(), self.input_dim(), "input length mismatch");
+        let x0 = Tensor::from_vec(self.input_shape.clone(), input.to_vec());
+        let mut pre = Vec::with_capacity(self.layers.len());
+        let mut post = vec![x0];
+        for l in &self.layers {
+            let y = l.forward_pre(post.last().expect("non-empty"));
+            let mut x = y.clone();
+            if l.has_relu() {
+                x.map_inplace(|v| v.max(0.0));
+            }
+            pre.push(y);
+            post.push(x);
+        }
+        Trace { pre, post }
+    }
+}
+
+/// Pre-/post-activation tensors of one forward pass.
+#[derive(Clone, Debug)]
+pub struct Trace {
+    /// `pre[i]` = `y⁽ⁱ⁺¹⁾` (pre-activation of layer i).
+    pub pre: Vec<Tensor>,
+    /// `post[0]` = input; `post[i+1]` = `x⁽ⁱ⁺¹⁾` (post-activation of layer i).
+    pub post: Vec<Tensor>,
+}
+
+impl Trace {
+    /// The network output.
+    pub fn output(&self) -> &[f64] {
+        self.post.last().expect("trace has at least the input").data()
+    }
+}
+
+/// Incremental, shape-checked [`Network`] construction.
+///
+/// ```
+/// use itne_nn::NetworkBuilder;
+/// # fn main() -> Result<(), itne_nn::NnError> {
+/// let net = NetworkBuilder::input(3)
+///     .dense(&[&[1.0, 0.0, 1.0]], &[0.0], true)?
+///     .build();
+/// assert_eq!(net.output_dim(), 1);
+/// # Ok(())
+/// # }
+/// ```
+#[derive(Clone, Debug)]
+pub struct NetworkBuilder {
+    input_shape: Shape,
+    current: Shape,
+    layers: Vec<Layer>,
+}
+
+impl NetworkBuilder {
+    /// Starts a network with a flat input of `dim` features.
+    pub fn input(dim: usize) -> Self {
+        let s = Shape(vec![dim]);
+        NetworkBuilder { input_shape: s.clone(), current: s, layers: Vec::new() }
+    }
+
+    /// Starts a network with an image input `[channels, height, width]`.
+    pub fn input_image(channels: usize, height: usize, width: usize) -> Self {
+        let s = Shape(vec![channels, height, width]);
+        NetworkBuilder { input_shape: s.clone(), current: s, layers: Vec::new() }
+    }
+
+    fn push(mut self, layer: Layer) -> Result<Self, NnError> {
+        self.current = layer.output_shape(&self.current)?;
+        self.layers.push(layer);
+        Ok(self)
+    }
+
+    /// Appends a dense layer with explicit weights (one slice per output row).
+    ///
+    /// # Errors
+    ///
+    /// Fails if the weights are ragged or do not match the current shape.
+    pub fn dense(self, rows: &[&[f64]], bias: &[f64], relu: bool) -> Result<Self, NnError> {
+        self.push(Layer::Dense(Dense::new(rows, bias, relu)?))
+    }
+
+    /// Appends a zero-initialized dense layer of `out_dim` outputs.
+    ///
+    /// # Errors
+    ///
+    /// Fails if the current shape is not flat-compatible.
+    pub fn dense_zeros(self, out_dim: usize, relu: bool) -> Result<Self, NnError> {
+        let in_dim = self.current.len();
+        let d = Dense {
+            weights: vec![0.0; out_dim * in_dim],
+            bias: vec![0.0; out_dim],
+            in_dim,
+            out_dim,
+            relu,
+        };
+        self.push(Layer::Dense(d))
+    }
+
+    /// Appends a zero-initialized convolution.
+    ///
+    /// # Errors
+    ///
+    /// Fails if the current shape is not `[in_c, h, w]` or geometry is
+    /// invalid.
+    pub fn conv2d(
+        self,
+        out_c: usize,
+        kernel: usize,
+        stride: usize,
+        padding: usize,
+        relu: bool,
+    ) -> Result<Self, NnError> {
+        let in_c = match self.current.0.as_slice() {
+            [c, _, _] => *c,
+            _ => {
+                return Err(NnError::ShapeMismatch(format!(
+                    "conv2d needs an image input, current shape {}",
+                    self.current
+                )))
+            }
+        };
+        self.push(Layer::Conv2d(Conv2d::zeros(in_c, out_c, kernel, kernel, stride, padding, relu)?))
+    }
+
+    /// Appends an average-pooling layer.
+    ///
+    /// # Errors
+    ///
+    /// Fails if the current shape cannot be pooled.
+    pub fn avg_pool(self, kernel: usize, stride: usize) -> Result<Self, NnError> {
+        self.push(Layer::AvgPool2d(AvgPool2d { kernel, stride }))
+    }
+
+    /// Appends a flatten layer.
+    ///
+    /// # Errors
+    ///
+    /// Never fails in practice (any shape flattens); kept fallible for
+    /// builder uniformity.
+    pub fn flatten(self) -> Result<Self, NnError> {
+        self.push(Layer::Flatten)
+    }
+
+    /// Finalizes the network.
+    pub fn build(self) -> Network {
+        Network { input_shape: self.input_shape, layers: self.layers }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn fig1_network() -> Network {
+        NetworkBuilder::input(2)
+            .dense(&[&[1.0, 0.5], &[-0.5, 1.0]], &[0.0, 0.0], true)
+            .unwrap()
+            .dense(&[&[1.0, -1.0]], &[0.0], true)
+            .unwrap()
+            .build()
+    }
+
+    #[test]
+    fn fig1_forward_values() {
+        let net = fig1_network();
+        // x = (1, 0): y1 = (1, -0.5) → x1 = (1, 0) → y2 = 1 → 1.
+        assert_eq!(net.forward(&[1.0, 0.0]), vec![1.0]);
+        // x = (0, 1): y1 = (0.5, 1) → x1 = (0.5, 1) → y2 = -0.5 → relu → 0.
+        assert_eq!(net.forward(&[0.0, 1.0]), vec![0.0]);
+    }
+
+    #[test]
+    fn hidden_neuron_count_matches_paper_convention() {
+        let net = fig1_network();
+        assert_eq!(net.hidden_neurons(), 2);
+    }
+
+    #[test]
+    fn trace_stores_pre_and_post() {
+        let net = fig1_network();
+        let t = net.forward_trace(&[0.0, 1.0]);
+        assert_eq!(t.pre[1].data(), &[-0.5]); // pre-activation of output
+        assert_eq!(t.output(), &[0.0]);
+    }
+
+    #[test]
+    fn builder_rejects_mismatched_dense() {
+        let r = NetworkBuilder::input(3).dense(&[&[1.0, 2.0]], &[0.0], false);
+        assert!(r.is_err());
+    }
+
+    #[test]
+    fn conv_stack_shapes() {
+        let net = NetworkBuilder::input_image(1, 8, 8)
+            .conv2d(4, 3, 2, 1, true)
+            .unwrap()
+            .flatten()
+            .unwrap()
+            .dense_zeros(10, false)
+            .unwrap()
+            .build();
+        // (8 + 2 - 3)/2 + 1 = 4 → [4,4,4] = 64 → flatten (not counted) → 10.
+        assert_eq!(net.hidden_neurons(), 64);
+        assert_eq!(net.output_dim(), 10);
+    }
+}

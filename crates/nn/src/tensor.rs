@@ -1,0 +1,176 @@
+//! Minimal dense f64 tensor with channel-height-width layout for images.
+
+use serde::{Deserialize, Serialize};
+use std::fmt;
+
+/// A tensor shape. Images use `[channels, height, width]`; vectors use
+/// `[len]`.
+#[derive(Clone, Debug, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub struct Shape(pub Vec<usize>);
+
+impl Shape {
+    /// Total number of elements.
+    pub fn len(&self) -> usize {
+        self.0.iter().product()
+    }
+
+    /// True for the empty (rank-0, zero-element) shape.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Rank (number of dimensions).
+    pub fn rank(&self) -> usize {
+        self.0.len()
+    }
+}
+
+impl fmt::Display for Shape {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "[")?;
+        for (i, d) in self.0.iter().enumerate() {
+            if i > 0 {
+                write!(f, "×")?;
+            }
+            write!(f, "{d}")?;
+        }
+        write!(f, "]")
+    }
+}
+
+impl From<Vec<usize>> for Shape {
+    fn from(v: Vec<usize>) -> Self {
+        Shape(v)
+    }
+}
+
+/// Dense row-major f64 tensor.
+#[derive(Clone, Debug, PartialEq, Serialize, Deserialize)]
+pub struct Tensor {
+    shape: Shape,
+    data: Vec<f64>,
+}
+
+impl Tensor {
+    /// A tensor of zeros with the given shape.
+    pub fn zeros(shape: impl Into<Shape>) -> Self {
+        let shape = shape.into();
+        let n = shape.len();
+        Tensor { shape, data: vec![0.0; n] }
+    }
+
+    /// Wraps existing data.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `data.len()` does not match the shape's element count.
+    pub fn from_vec(shape: impl Into<Shape>, data: Vec<f64>) -> Self {
+        let shape = shape.into();
+        assert_eq!(shape.len(), data.len(), "tensor data length mismatch");
+        Tensor { shape, data }
+    }
+
+    /// A rank-1 tensor.
+    pub fn from_slice(data: &[f64]) -> Self {
+        Tensor { shape: Shape(vec![data.len()]), data: data.to_vec() }
+    }
+
+    /// The shape.
+    pub fn shape(&self) -> &Shape {
+        &self.shape
+    }
+
+    /// Flat read access.
+    pub fn data(&self) -> &[f64] {
+        &self.data
+    }
+
+    /// Flat write access.
+    pub fn data_mut(&mut self) -> &mut [f64] {
+        &mut self.data
+    }
+
+    /// Consumes the tensor, returning the flat data.
+    pub fn into_vec(self) -> Vec<f64> {
+        self.data
+    }
+
+    /// Reinterprets the data with a new shape of equal element count.
+    ///
+    /// # Panics
+    ///
+    /// Panics if element counts differ.
+    pub fn reshape(mut self, shape: impl Into<Shape>) -> Self {
+        let shape = shape.into();
+        assert_eq!(shape.len(), self.data.len(), "reshape element count mismatch");
+        self.shape = shape;
+        self
+    }
+
+    /// Element at `[c, y, x]` of a rank-3 tensor.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the tensor is not rank 3 or the index is out of range.
+    pub fn at3(&self, c: usize, y: usize, x: usize) -> f64 {
+        let dims = &self.shape.0;
+        assert_eq!(dims.len(), 3, "at3 requires a rank-3 tensor");
+        self.data[(c * dims[1] + y) * dims[2] + x]
+    }
+
+    /// Mutable element at `[c, y, x]` of a rank-3 tensor.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the tensor is not rank 3 or the index is out of range.
+    pub fn at3_mut(&mut self, c: usize, y: usize, x: usize) -> &mut f64 {
+        let dims = &self.shape.0;
+        assert_eq!(dims.len(), 3, "at3_mut requires a rank-3 tensor");
+        &mut self.data[(c * dims[1] + y) * dims[2] + x]
+    }
+
+    /// Applies `f` elementwise in place.
+    pub fn map_inplace(&mut self, f: impl Fn(f64) -> f64) {
+        for v in &mut self.data {
+            *v = f(*v);
+        }
+    }
+
+    /// Largest absolute element (0 for empty tensors).
+    pub fn max_abs(&self) -> f64 {
+        self.data.iter().fold(0.0f64, |m, &v| m.max(v.abs()))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn shape_len_and_display() {
+        let s = Shape(vec![3, 4, 5]);
+        assert_eq!(s.len(), 60);
+        assert_eq!(s.to_string(), "[3×4×5]");
+    }
+
+    #[test]
+    fn at3_indexing_is_row_major() {
+        let mut t = Tensor::zeros(vec![2, 2, 3]);
+        *t.at3_mut(1, 0, 2) = 7.0;
+        assert_eq!(t.at3(1, 0, 2), 7.0);
+        assert_eq!(t.data()[1 * 6 + 0 * 3 + 2], 7.0);
+    }
+
+    #[test]
+    fn reshape_preserves_data() {
+        let t = Tensor::from_slice(&[1.0, 2.0, 3.0, 4.0]).reshape(vec![2, 2]);
+        assert_eq!(t.shape().0, vec![2, 2]);
+        assert_eq!(t.data(), &[1.0, 2.0, 3.0, 4.0]);
+    }
+
+    #[test]
+    #[should_panic(expected = "mismatch")]
+    fn from_vec_rejects_wrong_length() {
+        let _ = Tensor::from_vec(vec![2, 2], vec![1.0, 2.0, 3.0]);
+    }
+}

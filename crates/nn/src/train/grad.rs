@@ -1,0 +1,294 @@
+//! Reverse-mode gradients for every layer type.
+
+use crate::layer::Layer;
+use crate::network::{Network, Trace};
+use crate::tensor::Tensor;
+
+/// Parameter gradients for one layer.
+#[derive(Clone, Debug, PartialEq)]
+pub enum LayerGrad {
+    /// Dense layer gradients.
+    Dense {
+        /// `∂L/∂W`, same layout as [`crate::Dense::weights`].
+        dw: Vec<f64>,
+        /// `∂L/∂b`.
+        db: Vec<f64>,
+    },
+    /// Convolution gradients.
+    Conv2d {
+        /// `∂L/∂K`, same layout as [`crate::Conv2d::kernels`].
+        dk: Vec<f64>,
+        /// `∂L/∂b`.
+        db: Vec<f64>,
+    },
+    /// Layer without parameters.
+    None,
+}
+
+/// Accumulated parameter gradients for a whole network.
+#[derive(Clone, Debug, PartialEq)]
+pub struct Gradients {
+    /// One entry per layer, in network order.
+    pub per_layer: Vec<LayerGrad>,
+}
+
+impl Gradients {
+    /// Zero gradients matching `net`'s parameter shapes.
+    pub fn zeros_like(net: &Network) -> Self {
+        let per_layer = net
+            .layers()
+            .iter()
+            .map(|l| match l {
+                Layer::Dense(d) => LayerGrad::Dense {
+                    dw: vec![0.0; d.weights.len()],
+                    db: vec![0.0; d.bias.len()],
+                },
+                Layer::Conv2d(c) => LayerGrad::Conv2d {
+                    dk: vec![0.0; c.kernels.len()],
+                    db: vec![0.0; c.bias.len()],
+                },
+                Layer::AvgPool2d(_) | Layer::Flatten => LayerGrad::None,
+            })
+            .collect();
+        Gradients { per_layer }
+    }
+}
+
+/// Backpropagates `dloss_dout` (gradient of the loss w.r.t. the network
+/// output) through `net` along `trace`, accumulating parameter gradients into
+/// `grads` and returning the gradient w.r.t. the network *input*.
+///
+/// # Panics
+///
+/// Panics if `trace` or `grads` do not match `net`.
+pub fn backward(net: &Network, trace: &Trace, dloss_dout: &[f64], grads: &mut Gradients) -> Vec<f64> {
+    let layers = net.layers();
+    assert_eq!(trace.pre.len(), layers.len(), "trace/network mismatch");
+    assert_eq!(grads.per_layer.len(), layers.len(), "grads/network mismatch");
+    let mut g: Vec<f64> = dloss_dout.to_vec();
+
+    for (li, layer) in layers.iter().enumerate().rev() {
+        // Gradient w.r.t. the pre-activation: mask by ReLU activity.
+        if layer.has_relu() {
+            let pre = trace.pre[li].data();
+            for (gv, &p) in g.iter_mut().zip(pre) {
+                if p <= 0.0 {
+                    *gv = 0.0;
+                }
+            }
+        }
+        let x_in: &Tensor = &trace.post[li];
+        g = match (layer, &mut grads.per_layer[li]) {
+            (Layer::Dense(d), LayerGrad::Dense { dw, db }) => {
+                let xin = x_in.data();
+                let mut gin = vec![0.0f64; d.in_dim];
+                for o in 0..d.out_dim {
+                    let go = g[o];
+                    db[o] += go;
+                    if go != 0.0 {
+                        let row = o * d.in_dim;
+                        for i in 0..d.in_dim {
+                            dw[row + i] += go * xin[i];
+                            gin[i] += d.weights[row + i] * go;
+                        }
+                    }
+                }
+                gin
+            }
+            (Layer::Conv2d(c), LayerGrad::Conv2d { dk, db }) => {
+                let dims = &x_in.shape().0;
+                let (h, w) = (dims[1], dims[2]);
+                let (oh, ow) = c.out_hw(h, w);
+                let mut gin = Tensor::zeros(vec![c.in_c, h, w]);
+                let pad = c.padding as isize;
+                for oc in 0..c.out_c {
+                    for oy in 0..oh {
+                        for ox in 0..ow {
+                            let go = g[(oc * oh + oy) * ow + ox];
+                            if go == 0.0 {
+                                continue;
+                            }
+                            db[oc] += go;
+                            let base_y = (oy * c.stride) as isize - pad;
+                            let base_x = (ox * c.stride) as isize - pad;
+                            for ic in 0..c.in_c {
+                                for ky in 0..c.kh {
+                                    let iy = base_y + ky as isize;
+                                    if iy < 0 || iy >= h as isize {
+                                        continue;
+                                    }
+                                    for kx in 0..c.kw {
+                                        let ix = base_x + kx as isize;
+                                        if ix < 0 || ix >= w as isize {
+                                            continue;
+                                        }
+                                        let ki = c.k_index(oc, ic, ky, kx);
+                                        dk[ki] += go * x_in.at3(ic, iy as usize, ix as usize);
+                                        *gin.at3_mut(ic, iy as usize, ix as usize) +=
+                                            c.kernels[ki] * go;
+                                    }
+                                }
+                            }
+                        }
+                    }
+                }
+                gin.into_vec()
+            }
+            (Layer::AvgPool2d(p), LayerGrad::None) => {
+                let dims = &x_in.shape().0;
+                let (ch, h, w) = (dims[0], dims[1], dims[2]);
+                let (oh, ow) = p.out_hw(h, w);
+                let inv = 1.0 / (p.kernel * p.kernel) as f64;
+                let mut gin = Tensor::zeros(vec![ch, h, w]);
+                for c in 0..ch {
+                    for oy in 0..oh {
+                        for ox in 0..ow {
+                            let go = g[(c * oh + oy) * ow + ox] * inv;
+                            if go == 0.0 {
+                                continue;
+                            }
+                            for ky in 0..p.kernel {
+                                for kx in 0..p.kernel {
+                                    *gin.at3_mut(c, oy * p.stride + ky, ox * p.stride + kx) += go;
+                                }
+                            }
+                        }
+                    }
+                }
+                gin.into_vec()
+            }
+            (Layer::Flatten, LayerGrad::None) => g, // identity
+            _ => unreachable!("gradient slot mismatches layer type"),
+        };
+    }
+    g
+}
+
+/// Gradient of a scalar projection `Σ dloss_dout·F(x)` w.r.t. the input —
+/// the quantity FGSM/PGD need. A thin wrapper over [`backward`] that drops
+/// parameter gradients.
+pub fn input_gradient(net: &Network, input: &[f64], dloss_dout: &[f64]) -> Vec<f64> {
+    let trace = net.forward_trace(input);
+    let mut sink = Gradients::zeros_like(net);
+    backward(net, &trace, dloss_dout, &mut sink)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::init::initialize;
+    use crate::network::NetworkBuilder;
+
+    /// Finite-difference check of the input gradient through a mixed stack.
+    #[test]
+    fn input_gradient_matches_finite_differences() {
+        let mut net = NetworkBuilder::input_image(1, 5, 5)
+            .conv2d(2, 3, 1, 1, true)
+            .unwrap()
+            .avg_pool(2, 2)
+            .unwrap()
+            .flatten()
+            .unwrap()
+            .dense_zeros(3, true)
+            .unwrap()
+            .dense_zeros(1, false)
+            .unwrap()
+            .build();
+        initialize(&mut net, 11);
+        let x: Vec<f64> = (0..25).map(|i| 0.3 + 0.02 * i as f64).collect();
+        let g = input_gradient(&net, &x, &[1.0]);
+        let f = |x: &[f64]| net.forward(x)[0];
+        let h = 1e-6;
+        for i in (0..25).step_by(3) {
+            let mut xp = x.clone();
+            xp[i] += h;
+            let mut xm = x.clone();
+            xm[i] -= h;
+            let fd = (f(&xp) - f(&xm)) / (2.0 * h);
+            assert!(
+                (g[i] - fd).abs() < 1e-4,
+                "input grad {i}: analytic {} vs fd {fd}",
+                g[i]
+            );
+        }
+    }
+
+    /// Finite-difference check of dense parameter gradients.
+    #[test]
+    fn dense_weight_gradients_match_finite_differences() {
+        let mut net = NetworkBuilder::input(3)
+            .dense_zeros(4, true)
+            .unwrap()
+            .dense_zeros(2, false)
+            .unwrap()
+            .build();
+        initialize(&mut net, 5);
+        let x = [0.7, -0.2, 0.4];
+        let dl = [0.5, -1.5];
+
+        let trace = net.forward_trace(&x);
+        let mut grads = Gradients::zeros_like(&net);
+        backward(&net, &trace, &dl, &mut grads);
+
+        let loss = |n: &Network| {
+            let y = n.forward(&x);
+            0.5 * y[0] - 1.5 * y[1]
+        };
+        let h = 1e-6;
+        for (li, wi) in [(0usize, 2usize), (0, 7), (1, 3)] {
+            let mut np = net.clone();
+            let mut nm = net.clone();
+            match (&mut np.layers_mut()[li], &mut nm.layers_mut()[li]) {
+                (Layer::Dense(dp), Layer::Dense(dm)) => {
+                    dp.weights[wi] += h;
+                    dm.weights[wi] -= h;
+                }
+                _ => unreachable!(),
+            }
+            let fd = (loss(&np) - loss(&nm)) / (2.0 * h);
+            let got = match &grads.per_layer[li] {
+                LayerGrad::Dense { dw, .. } => dw[wi],
+                _ => unreachable!(),
+            };
+            assert!((got - fd).abs() < 1e-4, "layer {li} w{wi}: {got} vs {fd}");
+        }
+    }
+
+    /// Finite-difference check of conv kernel gradients.
+    #[test]
+    fn conv_kernel_gradients_match_finite_differences() {
+        let mut net = NetworkBuilder::input_image(1, 4, 4)
+            .conv2d(2, 2, 2, 0, true)
+            .unwrap()
+            .flatten()
+            .unwrap()
+            .dense_zeros(1, false)
+            .unwrap()
+            .build();
+        initialize(&mut net, 9);
+        let x: Vec<f64> = (0..16).map(|i| (i as f64 * 0.13).sin()).collect();
+
+        let trace = net.forward_trace(&x);
+        let mut grads = Gradients::zeros_like(&net);
+        backward(&net, &trace, &[1.0], &mut grads);
+
+        let h = 1e-6;
+        for ki in [0usize, 3, 5] {
+            let mut np = net.clone();
+            let mut nm = net.clone();
+            match (&mut np.layers_mut()[0], &mut nm.layers_mut()[0]) {
+                (Layer::Conv2d(cp), Layer::Conv2d(cm)) => {
+                    cp.kernels[ki] += h;
+                    cm.kernels[ki] -= h;
+                }
+                _ => unreachable!(),
+            }
+            let fd = (np.forward(&x)[0] - nm.forward(&x)[0]) / (2.0 * h);
+            let got = match &grads.per_layer[0] {
+                LayerGrad::Conv2d { dk, .. } => dk[ki],
+                _ => unreachable!(),
+            };
+            assert!((got - fd).abs() < 1e-4, "kernel {ki}: {got} vs {fd}");
+        }
+    }
+}

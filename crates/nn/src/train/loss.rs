@@ -1,0 +1,95 @@
+//! Loss functions: value and gradient w.r.t. the prediction.
+
+/// Loss selection for [`crate::train::train`].
+#[derive(Copy, Clone, Debug, PartialEq, Eq)]
+pub enum Loss {
+    /// Mean squared error (regression).
+    Mse,
+    /// Softmax followed by cross-entropy against a one-hot target
+    /// (classification).
+    SoftmaxCrossEntropy,
+}
+
+impl Loss {
+    /// Evaluates the loss and its gradient w.r.t. `pred`.
+    pub fn eval(self, pred: &[f64], target: &[f64]) -> (f64, Vec<f64>) {
+        match self {
+            Loss::Mse => mse(pred, target),
+            Loss::SoftmaxCrossEntropy => softmax_cross_entropy(pred, target),
+        }
+    }
+}
+
+/// Mean squared error `Σ (p − t)² / n` and its gradient `2(p − t)/n`.
+///
+/// # Panics
+///
+/// Panics if the slices have different lengths.
+pub fn mse(pred: &[f64], target: &[f64]) -> (f64, Vec<f64>) {
+    assert_eq!(pred.len(), target.len(), "mse length mismatch");
+    let n = pred.len() as f64;
+    let mut loss = 0.0;
+    let mut grad = vec![0.0; pred.len()];
+    for (i, (&p, &t)) in pred.iter().zip(target).enumerate() {
+        let d = p - t;
+        loss += d * d;
+        grad[i] = 2.0 * d / n;
+    }
+    (loss / n, grad)
+}
+
+/// Numerically-stable softmax cross-entropy against a one-hot (or soft)
+/// target distribution; gradient is `softmax(pred) − target`.
+///
+/// # Panics
+///
+/// Panics if the slices have different lengths.
+pub fn softmax_cross_entropy(logits: &[f64], target: &[f64]) -> (f64, Vec<f64>) {
+    assert_eq!(logits.len(), target.len(), "cross-entropy length mismatch");
+    let max = logits.iter().fold(f64::NEG_INFINITY, |m, &v| m.max(v));
+    let exps: Vec<f64> = logits.iter().map(|&v| (v - max).exp()).collect();
+    let z: f64 = exps.iter().sum();
+    let mut loss = 0.0;
+    let mut grad = vec![0.0; logits.len()];
+    for i in 0..logits.len() {
+        let p = exps[i] / z;
+        if target[i] > 0.0 {
+            loss -= target[i] * (p.max(1e-300)).ln();
+        }
+        grad[i] = p - target[i];
+    }
+    (loss, grad)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn mse_value_and_gradient() {
+        let (l, g) = mse(&[1.0, 3.0], &[0.0, 1.0]);
+        assert!((l - (1.0 + 4.0) / 2.0).abs() < 1e-12);
+        assert_eq!(g, vec![1.0, 2.0]);
+    }
+
+    #[test]
+    fn cross_entropy_prefers_correct_class() {
+        let (l_good, _) = softmax_cross_entropy(&[4.0, 0.0, 0.0], &[1.0, 0.0, 0.0]);
+        let (l_bad, _) = softmax_cross_entropy(&[0.0, 4.0, 0.0], &[1.0, 0.0, 0.0]);
+        assert!(l_good < l_bad);
+    }
+
+    #[test]
+    fn cross_entropy_gradient_sums_to_zero_for_one_hot() {
+        let (_, g) = softmax_cross_entropy(&[0.5, -1.0, 2.0], &[0.0, 1.0, 0.0]);
+        let s: f64 = g.iter().sum();
+        assert!(s.abs() < 1e-12);
+    }
+
+    #[test]
+    fn cross_entropy_is_stable_for_large_logits() {
+        let (l, g) = softmax_cross_entropy(&[1000.0, 0.0], &[1.0, 0.0]);
+        assert!(l.is_finite());
+        assert!(g.iter().all(|v| v.is_finite()));
+    }
+}

@@ -1,0 +1,186 @@
+//! Property-based checks of the network substrate.
+
+use itne_nn::{AffineNetwork, Network, NetworkBuilder};
+use itne_nn::train::input_gradient;
+use proptest::prelude::*;
+
+fn weight() -> impl Strategy<Value = f64> {
+    // Well-scaled weights; avoids meaningless overflow cases.
+    (-100i32..=100).prop_map(|v| v as f64 / 50.0)
+}
+
+/// A random dense network: 2-4 layers with widths 1-4.
+fn random_dense_net() -> impl Strategy<Value = Network> {
+    (1usize..=3, proptest::collection::vec(1usize..=4, 1..=3), proptest::collection::vec(weight(), 200))
+        .prop_map(|(input_dim, widths, ws)| {
+            let mut k = 0;
+            let mut take = |n: usize| {
+                let s = &ws[k % ws.len()..];
+                let mut out = Vec::with_capacity(n);
+                for i in 0..n {
+                    out.push(s[i % s.len()]);
+                }
+                k += n;
+                out
+            };
+            let mut b = NetworkBuilder::input(input_dim);
+            let mut prev = input_dim;
+            for (i, &w) in widths.iter().enumerate() {
+                let rows_flat = take(w * prev);
+                let bias = take(w);
+                let rows: Vec<&[f64]> = rows_flat.chunks(prev).collect();
+                let relu = i + 1 < widths.len(); // linear output layer
+                b = b.dense(&rows, &bias, relu).expect("shapes are consistent");
+                prev = w;
+            }
+            b.build()
+        })
+}
+
+/// A random conv network over a small image.
+fn random_conv_net() -> impl Strategy<Value = Network> {
+    (1usize..=2, 1usize..=2, 0usize..=1, proptest::collection::vec(weight(), 64), 1usize..=3)
+        .prop_map(|(out_c, stride, padding, ws, dense_out)| {
+            let mut net = NetworkBuilder::input_image(1, 5, 5)
+                .conv2d(out_c, 3, stride, padding, true)
+                .expect("valid conv geometry")
+                .flatten()
+                .expect("flatten")
+                .dense_zeros(dense_out, false)
+                .expect("dense")
+                .build();
+            // Fill parameters deterministically from the sampled pool.
+            let mut k = 0;
+            let mut next = || {
+                let v = ws[k % ws.len()];
+                k += 1;
+                v
+            };
+            for layer in net.layers_mut() {
+                match layer {
+                    itne_nn::Layer::Conv2d(c) => {
+                        c.kernels.iter_mut().for_each(|w| *w = next());
+                        c.bias.iter_mut().for_each(|b| *b = next());
+                    }
+                    itne_nn::Layer::Dense(d) => {
+                        d.weights.iter_mut().for_each(|w| *w = next());
+                        d.bias.iter_mut().for_each(|b| *b = next());
+                    }
+                    _ => {}
+                }
+            }
+            net
+        })
+}
+
+fn inputs_for(net: &Network) -> impl Strategy<Value = Vec<f64>> {
+    proptest::collection::vec((-100i32..=100).prop_map(|v| v as f64 / 100.0), net.input_dim())
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    /// The lowered sparse-affine form computes exactly the same function.
+    #[test]
+    fn affine_lowering_equals_structured_forward(
+        (net, x) in random_dense_net().prop_flat_map(|n| {
+            let xs = inputs_for(&n);
+            (Just(n), xs)
+        })
+    ) {
+        let aff = AffineNetwork::from_network(&net).unwrap();
+        let a = aff.forward(&x);
+        let b = net.forward(&x);
+        for (u, v) in a.iter().zip(&b) {
+            prop_assert!((u - v).abs() < 1e-9, "affine {u} vs structured {v}");
+        }
+    }
+
+    /// Same equivalence for conv/pool stacks.
+    #[test]
+    fn affine_lowering_equals_conv_forward(
+        (net, x) in random_conv_net().prop_flat_map(|n| {
+            let xs = inputs_for(&n);
+            (Just(n), xs)
+        })
+    ) {
+        let aff = AffineNetwork::from_network(&net).unwrap();
+        let a = aff.forward(&x);
+        let b = net.forward(&x);
+        for (u, v) in a.iter().zip(&b) {
+            prop_assert!((u - v).abs() < 1e-9, "affine {u} vs structured {v}");
+        }
+    }
+
+    /// Analytic input gradients match central finite differences (at points
+    /// where no ReLU sits exactly on its kink).
+    #[test]
+    fn input_gradients_match_finite_differences(
+        (net, x) in random_dense_net().prop_flat_map(|n| {
+            let xs = inputs_for(&n);
+            (Just(n), xs)
+        })
+    ) {
+        let out_dim = net.output_dim();
+        let dl = vec![1.0; out_dim];
+        // Skip inputs that put any pre-activation within h of a ReLU kink —
+        // the true function is non-differentiable there.
+        let trace = net.forward_trace(&x);
+        let h = 1e-6;
+        let near_kink = trace.pre.iter().any(|t| t.data().iter().any(|v| v.abs() < 100.0 * h));
+        prop_assume!(!near_kink);
+
+        let g = input_gradient(&net, &x, &dl);
+        let f = |p: &[f64]| net.forward(p).iter().sum::<f64>();
+        for i in 0..x.len() {
+            let mut xp = x.clone();
+            xp[i] += h;
+            let mut xm = x.clone();
+            xm[i] -= h;
+            let fd = (f(&xp) - f(&xm)) / (2.0 * h);
+            prop_assert!((g[i] - fd).abs() < 1e-4, "grad[{i}]: {} vs fd {fd}", g[i]);
+        }
+    }
+
+    /// Perturbing inputs outside a neuron's backward cone never changes the
+    /// neuron's value (full-window cones).
+    #[test]
+    fn cone_captures_all_dependencies(
+        (net, x) in random_conv_net().prop_flat_map(|n| {
+            let xs = inputs_for(&n);
+            (Just(n), xs)
+        }),
+        target_pick in 0usize..1000,
+    ) {
+        let aff = AffineNetwork::from_network(&net).unwrap();
+        let last = aff.depth() - 1;
+        let target = target_pick % aff.width(last);
+        let cone = aff.cone(last, target, last + 1);
+
+        let eval_target = |input: &[f64]| -> f64 {
+            let mut cur = input.to_vec();
+            for (li, l) in aff.layers.iter().enumerate() {
+                let mut y: Vec<f64> = l.rows.iter().map(|r| r.eval(&cur)).collect();
+                if l.relu {
+                    y.iter_mut().for_each(|v| *v = v.max(0.0));
+                }
+                if li == last {
+                    return y[target];
+                }
+                cur = y;
+            }
+            unreachable!()
+        };
+
+        let base = eval_target(&x);
+        let mut perturbed = x.clone();
+        for i in 0..perturbed.len() {
+            if !cone.levels[0].contains(&i) {
+                perturbed[i] += 17.0; // wild perturbation outside the cone
+            }
+        }
+        let after = eval_target(&perturbed);
+        prop_assert!((base - after).abs() < 1e-9,
+            "value changed from {base} to {after} via non-cone inputs");
+    }
+}

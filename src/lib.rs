@@ -1,0 +1,49 @@
+//! # itne — global robustness certification via interleaving twin-network encoding
+//!
+//! A Rust reproduction of *"Efficient Global Robustness Certification of
+//! Neural Networks via Interleaving Twin-Network Encoding"* (Wang, Huang, Zhu —
+//! DATE 2022). This umbrella crate re-exports the workspace:
+//!
+//! * [`milp`] — pure-Rust LP/MILP solver (the Gurobi substitute),
+//! * [`nn`] — networks, training, and the sparse affine IR,
+//! * [`data`] — synthetic datasets (Auto-MPG-like, digits, camera),
+//! * [`cert`] — the paper's contribution: ITNE/BTNE encodings, network
+//!   decomposition, LP relaxation, selective refinement, Algorithm 1, and
+//!   exact baselines,
+//! * [`attack`] — FGSM/PGD and the dataset-wise under-approximation,
+//! * [`control`] — the closed-loop ACC safety-verification case study.
+//!
+//! ## Quickstart
+//!
+//! ```
+//! use itne::cert::{certify_global, CertifyOptions};
+//! use itne::nn::NetworkBuilder;
+//!
+//! # fn main() -> Result<(), Box<dyn std::error::Error>> {
+//! // The paper's Fig. 1 illustrating network: 2 inputs, 2 hidden, 1 output.
+//! let net = NetworkBuilder::input(2)
+//!     .dense(&[&[1.0, 0.5], &[-0.5, 1.0]], &[0.0, 0.0], true)?
+//!     .dense(&[&[1.0, -1.0]], &[0.0], true)?
+//!     .build();
+//!
+//! // Certify (δ, ε)-global robustness over X = [-1, 1]² with δ = 0.1.
+//! let report = certify_global(
+//!     &net,
+//!     &[(-1.0, 1.0), (-1.0, 1.0)],
+//!     0.1,
+//!     &CertifyOptions::default(),
+//! )?;
+//! assert!(report.epsilon(0) >= 0.2); // sound: ≥ the true worst case 0.2
+//! assert!(report.epsilon(0) <= 0.3); // tight: the paper's ITNE-ND/LPR band
+//! # Ok(())
+//! # }
+//! ```
+
+#![forbid(unsafe_code)]
+
+pub use itne_attack as attack;
+pub use itne_control as control;
+pub use itne_core as cert;
+pub use itne_data as data;
+pub use itne_milp as milp;
+pub use itne_nn as nn;

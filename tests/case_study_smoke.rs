@@ -1,0 +1,82 @@
+//! Integration smoke test of the full ACC case-study pipeline at reduced
+//! scale: train → model error → certify → invariant set → closed-loop
+//! simulation, asserting the paper's qualitative structure.
+
+use itne::cert::{certify_global, CertifyOptions};
+use itne::control::{
+    analyze, max_tolerable_estimation_error, simulate, PerceptionConfig, PerceptionModel,
+    SafeSet, SimConfig,
+};
+use itne::data::CameraSpec;
+
+#[test]
+fn acc_pipeline_end_to_end() {
+    // Small camera and model keep this a smoke test.
+    let spec = CameraSpec { height: 8, width: 16, focal: 2.4, ..CameraSpec::default() };
+    let cfg = PerceptionConfig {
+        spec,
+        conv_channels: (3, 3),
+        fc_width: 8,
+        train_samples: 500,
+        epochs: 40,
+        // The tiny 8×16 camera cannot afford the full config's pooling
+        // front-end or heavy decay — this is a smoke-scale model.
+        pool_first: false,
+        weight_decay: 0.005,
+        ..Default::default()
+    };
+    let (model, data, _) = PerceptionModel::train_new(&cfg);
+    let dd1 = model.model_error(&data);
+    assert!(dd1 < 0.5, "tiny perception net unusable: Δd₁ = {dd1}");
+
+    // Certification over the profiled domain must return a finite sound
+    // bound and never fall back at this size.
+    let delta = 2.0 / 255.0;
+    let domain = model.input_domain(&data, delta);
+    let report = certify_global(
+        &model.net,
+        &domain,
+        delta,
+        &CertifyOptions { window: 2, threads: 2, ..Default::default() },
+    )
+    .expect("certification runs");
+    let dd2 = report.epsilon(0);
+    assert!(dd2.is_finite() && dd2 > 0.0);
+
+    // Invariant-set tolerance: the paper's setup computes β ≈ 0.14.
+    let safe = SafeSet::default();
+    let beta = max_tolerable_estimation_error(&safe, 1e-4);
+    assert!((0.10..=0.16).contains(&beta), "β = {beta}");
+    assert!(analyze(beta * 0.95, &safe).safe);
+
+    // Closed loop without attack stays safe and within the RPI-backed bound
+    // whenever the combined estimation error is certified below β.
+    let sim = simulate(
+        &model,
+        beta,
+        &safe,
+        &SimConfig { episodes: 4, steps: 150, delta: 0.0, seed: 3 },
+    );
+    assert_eq!(sim.unsafe_episodes, 0, "clean closed loop went unsafe");
+
+    // Attack escalation: stronger perturbations can only worsen (or match)
+    // the worst estimation error.
+    let weak = simulate(
+        &model,
+        beta,
+        &safe,
+        &SimConfig { episodes: 3, steps: 100, delta: 2.0 / 255.0, seed: 9 },
+    );
+    let strong = simulate(
+        &model,
+        beta,
+        &safe,
+        &SimConfig { episodes: 3, steps: 100, delta: 12.0 / 255.0, seed: 9 },
+    );
+    assert!(
+        strong.max_abs_dd + 1e-9 >= weak.max_abs_dd,
+        "stronger attack produced smaller max error: {} vs {}",
+        strong.max_abs_dd,
+        weak.max_abs_dd
+    );
+}

@@ -1,0 +1,103 @@
+//! End-to-end pipeline test: synthesize data → train → certify → attack →
+//! cross-check all bounds, across all workspace crates.
+
+use itne::attack::{dataset_under_approximation, PgdOptions};
+use itne::cert::{certify_global, exact_global, CertifyOptions};
+use itne::data::{auto_mpg, split};
+use itne::milp::SolveOptions;
+use itne::nn::train::{evaluate_mse, train, Adam, Loss, TrainConfig};
+use itne::nn::{initialize, NetworkBuilder};
+
+#[test]
+fn train_certify_attack_sandwich() {
+    // --- Data + training (tiny but real). ---
+    let data = auto_mpg(240, 5);
+    let (train_set, test_set) = split(&data, 0.8);
+    let mut net = NetworkBuilder::input(7)
+        .dense_zeros(5, true)
+        .expect("shape")
+        .dense_zeros(5, true)
+        .expect("shape")
+        .dense_zeros(1, false)
+        .expect("shape")
+        .build();
+    initialize(&mut net, 13);
+    let mut opt = Adam::new(5e-3);
+    train(
+        &mut net,
+        &train_set,
+        &mut opt,
+        &TrainConfig { epochs: 80, batch_size: 16, loss: Loss::Mse, seed: 2, verbose: false },
+    );
+    assert!(evaluate_mse(&net, &test_set) < 0.03, "model failed to generalize");
+
+    let domain = vec![(0.0, 1.0); 7];
+    let delta = 0.004;
+
+    // --- The three-way bracket of Table I. ---
+    let under = dataset_under_approximation(
+        &net,
+        &test_set.inputs,
+        delta,
+        Some(&domain),
+        &PgdOptions::default(),
+    );
+    let exact = exact_global(&net, &domain, delta, SolveOptions::default()).expect("solves");
+    let certified = certify_global(
+        &net,
+        &domain,
+        delta,
+        &CertifyOptions { window: 2, refine: 5, ..Default::default() },
+    )
+    .expect("certifies");
+
+    let (lo, ex, hi) = (under.epsilon(0), exact.epsilon(0), certified.epsilon(0));
+    assert!(lo <= ex + 1e-7, "PGD {lo} above exact {ex}");
+    assert!(ex <= hi + 1e-7, "certified {hi} below exact {ex}");
+    assert!(hi <= 4.0 * ex.max(1e-9), "certified bound uselessly loose: {hi} vs exact {ex}");
+
+    // --- Certified ε̄ must also hold empirically on random twin pairs. ---
+    let mut seed = 99u64;
+    let mut unit = move || {
+        seed ^= seed << 13;
+        seed ^= seed >> 7;
+        seed ^= seed << 17;
+        (seed >> 11) as f64 / (1u64 << 53) as f64
+    };
+    for _ in 0..2000 {
+        let x: Vec<f64> = (0..7).map(|_| unit()).collect();
+        let xh: Vec<f64> =
+            x.iter().map(|&v| (v + (unit() * 2.0 - 1.0) * delta).clamp(0.0, 1.0)).collect();
+        let d = (net.forward(&xh)[0] - net.forward(&x)[0]).abs();
+        assert!(d <= hi + 1e-7, "sampled variation {d} exceeds certified {hi}");
+    }
+}
+
+#[test]
+fn parallel_certification_agrees_with_serial() {
+    let data = auto_mpg(150, 8);
+    let mut net = NetworkBuilder::input(7)
+        .dense_zeros(6, true)
+        .expect("shape")
+        .dense_zeros(1, false)
+        .expect("shape")
+        .build();
+    initialize(&mut net, 21);
+    let mut opt = Adam::new(5e-3);
+    train(
+        &mut net,
+        &data,
+        &mut opt,
+        &TrainConfig { epochs: 40, batch_size: 16, loss: Loss::Mse, seed: 2, verbose: false },
+    );
+    let domain = vec![(0.0, 1.0); 7];
+    let serial = certify_global(&net, &domain, 0.002, &CertifyOptions::default()).expect("ok");
+    let parallel = certify_global(
+        &net,
+        &domain,
+        0.002,
+        &CertifyOptions { threads: 2, ..Default::default() },
+    )
+    .expect("ok");
+    assert_eq!(serial.epsilons, parallel.epsilons);
+}

@@ -1,0 +1,139 @@
+//! Cross-crate reproduction of the paper's Fig. 4 ground truth through the
+//! umbrella crate's public API. These are the strongest correctness anchors
+//! in the repository: the paper prints the exact interval for every method
+//! on the illustrating example.
+
+use itne::cert::encode::Relaxation;
+use itne::cert::oneshot::{oneshot_global, oneshot_local};
+use itne::cert::split::{split_global, SplitOptions};
+use itne::cert::{certify_global, exact_global, CertifyOptions, EncodingKind};
+use itne::milp::SolveOptions;
+use itne::nn::{AffineNetwork, NetworkBuilder};
+
+const DOM: [(f64, f64); 2] = [(-1.0, 1.0), (-1.0, 1.0)];
+const DELTA: f64 = 0.1;
+
+fn fig1() -> itne::nn::Network {
+    NetworkBuilder::input(2)
+        .dense(&[&[1.0, 0.5], &[-0.5, 1.0]], &[0.0, 0.0], true)
+        .expect("static shapes")
+        .dense(&[&[1.0, -1.0]], &[0.0], true)
+        .expect("static shapes")
+        .build()
+}
+
+#[test]
+fn exact_global_is_plus_minus_0_2() {
+    let r = exact_global(&fig1(), &DOM, DELTA, SolveOptions::default()).expect("solves");
+    assert!((r.epsilon(0) - 0.2).abs() < 1e-5);
+}
+
+#[test]
+fn split_solver_agrees_with_milp() {
+    let r = split_global(&fig1(), &DOM, DELTA, &SplitOptions::default()).expect("solves");
+    assert!(r.exact);
+    assert!((r.epsilons[0] - 0.2).abs() < 1e-5);
+}
+
+#[test]
+fn itne_nd_gives_1_5x() {
+    let r = certify_global(
+        &fig1(),
+        &DOM,
+        DELTA,
+        &CertifyOptions { window: 1, relaxation: Relaxation::Exact, ..Default::default() },
+    )
+    .expect("certifies");
+    assert!((r.epsilon(0) - 0.3).abs() < 1e-5, "ε = {}", r.epsilon(0));
+}
+
+#[test]
+fn btne_nd_gives_7_5x() {
+    let r = certify_global(
+        &fig1(),
+        &DOM,
+        DELTA,
+        &CertifyOptions {
+            window: 1,
+            encoding: EncodingKind::Btne,
+            relaxation: Relaxation::Exact,
+            ..Default::default()
+        },
+    )
+    .expect("certifies");
+    assert!((r.epsilon(0) - 1.5).abs() < 1e-5, "ε = {}", r.epsilon(0));
+}
+
+#[test]
+fn itne_lpr_gives_1_38x() {
+    let aff = AffineNetwork::from_network(&fig1()).expect("lowers");
+    let r = oneshot_global(
+        &aff,
+        &DOM,
+        DELTA,
+        EncodingKind::Itne,
+        Relaxation::Lpr,
+        0,
+        &SolveOptions::default(),
+    )
+    .expect("solves");
+    assert!((r.dx[0].hi - 0.275).abs() < 1e-6 && (r.dx[0].lo + 0.275).abs() < 1e-6);
+}
+
+#[test]
+fn local_rows_match_paper() {
+    let aff = AffineNetwork::from_network(&fig1()).expect("lowers");
+    // Exact local: [0, 0.125].
+    let exact = itne::cert::local::certify_local(
+        &fig1(),
+        &[0.0, 0.0],
+        DELTA,
+        None,
+        &CertifyOptions { relaxation: Relaxation::Exact, window: 2, ..Default::default() },
+    )
+    .expect("certifies");
+    assert!((exact.output_ranges[0].hi - 0.125).abs() < 1e-6);
+    // One-shot LPR: [0, 0.14375] (the paper rounds to 0.144).
+    let lpr = oneshot_local(
+        &aff,
+        &[0.0, 0.0],
+        DELTA,
+        None,
+        Relaxation::Lpr,
+        0,
+        &SolveOptions::default(),
+    )
+    .expect("solves");
+    assert!((lpr.x[0].hi - 0.14375).abs() < 1e-6);
+}
+
+#[test]
+fn full_method_ordering_on_the_example() {
+    // exact ≤ Algorithm 1 ≤ ITNE-ND ≤ BTNE-ND, as Fig. 4 lays out.
+    let net = fig1();
+    let exact = exact_global(&net, &DOM, DELTA, SolveOptions::default()).expect("solves");
+    let alg1 =
+        certify_global(&net, &DOM, DELTA, &CertifyOptions::default()).expect("certifies");
+    let itne_nd = certify_global(
+        &net,
+        &DOM,
+        DELTA,
+        &CertifyOptions { window: 1, relaxation: Relaxation::Exact, ..Default::default() },
+    )
+    .expect("certifies");
+    let btne_nd = certify_global(
+        &net,
+        &DOM,
+        DELTA,
+        &CertifyOptions {
+            window: 1,
+            encoding: EncodingKind::Btne,
+            relaxation: Relaxation::Exact,
+            ..Default::default()
+        },
+    )
+    .expect("certifies");
+    assert!(exact.epsilon(0) <= alg1.epsilon(0) + 1e-9);
+    assert!(alg1.epsilon(0) <= itne_nd.epsilon(0) + 1e-9);
+    assert!(itne_nd.epsilon(0) <= btne_nd.epsilon(0) + 1e-9);
+}
