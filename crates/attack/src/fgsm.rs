@@ -27,7 +27,13 @@ pub fn fgsm_perturb(
         .zip(&g)
         .enumerate()
         .map(|(d, (&v, &gv))| {
-            let step = if gv > 0.0 { delta } else if gv < 0.0 { -delta } else { 0.0 };
+            let step = if gv > 0.0 {
+                delta
+            } else if gv < 0.0 {
+                -delta
+            } else {
+                0.0
+            };
             let out = v + sign * step;
             match domain {
                 Some(dom) => out.clamp(dom[d].0, dom[d].1),
@@ -84,7 +90,10 @@ mod tests {
         let net = linear_net();
         let dom = [(0.0, 1.0), (0.0, 1.0)];
         let xh = fgsm_perturb(&net, &[1.0, 0.0], 0.2, 0, 1.0, Some(&dom));
-        assert!(xh.iter().zip(&dom).all(|(&v, &(lo, hi))| v >= lo && v <= hi));
+        assert!(xh
+            .iter()
+            .zip(&dom)
+            .all(|(&v, &(lo, hi))| v >= lo && v <= hi));
         // x₀ already at the upper bound: gradient positive, step clamped.
         assert_eq!(xh[0], 1.0);
         assert_eq!(xh[1], 0.0); // negative gradient, already at lower bound
@@ -117,6 +126,9 @@ mod tests {
                 .collect();
             worst_random = worst_random.max((net.forward(&xh)[0] - f0).abs());
         }
-        assert!(v + 1e-12 >= worst_random, "fgsm {v} < random corners {worst_random}");
+        assert!(
+            v + 1e-12 >= worst_random,
+            "fgsm {v} < random corners {worst_random}"
+        );
     }
 }

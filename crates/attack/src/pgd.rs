@@ -20,7 +20,12 @@ pub struct PgdOptions {
 
 impl Default for PgdOptions {
     fn default() -> Self {
-        PgdOptions { steps: 20, step_frac: 0.125, restarts: 3, seed: 0 }
+        PgdOptions {
+            steps: 20,
+            step_frac: 0.125,
+            restarts: 3,
+            seed: 0,
+        }
     }
 }
 
@@ -69,7 +74,13 @@ pub fn pgd_variation(
                 let g = input_gradient(net, &xh, &dl);
                 for (d, v) in xh.iter_mut().enumerate() {
                     let dir = polarity * g[d];
-                    let s = if dir > 0.0 { step } else if dir < 0.0 { -step } else { 0.0 };
+                    let s = if dir > 0.0 {
+                        step
+                    } else if dir < 0.0 {
+                        -step
+                    } else {
+                        0.0
+                    };
                     *v = clamp(d, *v + s);
                 }
             }
@@ -113,7 +124,11 @@ mod tests {
             0.08,
             0,
             None,
-            &PgdOptions { steps: 40, restarts: 4, ..Default::default() },
+            &PgdOptions {
+                steps: 40,
+                restarts: 4,
+                ..Default::default()
+            },
         );
         assert!(pg + 1e-9 >= fg, "pgd {pg} weaker than fgsm {fg}");
     }
@@ -126,8 +141,7 @@ mod tests {
             .build();
         let dom = [(0.0, 1.0), (0.0, 1.0)];
         let x = [0.95, 0.02];
-        let (_, xh) =
-            pgd_variation(&net, &x, 0.1, 0, Some(&dom), &PgdOptions::default());
+        let (_, xh) = pgd_variation(&net, &x, 0.1, 0, Some(&dom), &PgdOptions::default());
         for d in 0..2 {
             assert!((xh[d] - x[d]).abs() <= 0.1 + 1e-12);
             assert!(xh[d] >= 0.0 && xh[d] <= 1.0);

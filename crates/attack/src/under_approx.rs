@@ -56,7 +56,11 @@ pub fn dataset_under_approximation(
             }
         }
     }
-    UnderApproxReport { epsilons, witness, samples: inputs.len() }
+    UnderApproxReport {
+        epsilons,
+        witness,
+        samples: inputs.len(),
+    }
 }
 
 #[cfg(test)]
@@ -106,12 +110,20 @@ mod tests {
         let exact = exact_global(&net, &dom, delta, SolveOptions::default()).unwrap();
         let over = certify_global(&net, &dom, delta, &CertifyOptions::default()).unwrap();
 
-        assert!(under.epsilon(0) <= exact.epsilon(0) + 1e-7,
-            "under {} above exact {}", under.epsilon(0), exact.epsilon(0));
+        assert!(
+            under.epsilon(0) <= exact.epsilon(0) + 1e-7,
+            "under {} above exact {}",
+            under.epsilon(0),
+            exact.epsilon(0)
+        );
         assert!(exact.epsilon(0) <= over.epsilon(0) + 1e-7);
         // PGD should find at least 80% of the exact worst case here.
-        assert!(under.epsilon(0) > 0.8 * exact.epsilon(0),
-            "PGD too weak: {} vs exact {}", under.epsilon(0), exact.epsilon(0));
+        assert!(
+            under.epsilon(0) > 0.8 * exact.epsilon(0),
+            "PGD too weak: {} vs exact {}",
+            under.epsilon(0),
+            exact.epsilon(0)
+        );
     }
 
     #[test]
@@ -123,7 +135,11 @@ mod tests {
             &inputs,
             0.05,
             None,
-            &PgdOptions { steps: 5, restarts: 1, ..Default::default() },
+            &PgdOptions {
+                steps: 5,
+                restarts: 1,
+                ..Default::default()
+            },
         );
         assert_eq!(r.samples, inputs.len());
         assert!(r.witness.iter().all(|&w| w < inputs.len()));

@@ -30,12 +30,19 @@ fn random_net() -> impl Strategy<Value = Network> {
                 .expect("consistent");
             let flat2 = next(hidden);
             let rows2: Vec<&[f64]> = flat2.chunks(hidden).collect();
-            b.dense(&rows2, &next(1), false).expect("consistent").build()
+            b.dense(&rows2, &next(1), false)
+                .expect("consistent")
+                .build()
         })
 }
 
 proptest! {
-    #![proptest_config(ProptestConfig::with_cases(64))]
+    // Fixed seed + bounded case count: CI runs are deterministic and any
+    // failure reproduces locally with no persistence files.
+    #![proptest_config(ProptestConfig {
+        rng_seed: 0x17de_c0de_0004,
+        ..ProptestConfig::with_cases(64)
+    })]
 
     /// PGD/FGSM outputs stay within the δ-ball and the domain.
     #[test]

@@ -31,16 +31,13 @@ fn bench_certify(c: &mut Criterion) {
     g.bench_function("fig1_algorithm1", |b| {
         b.iter(|| {
             black_box(
-                certify_global(&fig1, &dom2, 0.1, &CertifyOptions::default())
-                    .expect("certifies"),
+                certify_global(&fig1, &dom2, 0.1, &CertifyOptions::default()).expect("certifies"),
             )
         })
     });
     g.bench_function("fig1_exact_milp", |b| {
         b.iter(|| {
-            black_box(
-                exact_global(&fig1, &dom2, 0.1, SolveOptions::default()).expect("solves"),
-            )
+            black_box(exact_global(&fig1, &dom2, 0.1, SolveOptions::default()).expect("solves"))
         })
     });
 

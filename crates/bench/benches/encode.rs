@@ -25,11 +25,19 @@ fn bench_encode(c: &mut Criterion) {
         let aff = AffineNetwork::from_network(&net).expect("lowers");
         let domain = vec![Interval::new(0.0, 1.0); 16];
         let bounds = ibp_twin(&aff, &domain, 0.01);
-        let opts = EncodeOptions { delta: 0.01, ..Default::default() };
+        let opts = EncodeOptions {
+            delta: 0.01,
+            ..Default::default()
+        };
         g.bench_with_input(BenchmarkId::from_parameter(width), &aff, |b, aff| {
             b.iter(|| {
                 let sub = SubNetwork::decompose(aff, 2, 0, 2);
-                black_box(encode_subnet(&sub, &bounds, TargetKind::PostActivation, &opts))
+                black_box(encode_subnet(
+                    &sub,
+                    &bounds,
+                    TargetKind::PostActivation,
+                    &opts,
+                ))
             })
         });
     }

@@ -27,7 +27,15 @@ struct Row {
 fn main() {
     let mut table = Table::new(
         "Ablation: encoding tightness on trained Auto-MPG networks (δ = 0.001, W = 2)",
-        &["width", "ε̄ ITNE", "ε̄ ITNE+y-aware", "ε̄ BTNE", "BTNE/ITNE", "t ITNE", "t BTNE"],
+        &[
+            "width",
+            "ε̄ ITNE",
+            "ε̄ ITNE+y-aware",
+            "ε̄ BTNE",
+            "BTNE/ITNE",
+            "t ITNE",
+            "t BTNE",
+        ],
     );
     let mut rows = Vec::new();
 

@@ -41,7 +41,12 @@ fn main() {
     let mut rows = Vec::new();
     let mut last = f64::INFINITY;
     for r in [0usize, 2, 4, 8, 16] {
-        let opts = CertifyOptions { window: 2, refine: r, threads: 2, ..Default::default() };
+        let opts = CertifyOptions {
+            window: 2,
+            refine: r,
+            threads: 2,
+            ..Default::default()
+        };
         let t = Instant::now();
         let rep = certify_global(&bench.net, &bench.domain, bench.delta, &opts)
             .expect("certification runs");

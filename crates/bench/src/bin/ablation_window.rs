@@ -34,7 +34,11 @@ fn main() {
 
     for (name, bench, windows) in cases {
         for &w in windows {
-            let opts = CertifyOptions { window: w, threads: 2, ..Default::default() };
+            let opts = CertifyOptions {
+                window: w,
+                threads: 2,
+                ..Default::default()
+            };
             let t = Instant::now();
             let r = certify_global(&bench.net, &bench.domain, bench.delta, &opts)
                 .expect("certification runs");

@@ -20,11 +20,11 @@
 
 use itne_bench::nets::cached_model;
 use itne_bench::table::{fmt_duration, save_json, Table};
-use itne_core::{certify_global, CertifyOptions};
 use itne_control::{
-    analyze, max_tolerable_estimation_error, simulate, PerceptionConfig, PerceptionModel,
-    SafeSet, SimConfig,
+    analyze, max_tolerable_estimation_error, simulate, PerceptionConfig, PerceptionModel, SafeSet,
+    SimConfig,
 };
+use itne_core::{certify_global, CertifyOptions};
 use itne_data::camera::camera_dataset;
 use serde::Serialize;
 use std::time::Instant;
@@ -63,7 +63,10 @@ fn main() {
     let net = cached_model("case_study_perception_v2", || {
         PerceptionModel::train_new(&cfg).0.net
     });
-    let model = PerceptionModel { net, spec: cfg.spec };
+    let model = PerceptionModel {
+        net,
+        spec: cfg.spec,
+    };
     let dd1 = model.model_error(&data);
     println!(
         "perception DNN: {} hidden neurons; Δd₁ (model inaccuracy) = {dd1:.4}  (paper: 0.0730)",
@@ -79,8 +82,7 @@ fn main() {
         ..Default::default()
     };
     let t0 = Instant::now();
-    let report =
-        certify_global(&model.net, &domain, delta, &opts).expect("certification runs");
+    let report = certify_global(&model.net, &domain, delta, &opts).expect("certification runs");
     let cert_time = t0.elapsed();
     let dd2 = report.epsilon(0);
     println!(
@@ -95,14 +97,21 @@ fn main() {
     println!(
         "invariant set analysis: max tolerable |Δd| = β = {beta:.4}  (paper: 0.14); \
          RPI box [{:.3}, {:.3}] vs safe [{:.1}, {:.1}]",
-        an.rpi_half_widths[0], an.rpi_half_widths[1], an.safe_half_widths[0], an.safe_half_widths[1]
+        an.rpi_half_widths[0],
+        an.rpi_half_widths[1],
+        an.safe_half_widths[0],
+        an.safe_half_widths[1]
     );
 
     let dd = dd1 + dd2;
     let verified = dd <= beta;
     println!(
         "\ncombined |Δd| ≤ Δd₁ + Δd₂ = {dd:.4}  (paper: 0.1298)  →  VERDICT: {}",
-        if verified { "formally SAFE at δ = 2/255" } else { "NOT verifiable at δ = 2/255" }
+        if verified {
+            "formally SAFE at δ = 2/255"
+        } else {
+            "NOT verifiable at δ = 2/255"
+        }
     );
 
     // Largest perturbation bound with a formal safety certificate: bisect on
@@ -115,8 +124,7 @@ fn main() {
         let (mut lo, mut hi) = (0.0f64, delta);
         for _ in 0..7 {
             let mid = 0.5 * (lo + hi);
-            let r = certify_global(&model.net, &domain, mid, &opts)
-                .expect("certification runs");
+            let r = certify_global(&model.net, &domain, mid, &opts).expect("certification runs");
             if dd1 + r.epsilon(0) <= beta {
                 lo = mid;
             } else {
@@ -150,13 +158,23 @@ fn main() {
             &model,
             beta,
             &safe,
-            &SimConfig { episodes, steps, delta: d, seed: 11 },
+            &SimConfig {
+                episodes,
+                steps,
+                delta: d,
+                seed: 11,
+            },
         );
         table.row(&[
             label.into(),
             format!("{:.4}", r.max_abs_dd),
             format!("{}/{}", r.exceed_steps, r.total_steps),
-            format!("{}/{} ({:.0}%)", r.unsafe_episodes, r.episodes, 100.0 * r.unsafe_rate()),
+            format!(
+                "{}/{} ({:.0}%)",
+                r.unsafe_episodes,
+                r.episodes,
+                100.0 * r.unsafe_rate()
+            ),
         ]);
         sims.push(SimRow {
             delta_num: d,

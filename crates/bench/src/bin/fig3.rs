@@ -18,7 +18,10 @@ const ROWS: usize = 25;
 fn main() {
     let dy = Interval::new(-1.0, 1.0);
     let (l, u) = distance_relaxation_bounds(dy);
-    println!("ReLU distance relation over Δy ∈ [{}, {}], y ∈ [-3, 3]:", dy.lo, dy.hi);
+    println!(
+        "ReLU distance relation over Δy ∈ [{}, {}], y ∈ [-3, 3]:",
+        dy.lo, dy.hi
+    );
     println!("  Eq. 6 box: l = {l}, u = {u}");
     println!("  lower line: Δx ≥ l(u − Δy)/(u − l); upper line: Δx ≤ u(Δy − l)/(u − l)\n");
 
@@ -26,6 +29,8 @@ fn main() {
     let mut grid = vec![[false; COLS]; ROWS];
     let mut violations = 0usize;
     let mut max_points = 0usize;
+    // `i` drives both the sample coordinate and the column index.
+    #[allow(clippy::needless_range_loop)]
     for i in 0..COLS {
         let d = dy.lo + dy.width() * i as f64 / (COLS - 1) as f64;
         for k in 0..=600 {
@@ -72,6 +77,9 @@ fn main() {
     println!(
         "\nempirical containment: {max_points} distinct cells sampled, {violations} Eq. 6 violations"
     );
-    assert_eq!(violations, 0, "Eq. 6 relaxation failed to contain the relation!");
+    assert_eq!(
+        violations, 0,
+        "Eq. 6 relaxation failed to contain the relation!"
+    );
     println!("Eq. 6 contains the entire reachable region — as Fig. 3 illustrates.");
 }

@@ -49,24 +49,50 @@ fn main() {
         &[0.0, 0.0],
         DELTA,
         None,
-        &CertifyOptions { relaxation: Relaxation::Exact, window: 2, ..Default::default() },
+        &CertifyOptions {
+            relaxation: Relaxation::Exact,
+            window: 2,
+            ..Default::default()
+        },
     )
     .expect("fig1 local certifies");
-    push(&mut local, &mut rows, "local exact", exact_local.output_ranges[0], (0.0, 0.125));
+    push(
+        &mut local,
+        &mut rows,
+        "local exact",
+        exact_local.output_ranges[0],
+        (0.0, 0.125),
+    );
 
     let nd_local = certify_local(
         &net,
         &[0.0, 0.0],
         DELTA,
         None,
-        &CertifyOptions { relaxation: Relaxation::Exact, window: 1, ..Default::default() },
+        &CertifyOptions {
+            relaxation: Relaxation::Exact,
+            window: 1,
+            ..Default::default()
+        },
     )
     .expect("fig1 local certifies");
-    push(&mut local, &mut rows, "local ND (W=1)", nd_local.output_ranges[0], (0.0, 0.15));
+    push(
+        &mut local,
+        &mut rows,
+        "local ND (W=1)",
+        nd_local.output_ranges[0],
+        (0.0, 0.15),
+    );
 
     let lpr_local = oneshot_local(&aff, &[0.0, 0.0], DELTA, None, Relaxation::Lpr, 0, &solver)
         .expect("fig1 local lpr");
-    push(&mut local, &mut rows, "local LPR", lpr_local.x[0], (0.0, 0.144));
+    push(
+        &mut local,
+        &mut rows,
+        "local LPR",
+        lpr_local.x[0],
+        (0.0, 0.144),
+    );
     local.print();
 
     // ---------------- Global robustness ----------------
@@ -75,9 +101,23 @@ fn main() {
         &["method", "ours", "paper"],
     );
 
-    let exact = oneshot_global(&aff, &DOM, DELTA, EncodingKind::Itne, Relaxation::Exact, 0, &solver)
-        .expect("exact");
-    push(&mut global, &mut rows, "exact (Eq. 1 MILP)", exact.dx[0], (-0.2, 0.2));
+    let exact = oneshot_global(
+        &aff,
+        &DOM,
+        DELTA,
+        EncodingKind::Itne,
+        Relaxation::Exact,
+        0,
+        &solver,
+    )
+    .expect("exact");
+    push(
+        &mut global,
+        &mut rows,
+        "exact (Eq. 1 MILP)",
+        exact.dx[0],
+        (-0.2, 0.2),
+    );
 
     let btne_nd = certify_global_affine(
         &aff,
@@ -91,31 +131,73 @@ fn main() {
         },
     )
     .expect("btne nd");
-    push(&mut global, &mut rows, "BTNE ND (W=1)", btne_nd.bounds.dx[1][0], (-1.5, 1.5));
+    push(
+        &mut global,
+        &mut rows,
+        "BTNE ND (W=1)",
+        btne_nd.bounds.dx[1][0],
+        (-1.5, 1.5),
+    );
 
-    let btne_lpr =
-        oneshot_global(&aff, &DOM, DELTA, EncodingKind::Btne, Relaxation::Lpr, 0, &solver)
-            .expect("btne lpr");
+    let btne_lpr = oneshot_global(
+        &aff,
+        &DOM,
+        DELTA,
+        EncodingKind::Btne,
+        Relaxation::Lpr,
+        0,
+        &solver,
+    )
+    .expect("btne lpr");
     // The paper composes one-sided bounds and reports [-2.85, 1.5]; our
     // coupled LP over the same relaxation is tighter (see EXPERIMENTS.md).
-    push(&mut global, &mut rows, "BTNE LPR", btne_lpr.dx[0], (-2.85, 1.5));
+    push(
+        &mut global,
+        &mut rows,
+        "BTNE LPR",
+        btne_lpr.dx[0],
+        (-2.85, 1.5),
+    );
 
     let itne_nd = certify_global_affine(
         &aff,
         &DOM,
         DELTA,
-        &CertifyOptions { window: 1, relaxation: Relaxation::Exact, ..Default::default() },
+        &CertifyOptions {
+            window: 1,
+            relaxation: Relaxation::Exact,
+            ..Default::default()
+        },
     )
     .expect("itne nd");
-    push(&mut global, &mut rows, "ITNE ND (W=1)", itne_nd.bounds.dx[1][0], (-0.3, 0.3));
+    push(
+        &mut global,
+        &mut rows,
+        "ITNE ND (W=1)",
+        itne_nd.bounds.dx[1][0],
+        (-0.3, 0.3),
+    );
 
-    let itne_lpr =
-        oneshot_global(&aff, &DOM, DELTA, EncodingKind::Itne, Relaxation::Lpr, 0, &solver)
-            .expect("itne lpr");
-    push(&mut global, &mut rows, "ITNE LPR", itne_lpr.dx[0], (-0.275, 0.275));
+    let itne_lpr = oneshot_global(
+        &aff,
+        &DOM,
+        DELTA,
+        EncodingKind::Itne,
+        Relaxation::Lpr,
+        0,
+        &solver,
+    )
+    .expect("itne lpr");
+    push(
+        &mut global,
+        &mut rows,
+        "ITNE LPR",
+        itne_lpr.dx[0],
+        (-0.275, 0.275),
+    );
 
-    let alg1 = certify_global_affine(&aff, &DOM, DELTA, &CertifyOptions::default())
-        .expect("algorithm 1");
+    let alg1 =
+        certify_global_affine(&aff, &DOM, DELTA, &CertifyOptions::default()).expect("algorithm 1");
     push(
         &mut global,
         &mut rows,
@@ -127,11 +209,7 @@ fn main() {
 
     println!("\ntightness vs exact width 0.4:");
     for r in &rows[4..] {
-        println!(
-            "  {:<20} {:.2}×",
-            r.method,
-            (r.ours_hi - r.ours_lo) / 0.4
-        );
+        println!("  {:<20} {:.2}×", r.method, (r.ours_hi - r.ours_lo) / 0.4);
     }
     save_json("fig4", &rows);
 }

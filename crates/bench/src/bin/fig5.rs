@@ -17,7 +17,11 @@ fn main() {
     let mut rng = StdRng::seed_from_u64(5);
 
     // (b) Example images captured by the ego vehicle at several distances.
-    for (name, d) in [("fig5b_near", 0.6), ("fig5b_nominal", 1.2), ("fig5b_far", 1.8)] {
+    for (name, d) in [
+        ("fig5b_near", 0.6),
+        ("fig5b_nominal", 1.2),
+        ("fig5b_far", 1.8),
+    ] {
         let img = render_scene(&spec, d, 0.2, 1.0, 0.01, &mut rng);
         save_pgm(name, spec.width, spec.height, &img);
         println!("{name}: distance {d} → mean intensity {:.3}", mean(&img));
@@ -32,8 +36,7 @@ fn main() {
     save_pgm("fig5c_domain_lower", spec.width, spec.height, &lower);
     save_pgm("fig5d_domain_upper", spec.width, spec.height, &upper);
 
-    let width: f64 =
-        bounds.iter().map(|b| b.1 - b.0).sum::<f64>() / bounds.len() as f64;
+    let width: f64 = bounds.iter().map(|b| b.1 - b.0).sum::<f64>() / bounds.len() as f64;
     println!(
         "input space: {} pixels, mean per-pixel range {:.3} (static background narrows the domain)",
         bounds.len(),

@@ -54,7 +54,17 @@ fn main() {
 
     let mut table = Table::new(
         "Table I: global robustness certification across network sizes",
-        &["ID", "Layers", "Neurons", "tR", "tM", "tour", "ε̲ (PGD)", "ε (exact)", "ε̄ (ours)"],
+        &[
+            "ID",
+            "Layers",
+            "Neurons",
+            "tR",
+            "tM",
+            "tour",
+            "ε̲ (PGD)",
+            "ε (exact)",
+            "ε̄ (ours)",
+        ],
     );
     let mut rows = Vec::new();
 
@@ -110,8 +120,18 @@ fn fmt_time(t: Option<f64>, exact: bool, budget: Duration) -> String {
 }
 
 fn run_row(bench: &BenchNet, budget: Duration, quick: bool) -> Row {
-    let BenchNet { id, layers, net, data, domain, delta } = bench;
-    eprintln!("-- DNN-{id} ({layers}, {} hidden neurons)", net.hidden_neurons());
+    let BenchNet {
+        id,
+        layers,
+        net,
+        data,
+        domain,
+        delta,
+    } = bench;
+    eprintln!(
+        "-- DNN-{id} ({layers}, {} hidden neurons)",
+        net.hidden_neurons()
+    );
     let mut row = Row {
         id: *id,
         layers: layers.clone(),
@@ -123,7 +143,12 @@ fn run_row(bench: &BenchNet, budget: Duration, quick: bool) -> Row {
     // --- Ours: the paper's settings (W=2 refine half for FC; W=3 refine 30
     //     for conv). ---
     let opts = if is_conv {
-        CertifyOptions { window: 3, refine: 30, threads: 2, ..Default::default() }
+        CertifyOptions {
+            window: 3,
+            refine: 30,
+            threads: 2,
+            ..Default::default()
+        }
     } else {
         // Paper: half the hidden neurons refined. Each refined neuron costs
         // a binary per sub-problem; bound the count in quick mode so the
@@ -133,7 +158,12 @@ fn run_row(bench: &BenchNet, budget: Duration, quick: bool) -> Row {
         } else {
             net.hidden_neurons() / 2
         };
-        CertifyOptions { window: 2, refine, threads: 2, ..Default::default() }
+        CertifyOptions {
+            window: 2,
+            refine,
+            threads: 2,
+            ..Default::default()
+        }
     };
     let t0 = Instant::now();
     let ours = certify_global(net, domain, *delta, &opts).expect("certification runs");
@@ -156,10 +186,15 @@ fn run_row(bench: &BenchNet, budget: Duration, quick: bool) -> Row {
         }
 
         let t0 = Instant::now();
-        let split = split_global(net, domain, *delta, &SplitOptions {
-            deadline: Some(Instant::now() + budget),
-            ..Default::default()
-        })
+        let split = split_global(
+            net,
+            domain,
+            *delta,
+            &SplitOptions {
+                deadline: Some(Instant::now() + budget),
+                ..Default::default()
+            },
+        )
         .expect("split solver runs");
         row.t_split_s = Some(t0.elapsed().as_secs_f64());
         row.split_exact = split.exact;

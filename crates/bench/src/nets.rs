@@ -82,7 +82,13 @@ pub fn auto_mpg_net(id: usize, width: usize) -> BenchNet {
             &mut net,
             &data,
             &mut opt,
-            &TrainConfig { epochs: 150, batch_size: 32, loss: Loss::Mse, seed: 3, verbose: false },
+            &TrainConfig {
+                epochs: 150,
+                batch_size: 32,
+                loss: Loss::Mse,
+                seed: 3,
+                verbose: false,
+            },
         );
         net
     });
@@ -178,7 +184,11 @@ mod tests {
     #[test]
     fn digit_nets_learn_the_task() {
         let b = digits_net(6, 1);
-        assert!(accuracy(&b.net, &b.data) > 0.9, "accuracy {}", accuracy(&b.net, &b.data));
+        assert!(
+            accuracy(&b.net, &b.data) > 0.9,
+            "accuracy {}",
+            accuracy(&b.net, &b.data)
+        );
         // conv(4,s2): 4·7·7 = 196, + FC 32 → 228 hidden.
         assert_eq!(b.net.hidden_neurons(), 228);
     }

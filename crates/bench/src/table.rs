@@ -114,7 +114,11 @@ pub fn save_pgm(name: &str, width: usize, height: usize, values: &[f64]) {
     let _ = std::fs::create_dir_all(&dir);
     let path = dir.join(format!("{name}.pgm"));
     let mut bytes = format!("P5\n{width} {height}\n255\n").into_bytes();
-    bytes.extend(values.iter().map(|v| (v.clamp(0.0, 1.0) * 255.0).round() as u8));
+    bytes.extend(
+        values
+            .iter()
+            .map(|v| (v.clamp(0.0, 1.0) * 255.0).round() as u8),
+    );
     if let Err(e) = std::fs::write(&path, bytes) {
         eprintln!("warning: could not write {}: {e}", path.display());
     } else {
@@ -133,7 +137,10 @@ mod tests {
         t.row(&["22".into(), "much longer cell".into()]);
         let s = t.render();
         assert!(s.contains("== demo =="));
-        assert!(s.lines().all(|l| l.is_empty() || l.starts_with('+') || l.starts_with('|') || l.starts_with("==")));
+        assert!(s.lines().all(|l| l.is_empty()
+            || l.starts_with('+')
+            || l.starts_with('|')
+            || l.starts_with("==")));
     }
 
     #[test]

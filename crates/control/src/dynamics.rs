@@ -40,7 +40,10 @@ pub struct AccState {
 impl AccState {
     /// The nominal operating point `d = 1.2, v = 0.4`.
     pub fn nominal() -> Self {
-        AccState { distance: D_NOMINAL, speed: V_NOMINAL }
+        AccState {
+            distance: D_NOMINAL,
+            speed: V_NOMINAL,
+        }
     }
 
     /// Normalized state `x = [d − 1.2, v_e − 0.4]`.
@@ -50,7 +53,10 @@ impl AccState {
 
     /// Back from normalized coordinates.
     pub fn from_normalized(x: [f64; 2]) -> Self {
-        AccState { distance: x[0] + D_NOMINAL, speed: x[1] + V_NOMINAL }
+        AccState {
+            distance: x[0] + D_NOMINAL,
+            speed: x[1] + V_NOMINAL,
+        }
     }
 }
 
@@ -65,7 +71,10 @@ pub struct SafeSet {
 
 impl Default for SafeSet {
     fn default() -> Self {
-        SafeSet { distance: (0.5, 1.9), speed: (0.1, 0.7) }
+        SafeSet {
+            distance: (0.5, 1.9),
+            speed: (0.1, 0.7),
+        }
     }
 }
 
@@ -149,7 +158,10 @@ mod tests {
     #[test]
     fn physical_step_matches_matrix_form() {
         let dyn_ = AccDynamics;
-        let s = AccState { distance: 1.35, speed: 0.52 };
+        let s = AccState {
+            distance: 1.35,
+            speed: 0.52,
+        };
         let (u, vr, w2) = (0.4, 0.27, [2e-4, -1e-5]);
         let next = dyn_.step(s, u, vr, w2);
 
@@ -182,8 +194,14 @@ mod tests {
     fn safe_set_checks_both_coordinates() {
         let safe = SafeSet::default();
         assert!(safe.contains(AccState::nominal()));
-        assert!(!safe.contains(AccState { distance: 0.4, speed: 0.4 }));
-        assert!(!safe.contains(AccState { distance: 1.0, speed: 0.75 }));
+        assert!(!safe.contains(AccState {
+            distance: 0.4,
+            speed: 0.4
+        }));
+        assert!(!safe.contains(AccState {
+            distance: 1.0,
+            speed: 0.75
+        }));
         assert_eq!(safe.normalized_half_widths(), [0.7, 0.3]);
     }
 
@@ -192,7 +210,10 @@ mod tests {
     #[test]
     fn closed_loop_is_stable() {
         let dyn_ = AccDynamics;
-        let mut s = AccState { distance: 1.5, speed: 0.3 };
+        let mut s = AccState {
+            distance: 1.5,
+            speed: 0.3,
+        };
         for _ in 0..600 {
             let u = AccDynamics::control(s.normalized());
             s = dyn_.step(s, u, V_NOMINAL, [0.0, 0.0]);

@@ -64,7 +64,10 @@ pub fn mrpi_box(a: [f64; 4], c: [f64; 2]) -> [f64; 2] {
             h[1] += slack;
             return h;
         }
-        assert!(k < 1_000_000, "closed loop does not contract; series diverges");
+        assert!(
+            k < 1_000_000,
+            "closed loop does not contract; series diverges"
+        );
     }
 }
 
@@ -72,7 +75,9 @@ pub fn mrpi_box(a: [f64; 4], c: [f64; 2]) -> [f64; 2] {
 fn disturbance_box(beta: f64) -> [f64; 2] {
     let b = AccDynamics::b();
     let e = AccDynamics::e();
-    let w1 = (V_NOMINAL - VR_RANGE.0).abs().max((V_NOMINAL - VR_RANGE.1).abs());
+    let w1 = (V_NOMINAL - VR_RANGE.0)
+        .abs()
+        .max((V_NOMINAL - VR_RANGE.1).abs());
     [
         (b[0] * K_GAIN[0]).abs() * beta + e[0].abs() * w1 + WD_BOUND,
         (b[1] * K_GAIN[0]).abs() * beta + e[1].abs() * w1 + WV_BOUND,
@@ -150,7 +155,11 @@ mod tests {
         for phase in 0..8 {
             let mut x = [0.0f64, 0.0];
             for k in 0..4000 {
-                let s = if (k / (phase + 3)) % 2 == 0 { 1.0 } else { -1.0 };
+                let s = if (k / (phase + 3)) % 2 == 0 {
+                    1.0
+                } else {
+                    -1.0
+                };
                 let w = [s * c[0], -s * c[1]];
                 x = [
                     a[0] * x[0] + a[1] * x[1] + w[0],

@@ -111,9 +111,14 @@ impl PerceptionModel {
             let unit = vec![(0.0, 1.0); net.input_dim()];
             for (img, t) in data.inputs.iter().zip(&data.targets) {
                 for sign in [1.0, -1.0] {
-                    fine_data
-                        .inputs
-                        .push(fgsm_perturb(&net, img, cfg.adversarial, 0, sign, Some(&unit)));
+                    fine_data.inputs.push(fgsm_perturb(
+                        &net,
+                        img,
+                        cfg.adversarial,
+                        0,
+                        sign,
+                        Some(&unit),
+                    ));
                     fine_data.targets.push(t.clone());
                 }
             }
@@ -121,7 +126,14 @@ impl PerceptionModel {
         let mut fine = Adam::with_weight_decay(cfg.learning_rate / 4.0, cfg.weight_decay);
         let report2 = train(&mut net, &fine_data, &mut fine, &tc(cfg.epochs - stage1));
         report.loss_history.extend(report2.loss_history);
-        (PerceptionModel { net, spec: cfg.spec }, data, report)
+        (
+            PerceptionModel {
+                net,
+                spec: cfg.spec,
+            },
+            data,
+            report,
+        )
     }
 
     /// Distance estimate for one image.
@@ -157,7 +169,7 @@ mod tests {
         // full epoch budget to converge; this is a smoke-test setting.
         PerceptionConfig {
             train_samples: 400,
-            epochs: 30,
+            epochs: 45,
             weight_decay: 0.005,
             ..Default::default()
         }
@@ -206,6 +218,8 @@ mod tests {
         let (model, data, _) = PerceptionModel::train_new(&quick_cfg());
         let dom = model.input_domain(&data, 2.0 / 255.0);
         assert_eq!(dom.len(), model.spec.pixels());
-        assert!(dom.iter().all(|&(lo, hi)| (0.0..=1.0).contains(&lo) && lo <= hi && hi <= 1.0));
+        assert!(dom
+            .iter()
+            .all(|&(lo, hi)| (0.0..=1.0).contains(&lo) && lo <= hi && hi <= 1.0));
     }
 }

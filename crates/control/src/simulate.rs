@@ -24,7 +24,12 @@ pub struct SimConfig {
 
 impl Default for SimConfig {
     fn default() -> Self {
-        SimConfig { episodes: 20, steps: 300, delta: 2.0 / 255.0, seed: 7 }
+        SimConfig {
+            episodes: 20,
+            steps: 300,
+            delta: 2.0 / 255.0,
+            seed: 7,
+        }
     }
 }
 
@@ -65,7 +70,10 @@ pub fn simulate(
 ) -> SimReport {
     let dynamics = AccDynamics;
     let mut rng = StdRng::seed_from_u64(cfg.seed);
-    let mut report = SimReport { episodes: cfg.episodes, ..Default::default() };
+    let mut report = SimReport {
+        episodes: cfg.episodes,
+        ..Default::default()
+    };
 
     for _ in 0..cfg.episodes {
         let mut state = AccState {
@@ -82,7 +90,14 @@ pub fn simulate(
             // Camera capture with natural scene variation.
             let lateral = rng.random_range(-0.45..0.45);
             let brightness = rng.random_range(0.96..1.04);
-            let image = render_scene(&model.spec, state.distance, lateral, brightness, 0.01, &mut rng);
+            let image = render_scene(
+                &model.spec,
+                state.distance,
+                lateral,
+                brightness,
+                0.01,
+                &mut rng,
+            );
 
             // Adversarial perturbation maximizing estimation deviation.
             let observed = if cfg.delta > 0.0 {
@@ -126,7 +141,11 @@ mod tests {
     use crate::perception::{PerceptionConfig, PerceptionModel};
 
     fn quick_model() -> PerceptionModel {
-        let cfg = PerceptionConfig { train_samples: 400, epochs: 20, ..Default::default() };
+        let cfg = PerceptionConfig {
+            train_samples: 400,
+            epochs: 35,
+            ..Default::default()
+        };
         PerceptionModel::train_new(&cfg).0
     }
 
@@ -137,9 +156,17 @@ mod tests {
             &model,
             0.2,
             &SafeSet::default(),
-            &SimConfig { episodes: 5, steps: 200, delta: 0.0, seed: 3 },
+            &SimConfig {
+                episodes: 5,
+                steps: 200,
+                delta: 0.0,
+                seed: 3,
+            },
         );
-        assert_eq!(report.unsafe_episodes, 0, "nominal loop went unsafe: {report:?}");
+        assert_eq!(
+            report.unsafe_episodes, 0,
+            "nominal loop went unsafe: {report:?}"
+        );
     }
 
     #[test]
@@ -150,7 +177,12 @@ mod tests {
                 &model,
                 f64::INFINITY,
                 &SafeSet::default(),
-                &SimConfig { episodes: 3, steps: 100, delta, seed: 5 },
+                &SimConfig {
+                    episodes: 3,
+                    steps: 100,
+                    delta,
+                    seed: 5,
+                },
             )
         };
         let clean = mk(0.0);
@@ -166,7 +198,12 @@ mod tests {
     #[test]
     fn report_counts_are_consistent() {
         let model = quick_model();
-        let cfg = SimConfig { episodes: 2, steps: 50, delta: 0.0, seed: 1 };
+        let cfg = SimConfig {
+            episodes: 2,
+            steps: 50,
+            delta: 0.0,
+            seed: 1,
+        };
         let r = simulate(&model, 0.0, &SafeSet::default(), &cfg);
         assert_eq!(r.total_steps, 100);
         // dd_bound = 0 ⇒ every step exceeds (estimator is never exact).

@@ -5,7 +5,12 @@ use itne_control::invariant::{analyze, mrpi_box};
 use proptest::prelude::*;
 
 proptest! {
-    #![proptest_config(ProptestConfig::with_cases(128))]
+    // Fixed seed + bounded case count: CI runs are deterministic and any
+    // failure reproduces locally with no persistence files.
+    #![proptest_config(ProptestConfig {
+        rng_seed: 0x17de_c0de_0005,
+        ..ProptestConfig::with_cases(128)
+    })]
 
     /// Normalized-coordinate round trip is exact.
     #[test]

@@ -82,7 +82,11 @@ impl CertifyOptions {
     /// The paper's headline configuration: ITNE + LPR with the given window
     /// and per-sub-problem refinement count.
     pub fn paper(window: usize, refine: usize) -> Self {
-        CertifyOptions { window, refine, ..Default::default() }
+        CertifyOptions {
+            window,
+            refine,
+            ..Default::default()
+        }
     }
 
     fn encode_options(&self, delta: f64) -> EncodeOptions {
@@ -174,11 +178,18 @@ pub fn certify_global_affine(
     opts: &CertifyOptions,
 ) -> Result<GlobalReport, CertifyError> {
     validate(aff, domain, delta, opts)?;
-    let domain: Vec<Interval> = domain.iter().map(|&(lo, hi)| Interval::new(lo, hi)).collect();
+    let domain: Vec<Interval> = domain
+        .iter()
+        .map(|&(lo, hi)| Interval::new(lo, hi))
+        .collect();
     let t0 = Instant::now();
     let (bounds, mut stats) = propagate(aff, &domain, delta, opts);
     stats.wall = t0.elapsed();
-    Ok(GlobalReport { epsilons: bounds.epsilons(), bounds, stats })
+    Ok(GlobalReport {
+        epsilons: bounds.epsilons(),
+        bounds,
+        stats,
+    })
 }
 
 fn validate(
@@ -194,11 +205,18 @@ fn validate(
             aff.input_dim
         )));
     }
-    if domain.iter().any(|&(lo, hi)| !lo.is_finite() || !hi.is_finite() || lo > hi) {
-        return Err(CertifyError::InvalidInput("domain box must be finite and ordered".into()));
+    if domain
+        .iter()
+        .any(|&(lo, hi)| !lo.is_finite() || !hi.is_finite() || lo > hi)
+    {
+        return Err(CertifyError::InvalidInput(
+            "domain box must be finite and ordered".into(),
+        ));
     }
-    if !(delta >= 0.0) {
-        return Err(CertifyError::InvalidInput(format!("delta must be ≥ 0, got {delta}")));
+    if delta.is_nan() || delta < 0.0 {
+        return Err(CertifyError::InvalidInput(format!(
+            "delta must be ≥ 0, got {delta}"
+        )));
     }
     if opts.window == 0 {
         return Err(CertifyError::InvalidInput("window must be ≥ 1".into()));
@@ -307,7 +325,13 @@ fn process_neuron(
 
     // --- LpRelaxY: ranges of (y, Δy). ---
     let mut enc_y = encode_subnet(&sub, bounds, TargetKind::PreActivation, &enc_opts);
-    let (yr, dyr) = lp_relax_y(&mut enc_y, bounds.y[li][j], bounds.dy[li][j], solver, &mut stats);
+    let (yr, dyr) = lp_relax_y(
+        &mut enc_y,
+        bounds.y[li][j],
+        bounds.dy[li][j],
+        solver,
+        &mut stats,
+    );
     let mut subproblems = 1;
 
     // --- LpRelaxX: ranges of (x, Δx). ---
@@ -327,13 +351,27 @@ fn process_neuron(
             x: yr.relu(),
             dx: fallback_dx(yr, dyr, opts.encoding),
         };
-        let mut enc_x =
-            encode_subnet_with(&sub, bounds, TargetKind::PostActivation, &enc_opts, Some(over));
+        let mut enc_x = encode_subnet_with(
+            &sub,
+            bounds,
+            TargetKind::PostActivation,
+            &enc_opts,
+            Some(over),
+        );
         let (x, dx) = lp_relax_x(&mut enc_x, over.x, over.dx, solver, &mut stats);
         (x, dx, 0)
     };
 
-    NeuronResult { j, y: yr, dy: dyr, x: xr, dx: dxr, stats, subproblems, closed_form: closed }
+    NeuronResult {
+        j,
+        y: yr,
+        dy: dyr,
+        x: xr,
+        dx: dxr,
+        stats,
+        subproblems,
+        closed_form: closed,
+    }
 }
 
 /// Sound fallback for the target's `Δx` given fresh `(y, Δy)` ranges.
@@ -381,8 +419,10 @@ fn closed_form_applies(
             let yhr = yr.add(dyr);
             let both_stable = (yr.stable_active() && yhr.stable_active())
                 || (yr.stable_inactive() && yhr.stable_inactive());
-            let both_unstable = !(yr.stable_active() || yr.stable_inactive())
-                && !(yhr.stable_active() || yhr.stable_inactive());
+            let both_unstable = !(yr.stable_active()
+                || yr.stable_inactive()
+                || yhr.stable_active()
+                || yhr.stable_inactive());
             // Mixed phases admit exact linear couplings (x̂ = ŷ etc.) that
             // make the LP strictly tighter than the corner formula, so only
             // the two symmetric cases use the closed form.
@@ -434,7 +474,10 @@ mod tests {
         let r = certify_global(&net, &DOM, 0.1, &opts).unwrap();
         for j in 0..2 {
             let d = r.bounds.dx[0][j];
-            assert!((d.lo + 0.15).abs() < 1e-5 && (d.hi - 0.15).abs() < 1e-5, "Δx⁽¹⁾ {d}");
+            assert!(
+                (d.lo + 0.15).abs() < 1e-5 && (d.hi - 0.15).abs() < 1e-5,
+                "Δx⁽¹⁾ {d}"
+            );
         }
         assert!((r.epsilon(0) - 0.3).abs() < 1e-5, "ε = {}", r.epsilon(0));
     }
@@ -483,7 +526,13 @@ mod tests {
             };
             let a = certify_global(&net, &DOM, 0.1, &mk(true)).unwrap();
             let b = certify_global(&net, &DOM, 0.1, &mk(false)).unwrap();
-            for (da, db) in a.bounds.dx.iter().flatten().zip(b.bounds.dx.iter().flatten()) {
+            for (da, db) in a
+                .bounds
+                .dx
+                .iter()
+                .flatten()
+                .zip(b.bounds.dx.iter().flatten())
+            {
                 assert!(
                     (da.lo - db.lo).abs() < 1e-6 && (da.hi - db.hi).abs() < 1e-6,
                     "closed form {da} vs LP {db} (refine {refine})"
@@ -502,7 +551,10 @@ mod tests {
             &net,
             &DOM,
             0.1,
-            &CertifyOptions { threads: 4, ..Default::default() },
+            &CertifyOptions {
+                threads: 4,
+                ..Default::default()
+            },
         )
         .unwrap();
         assert_eq!(serial.epsilons, parallel.epsilons);
@@ -517,7 +569,10 @@ mod tests {
                 &net,
                 &DOM,
                 0.1,
-                &CertifyOptions { refine: r, ..Default::default() },
+                &CertifyOptions {
+                    refine: r,
+                    ..Default::default()
+                },
             )
             .unwrap()
             .epsilon(0)
@@ -552,7 +607,10 @@ mod tests {
             &aff,
             &DOM,
             0.1,
-            &CertifyOptions { window: 0, ..Default::default() }
+            &CertifyOptions {
+                window: 0,
+                ..Default::default()
+            }
         )
         .is_err());
         assert!(certify_global_affine(&aff, &[(1.0, -1.0), (0.0, 1.0)], 0.1, &opts).is_err());

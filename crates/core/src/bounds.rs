@@ -31,15 +31,34 @@ impl TwinBounds {
     /// Empty bound storage shaped like `net`, with every interval set to the
     /// (unusable) empty placeholder `[+∞, -∞]` union identity.
     pub fn empty_like(net: &AffineNetwork, input: Vec<Interval>, dinput: Vec<Interval>) -> Self {
-        let placeholder = Interval { lo: f64::INFINITY, hi: f64::NEG_INFINITY };
+        let placeholder = Interval {
+            lo: f64::INFINITY,
+            hi: f64::NEG_INFINITY,
+        };
         let shape = |_: usize| placeholder;
         TwinBounds {
             input,
             dinput,
-            y: net.layers.iter().map(|l| (0..l.width()).map(shape).collect()).collect(),
-            dy: net.layers.iter().map(|l| (0..l.width()).map(shape).collect()).collect(),
-            x: net.layers.iter().map(|l| (0..l.width()).map(shape).collect()).collect(),
-            dx: net.layers.iter().map(|l| (0..l.width()).map(shape).collect()).collect(),
+            y: net
+                .layers
+                .iter()
+                .map(|l| (0..l.width()).map(shape).collect())
+                .collect(),
+            dy: net
+                .layers
+                .iter()
+                .map(|l| (0..l.width()).map(shape).collect())
+                .collect(),
+            x: net
+                .layers
+                .iter()
+                .map(|l| (0..l.width()).map(shape).collect())
+                .collect(),
+            dx: net
+                .layers
+                .iter()
+                .map(|l| (0..l.width()).map(shape).collect())
+                .collect(),
         }
     }
 
@@ -65,7 +84,10 @@ impl TwinBounds {
     /// The per-output `ε̄` implied by the final layer's distance ranges —
     /// Algorithm 1's line 14: `ε̄ = max(|Δx⁽ⁿ⁾.lo|, |Δx⁽ⁿ⁾.hi|)`.
     pub fn epsilons(&self) -> Vec<f64> {
-        self.dx.last().map(|last| last.iter().map(|i| i.max_abs()).collect()).unwrap_or_default()
+        self.dx
+            .last()
+            .map(|last| last.iter().map(|i| i.max_abs()).collect())
+            .unwrap_or_default()
     }
 
     /// Replaces the interleaved distance ranges by what the *basic*

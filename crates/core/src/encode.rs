@@ -285,15 +285,19 @@ pub fn encode_subnet_with(
                     nv.dx = nv.dy;
                     nv.xh = nv.yh;
                 } else {
-                    let exact = opts.relax == Relaxation::Exact
-                        || refined.contains(&(layer, j));
+                    let exact = opts.relax == Relaxation::Exact || refined.contains(&(layer, j));
                     if exact {
                         enc.refined += 1;
                     }
                     encode_relu(
                         &mut model,
                         &mut nv,
-                        Ranges { y: yr0, dy: dyr0, x: xr0, dx: dxr0 },
+                        Ranges {
+                            y: yr0,
+                            dy: dyr0,
+                            x: xr0,
+                            dx: dxr0,
+                        },
                         exact,
                         opts,
                         &mut enc,
@@ -309,7 +313,11 @@ pub fn encode_subnet_with(
         model,
         vars,
         binaries: enc.binaries,
-        refined: if opts.relax == Relaxation::Lpr { enc.refined } else { 0 },
+        refined: if opts.relax == Relaxation::Lpr {
+            enc.refined
+        } else {
+            0
+        },
         relaxed: enc.relaxed,
     }
 }
@@ -416,17 +424,9 @@ fn encode_relu(
                         // x̂ ≤ ŷ + M(1 − z) with M = −ŷ.lo, i.e.
                         // x̂ − ŷ + M·z ≤ M.
                         let m_lo = -yhr.lo + BOUND_EPS;
-                        model.add_constraint(
-                            x + dx - y - dy + m_lo * zh,
-                            Cmp::Le,
-                            m_lo,
-                        );
+                        model.add_constraint(x + dx - y - dy + m_lo * zh, Cmp::Le, m_lo);
                         // x̂ ≤ ŷ.hi·z
-                        model.add_constraint(
-                            x + dx - (yhr.hi + BOUND_EPS) * zh,
-                            Cmp::Le,
-                            0.0,
-                        );
+                        model.add_constraint(x + dx - (yhr.hi + BOUND_EPS) * zh, Cmp::Le, 0.0);
                     } else {
                         // Paper Eq. 6: l(u−Δy)/(u−l) ≤ Δx ≤ u(Δy−l)/(u−l),
                         // written in the fraction-free scaled form.
@@ -549,7 +549,10 @@ mod tests {
         m.set_objective(Sense::Minimize, 1.0 * t.dx.unwrap());
         let lo = m.solve().unwrap().objective;
         assert!((hi - 0.275).abs() < 1e-6, "max Δx = {hi}, paper says 0.275");
-        assert!((lo + 0.275).abs() < 1e-6, "min Δx = {lo}, paper says -0.275");
+        assert!(
+            (lo + 0.275).abs() < 1e-6,
+            "min Δx = {lo}, paper says -0.275"
+        );
     }
 
     /// Relaxed BTNE on the whole net: the paper's Fig. 4 reports
@@ -578,9 +581,15 @@ mod tests {
         m.set_objective(Sense::Minimize, dxe());
         let lo = m.solve().unwrap().objective;
         // Sound: must contain the exact [-0.2, 0.2].
-        assert!(lo <= -0.2 + 1e-6 && hi >= 0.2 - 1e-6, "[{lo}, {hi}] not sound");
+        assert!(
+            lo <= -0.2 + 1e-6 && hi >= 0.2 - 1e-6,
+            "[{lo}, {hi}] not sound"
+        );
         // Much looser than ITNE-LPR's ±0.275 — the encoding gap.
-        assert!(hi > 1.0 && lo < -1.0, "BTNE unexpectedly tight: [{lo}, {hi}]");
+        assert!(
+            hi > 1.0 && lo < -1.0,
+            "BTNE unexpectedly tight: [{lo}, {hi}]"
+        );
         // Regression lock on the coupled-LP value.
         assert!((hi - 1.34375).abs() < 1e-6, "max Δx = {hi}");
         assert!((lo + 1.34375).abs() < 1e-6, "min Δx = {lo}");

@@ -122,10 +122,18 @@ mod tests {
     #[test]
     fn fig1_exact_epsilon_matches_paper() {
         let net = fig1_network();
-        let report =
-            exact_global(&net, &[(-1.0, 1.0), (-1.0, 1.0)], 0.1, SolveOptions::default())
-                .unwrap();
-        assert!((report.epsilon(0) - 0.2).abs() < 1e-5, "ε = {}", report.epsilon(0));
+        let report = exact_global(
+            &net,
+            &[(-1.0, 1.0), (-1.0, 1.0)],
+            0.1,
+            SolveOptions::default(),
+        )
+        .unwrap();
+        assert!(
+            (report.epsilon(0) - 0.2).abs() < 1e-5,
+            "ε = {}",
+            report.epsilon(0)
+        );
         assert_eq!(report.stats.query.fallbacks, 0);
     }
 
@@ -136,6 +144,10 @@ mod tests {
         let net = fig1_network();
         let lower = sampled_lower_bound(&net, &[(-1.0, 1.0), (-1.0, 1.0)], 0.1, 41, 8);
         assert!(lower[0] <= 0.2 + 1e-9);
-        assert!(lower[0] > 0.19, "sampled lower bound too weak: {}", lower[0]);
+        assert!(
+            lower[0] > 0.19,
+            "sampled lower bound too weak: {}",
+            lower[0]
+        );
     }
 }

@@ -20,7 +20,11 @@ use itne_nn::AffineNetwork;
 ///
 /// Panics if `domain.len()` differs from the network input dimension.
 pub fn ibp_twin(net: &AffineNetwork, domain: &[Interval], delta: f64) -> TwinBounds {
-    assert_eq!(domain.len(), net.input_dim, "domain/input dimension mismatch");
+    assert_eq!(
+        domain.len(),
+        net.input_dim,
+        "domain/input dimension mismatch"
+    );
     let dinput = vec![Interval::symmetric(delta); net.input_dim];
     let mut b = TwinBounds::empty_like(net, domain.to_vec(), dinput);
 
@@ -64,7 +68,10 @@ mod tests {
         let b = ibp_twin(&net, &domain, 0.1);
 
         let close = |a: Interval, b: Interval| {
-            assert!((a.lo - b.lo).abs() < 1e-12 && (a.hi - b.hi).abs() < 1e-12, "{a} vs {b}");
+            assert!(
+                (a.lo - b.lo).abs() < 1e-12 && (a.hi - b.hi).abs() < 1e-12,
+                "{a} vs {b}"
+            );
         };
         for j in 0..2 {
             close(b.y[0][j], Interval::new(-1.5, 1.5));
@@ -95,10 +102,7 @@ mod tests {
         };
         for _ in 0..500 {
             let x = [next() * 2.0 - 1.0, next() * 2.0 - 1.0];
-            let p = [
-                (next() * 2.0 - 1.0) * delta,
-                (next() * 2.0 - 1.0) * delta,
-            ];
+            let p = [(next() * 2.0 - 1.0) * delta, (next() * 2.0 - 1.0) * delta];
             let xh = [
                 (x[0] + p[0]).clamp(-1.0, 1.0),
                 (x[1] + p[1]).clamp(-1.0, 1.0),

@@ -61,32 +61,51 @@ impl Interval {
     }
 
     /// Minkowski sum.
+    #[allow(clippy::should_implement_trait)]
     pub fn add(self, other: Interval) -> Interval {
-        Interval { lo: self.lo + other.lo, hi: self.hi + other.hi }
+        Interval {
+            lo: self.lo + other.lo,
+            hi: self.hi + other.hi,
+        }
     }
 
     /// Shift by a scalar.
     pub fn shift(self, k: f64) -> Interval {
-        Interval { lo: self.lo + k, hi: self.hi + k }
+        Interval {
+            lo: self.lo + k,
+            hi: self.hi + k,
+        }
     }
 
     /// Scale by a scalar (swaps ends when negative).
     pub fn scale(self, k: f64) -> Interval {
         if k >= 0.0 {
-            Interval { lo: self.lo * k, hi: self.hi * k }
+            Interval {
+                lo: self.lo * k,
+                hi: self.hi * k,
+            }
         } else {
-            Interval { lo: self.hi * k, hi: self.lo * k }
+            Interval {
+                lo: self.hi * k,
+                hi: self.lo * k,
+            }
         }
     }
 
     /// Exact image under `relu`.
     pub fn relu(self) -> Interval {
-        Interval { lo: self.lo.max(0.0), hi: self.hi.max(0.0) }
+        Interval {
+            lo: self.lo.max(0.0),
+            hi: self.hi.max(0.0),
+        }
     }
 
     /// Tightest interval containing both.
     pub fn union(self, other: Interval) -> Interval {
-        Interval { lo: self.lo.min(other.lo), hi: self.hi.max(other.hi) }
+        Interval {
+            lo: self.lo.min(other.lo),
+            hi: self.hi.max(other.hi),
+        }
     }
 
     /// Intersection; `None` when disjoint beyond `tol`.
@@ -102,7 +121,10 @@ impl Interval {
 
     /// Widens both ends outward by `eps` (soundness slack).
     pub fn inflate(self, eps: f64) -> Interval {
-        Interval { lo: self.lo - eps, hi: self.hi + eps }
+        Interval {
+            lo: self.lo - eps,
+            hi: self.hi + eps,
+        }
     }
 
     /// True if every point is ≥ 0 (ReLU provably identity).
@@ -224,8 +246,16 @@ mod tests {
                     hi = hi.max(g);
                 }
             }
-            assert!((r.lo - lo).abs() < 1e-9, "lo mismatch for {y} × {dy}: {} vs {lo}", r.lo);
-            assert!((r.hi - hi).abs() < 1e-9, "hi mismatch for {y} × {dy}: {} vs {hi}", r.hi);
+            assert!(
+                (r.lo - lo).abs() < 1e-9,
+                "lo mismatch for {y} × {dy}: {} vs {lo}",
+                r.lo
+            );
+            assert!(
+                (r.hi - hi).abs() < 1e-9,
+                "hi mismatch for {y} × {dy}: {} vs {hi}",
+                r.hi
+            );
         }
     }
 

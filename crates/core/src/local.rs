@@ -67,8 +67,10 @@ pub fn certify_local(
             aff.input_dim
         )));
     }
-    if !(delta >= 0.0) {
-        return Err(CertifyError::InvalidInput(format!("delta must be ≥ 0, got {delta}")));
+    if delta.is_nan() || delta < 0.0 {
+        return Err(CertifyError::InvalidInput(format!(
+            "delta must be ≥ 0, got {delta}"
+        )));
     }
     let mut box_: Vec<Interval> = x0
         .iter()
@@ -76,7 +78,9 @@ pub fn certify_local(
         .collect();
     if let Some(dom) = domain {
         if dom.len() != x0.len() {
-            return Err(CertifyError::InvalidInput("domain/sample dimension mismatch".into()));
+            return Err(CertifyError::InvalidInput(
+                "domain/sample dimension mismatch".into(),
+            ));
         }
         for (b, &(lo, hi)) in box_.iter_mut().zip(dom) {
             *b = b
@@ -85,21 +89,29 @@ pub fn certify_local(
         }
     }
 
-    let local_opts = CertifyOptions { encoding: EncodingKind::Single, ..opts.clone() };
+    let local_opts = CertifyOptions {
+        encoding: EncodingKind::Single,
+        ..opts.clone()
+    };
     let t0 = Instant::now();
     let (bounds, mut stats) = propagate(&aff, &box_, 0.0, &local_opts);
     stats.wall = t0.elapsed();
 
     let reference = net.forward(x0);
-    let output_ranges: Vec<Interval> =
-        bounds.x.last().expect("network has layers").clone();
+    let output_ranges: Vec<Interval> = bounds.x.last().expect("network has layers").clone();
     let epsilons = output_ranges
         .iter()
         .zip(&reference)
         .map(|(r, &f)| (r.hi - f).max(f - r.lo).max(0.0))
         .collect();
 
-    Ok(LocalReport { epsilons, output_ranges, reference, bounds, stats })
+    Ok(LocalReport {
+        epsilons,
+        output_ranges,
+        reference,
+        bounds,
+        stats,
+    })
 }
 
 #[cfg(test)]
@@ -128,7 +140,10 @@ mod tests {
         )
         .unwrap();
         let r = exact.output_ranges[0];
-        assert!(r.lo.abs() < 1e-6 && (r.hi - 0.125).abs() < 1e-6, "exact {r}");
+        assert!(
+            r.lo.abs() < 1e-6 && (r.hi - 0.125).abs() < 1e-6,
+            "exact {r}"
+        );
 
         let nd = certify_local(
             &net,

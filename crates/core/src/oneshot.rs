@@ -53,14 +53,18 @@ pub fn oneshot_global(
     solver: &SolveOptions,
 ) -> Result<OneshotReport, CertifyError> {
     if domain.len() != aff.input_dim {
-        return Err(CertifyError::InvalidInput("domain/input dimension mismatch".into()));
+        return Err(CertifyError::InvalidInput(
+            "domain/input dimension mismatch".into(),
+        ));
     }
     let dom: Vec<Interval> = domain.iter().map(|&(l, h)| Interval::new(l, h)).collect();
     let mut bounds = ibp_twin(aff, &dom, delta);
     if kind == EncodingKind::Btne {
         bounds.decouple_distances();
     }
-    Ok(query_outputs(aff, &bounds, kind, relax, refine, delta, solver))
+    Ok(query_outputs(
+        aff, &bounds, kind, relax, refine, delta, solver,
+    ))
 }
 
 /// One-shot local robustness query around `x0`: single-copy encoding over
@@ -80,10 +84,14 @@ pub fn oneshot_local(
     solver: &SolveOptions,
 ) -> Result<OneshotReport, CertifyError> {
     if x0.len() != aff.input_dim {
-        return Err(CertifyError::InvalidInput("sample/input dimension mismatch".into()));
+        return Err(CertifyError::InvalidInput(
+            "sample/input dimension mismatch".into(),
+        ));
     }
-    let mut box_: Vec<Interval> =
-        x0.iter().map(|&v| Interval::new(v - delta, v + delta)).collect();
+    let mut box_: Vec<Interval> = x0
+        .iter()
+        .map(|&v| Interval::new(v - delta, v + delta))
+        .collect();
     if let Some(dom) = domain {
         for (b, &(lo, hi)) in box_.iter_mut().zip(dom) {
             *b = b
@@ -92,7 +100,15 @@ pub fn oneshot_local(
         }
     }
     let bounds = ibp_twin(aff, &box_, 0.0);
-    Ok(query_outputs(aff, &bounds, EncodingKind::Single, relax, refine, 0.0, solver))
+    Ok(query_outputs(
+        aff,
+        &bounds,
+        EncodingKind::Single,
+        relax,
+        refine,
+        0.0,
+        solver,
+    ))
 }
 
 fn query_outputs(
@@ -105,7 +121,13 @@ fn query_outputs(
     solver: &SolveOptions,
 ) -> OneshotReport {
     let last = aff.layers.len() - 1;
-    let opts = EncodeOptions { kind, relax, refine, y_aware_distance: false, delta };
+    let opts = EncodeOptions {
+        kind,
+        relax,
+        refine,
+        y_aware_distance: false,
+        delta,
+    };
     let mut stats = QueryStats::default();
     let mut xs = Vec::with_capacity(aff.output_dim());
     let mut dxs = Vec::with_capacity(aff.output_dim());
@@ -118,7 +140,11 @@ fn query_outputs(
         xs.push(x);
         dxs.push(dx);
     }
-    OneshotReport { x: xs, dx: dxs, stats }
+    OneshotReport {
+        x: xs,
+        dx: dxs,
+        stats,
+    }
 }
 
 #[cfg(test)]
@@ -136,32 +162,56 @@ mod tests {
         let s = SolveOptions::default();
 
         let exact = oneshot_global(
-            &aff, &DOM, 0.1, EncodingKind::Itne, Relaxation::Exact, 0, &s,
+            &aff,
+            &DOM,
+            0.1,
+            EncodingKind::Itne,
+            Relaxation::Exact,
+            0,
+            &s,
         )
         .unwrap();
         assert!((exact.dx[0].lo + 0.2).abs() < 1e-6 && (exact.dx[0].hi - 0.2).abs() < 1e-6);
         // Exact x⁽²⁾ range [0, 1.25].
         assert!((exact.x[0].hi - 1.25).abs() < 1e-6, "{}", exact.x[0]);
 
-        let itne_lpr = oneshot_global(
-            &aff, &DOM, 0.1, EncodingKind::Itne, Relaxation::Lpr, 0, &s,
-        )
-        .unwrap();
-        assert!((itne_lpr.dx[0].hi - 0.275).abs() < 1e-6, "{}", itne_lpr.dx[0]);
+        let itne_lpr =
+            oneshot_global(&aff, &DOM, 0.1, EncodingKind::Itne, Relaxation::Lpr, 0, &s).unwrap();
+        assert!(
+            (itne_lpr.dx[0].hi - 0.275).abs() < 1e-6,
+            "{}",
+            itne_lpr.dx[0]
+        );
         // LPR x̂⁽²⁾ upper 1.44 (well, 1.4375) from Fig. 4.
-        assert!((itne_lpr.x[0].hi - 1.4375).abs() < 1e-6, "{}", itne_lpr.x[0]);
+        assert!(
+            (itne_lpr.x[0].hi - 1.4375).abs() < 1e-6,
+            "{}",
+            itne_lpr.x[0]
+        );
 
-        let btne_lpr = oneshot_global(
-            &aff, &DOM, 0.1, EncodingKind::Btne, Relaxation::Lpr, 0, &s,
-        )
-        .unwrap();
-        assert!(btne_lpr.dx[0].hi > 1.0, "BTNE should be loose: {}", btne_lpr.dx[0]);
+        let btne_lpr =
+            oneshot_global(&aff, &DOM, 0.1, EncodingKind::Btne, Relaxation::Lpr, 0, &s).unwrap();
+        assert!(
+            btne_lpr.dx[0].hi > 1.0,
+            "BTNE should be loose: {}",
+            btne_lpr.dx[0]
+        );
 
         let btne_exact = oneshot_global(
-            &aff, &DOM, 0.1, EncodingKind::Btne, Relaxation::Exact, 0, &s,
+            &aff,
+            &DOM,
+            0.1,
+            EncodingKind::Btne,
+            Relaxation::Exact,
+            0,
+            &s,
         )
         .unwrap();
-        assert!((btne_exact.dx[0].hi - 0.2).abs() < 1e-6, "{}", btne_exact.dx[0]);
+        assert!(
+            (btne_exact.dx[0].hi - 0.2).abs() < 1e-6,
+            "{}",
+            btne_exact.dx[0]
+        );
     }
 
     /// Fig. 4 local LPR row: x̂⁽²⁾ ∈ [0, 0.144] at x₀ = 0, δ = 0.1.
@@ -178,7 +228,11 @@ mod tests {
             &SolveOptions::default(),
         )
         .unwrap();
-        assert!(r.x[0].lo.abs() < 1e-6 && (r.x[0].hi - 0.14375).abs() < 1e-6, "{}", r.x[0]);
+        assert!(
+            r.x[0].lo.abs() < 1e-6 && (r.x[0].hi - 0.14375).abs() < 1e-6,
+            "{}",
+            r.x[0]
+        );
     }
 
     /// Refining all neurons turns LPR back into the exact answer.
@@ -186,16 +240,25 @@ mod tests {
     fn full_refinement_recovers_exact() {
         let aff = fig1_affine();
         let r = oneshot_global(
-            &aff, &DOM, 0.1, EncodingKind::Itne, Relaxation::Lpr, 3, &SolveOptions::default(),
+            &aff,
+            &DOM,
+            0.1,
+            EncodingKind::Itne,
+            Relaxation::Lpr,
+            3,
+            &SolveOptions::default(),
         )
         .unwrap();
-        assert!((r.dx[0].hi - 0.2).abs() < 1e-6 && (r.dx[0].lo + 0.2).abs() < 1e-6, "{}", r.dx[0]);
+        assert!(
+            (r.dx[0].hi - 0.2).abs() < 1e-6 && (r.dx[0].lo + 0.2).abs() < 1e-6,
+            "{}",
+            r.dx[0]
+        );
     }
 
     /// Partial refinement sits between LPR and exact.
     #[test]
-    fn partial_refinement_is_monotone()
-    {
+    fn partial_refinement_is_monotone() {
         let aff = fig1_affine();
         let s = SolveOptions::default();
         let e0 = oneshot_global(&aff, &DOM, 0.1, EncodingKind::Itne, Relaxation::Lpr, 0, &s)
@@ -207,7 +270,10 @@ mod tests {
         let e3 = oneshot_global(&aff, &DOM, 0.1, EncodingKind::Itne, Relaxation::Lpr, 3, &s)
             .unwrap()
             .epsilons()[0];
-        assert!(e0 + 1e-9 >= e1 && e1 + 1e-9 >= e3, "not monotone: {e0} {e1} {e3}");
+        assert!(
+            e0 + 1e-9 >= e1 && e1 + 1e-9 >= e3,
+            "not monotone: {e0} {e1} {e3}"
+        );
         assert!((e3 - 0.2).abs() < 1e-6);
     }
 }

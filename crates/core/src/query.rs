@@ -47,7 +47,14 @@ pub fn range_of_expr(
     solver: &SolveOptions,
     stats: &mut QueryStats,
 ) -> Interval {
-    let lo = directed_bound(model, expr.clone(), Sense::Minimize, fallback.lo, solver, stats);
+    let lo = directed_bound(
+        model,
+        expr.clone(),
+        Sense::Minimize,
+        fallback.lo,
+        solver,
+        stats,
+    );
     let hi = directed_bound(model, expr, Sense::Maximize, fallback.hi, solver, stats);
     // Both [lo, hi] and fallback are sound outer ranges; intersect.
     Interval::new(lo.min(hi), hi.max(lo))
@@ -108,11 +115,29 @@ pub fn lp_relax_y(
 ) -> (Interval, Interval) {
     let t = enc.target_vars();
     let y = t.y.expect("target has a pre-activation variable");
-    let yr = range_of_expr(&mut enc.model, (1.0 * y).compact(), fallback_y, solver, stats);
+    let yr = range_of_expr(
+        &mut enc.model,
+        (1.0 * y).compact(),
+        fallback_y,
+        solver,
+        stats,
+    );
     let dyr = if let Some(dy) = t.dy {
-        range_of_expr(&mut enc.model, (1.0 * dy).compact(), fallback_dy, solver, stats)
+        range_of_expr(
+            &mut enc.model,
+            (1.0 * dy).compact(),
+            fallback_dy,
+            solver,
+            stats,
+        )
     } else if let Some(yh) = t.yh {
-        range_of_expr(&mut enc.model, 1.0 * yh - 1.0 * y, fallback_dy, solver, stats)
+        range_of_expr(
+            &mut enc.model,
+            1.0 * yh - 1.0 * y,
+            fallback_dy,
+            solver,
+            stats,
+        )
     } else {
         Interval::point(0.0)
     };
@@ -130,11 +155,29 @@ pub fn lp_relax_x(
 ) -> (Interval, Interval) {
     let t = enc.target_vars();
     let x = t.x.expect("target has a post-activation variable");
-    let xr = range_of_expr(&mut enc.model, (1.0 * x).compact(), fallback_x, solver, stats);
+    let xr = range_of_expr(
+        &mut enc.model,
+        (1.0 * x).compact(),
+        fallback_x,
+        solver,
+        stats,
+    );
     let dxr = if let Some(dx) = t.dx {
-        range_of_expr(&mut enc.model, (1.0 * dx).compact(), fallback_dx, solver, stats)
+        range_of_expr(
+            &mut enc.model,
+            (1.0 * dx).compact(),
+            fallback_dx,
+            solver,
+            stats,
+        )
     } else if let Some(xh) = t.xh {
-        range_of_expr(&mut enc.model, 1.0 * xh - 1.0 * x, fallback_dx, solver, stats)
+        range_of_expr(
+            &mut enc.model,
+            1.0 * xh - 1.0 * x,
+            fallback_dx,
+            solver,
+            stats,
+        )
     } else {
         Interval::point(0.0)
     };
@@ -156,12 +199,20 @@ mod tests {
         let domain = vec![Interval::new(-1.0, 1.0); 2];
         let bounds = ibp_twin(&net, &domain, 0.1);
         let sub = SubNetwork::decompose(&net, 0, 0, 1);
-        let opts = EncodeOptions { delta: 0.1, ..Default::default() };
+        let opts = EncodeOptions {
+            delta: 0.1,
+            ..Default::default()
+        };
         let mut enc = encode_subnet(&sub, &bounds, TargetKind::PreActivation, &opts);
         let tight = Interval::new(-0.5, 0.5);
         let mut stats = QueryStats::default();
-        let (yr, _) =
-            lp_relax_y(&mut enc, tight, Interval::symmetric(0.15), &SolveOptions::default(), &mut stats);
+        let (yr, _) = lp_relax_y(
+            &mut enc,
+            tight,
+            Interval::symmetric(0.15),
+            &SolveOptions::default(),
+            &mut stats,
+        );
         assert!(tight.encloses(yr, 1e-9));
         assert_eq!(stats.fallbacks, 0);
         assert!(stats.solves >= 2);
@@ -190,8 +241,14 @@ mod tests {
             &SolveOptions::default(),
             &mut stats,
         );
-        assert!((yr.lo + 1.5).abs() < 1e-5 && (yr.hi - 1.5).abs() < 1e-5, "{yr}");
-        assert!((dyr.lo + 0.15).abs() < 1e-5 && (dyr.hi - 0.15).abs() < 1e-5, "{dyr}");
+        assert!(
+            (yr.lo + 1.5).abs() < 1e-5 && (yr.hi - 1.5).abs() < 1e-5,
+            "{yr}"
+        );
+        assert!(
+            (dyr.lo + 0.15).abs() < 1e-5 && (dyr.hi - 0.15).abs() < 1e-5,
+            "{dyr}"
+        );
     }
 
     #[test]
@@ -200,7 +257,10 @@ mod tests {
         let domain = vec![Interval::new(-1.0, 1.0); 2];
         let bounds = ibp_twin(&net, &domain, 0.1);
         let sub = SubNetwork::decompose(&net, 0, 0, 1);
-        let opts = EncodeOptions { delta: 0.1, ..Default::default() };
+        let opts = EncodeOptions {
+            delta: 0.1,
+            ..Default::default()
+        };
         let mut enc = encode_subnet(&sub, &bounds, TargetKind::PreActivation, &opts);
         let solver = SolveOptions {
             deadline: Some(std::time::Instant::now() - std::time::Duration::from_secs(1)),

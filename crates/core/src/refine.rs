@@ -32,11 +32,7 @@ pub fn distance_score(dy: Interval) -> f64 {
 
 /// Scores one neuron under the given encoding; `None` when nothing about it
 /// is relaxed (stable in every relevant phase).
-fn neuron_score(
-    kind: EncodingKind,
-    y: Interval,
-    dy: Interval,
-) -> Option<f64> {
+fn neuron_score(kind: EncodingKind, y: Interval, dy: Interval) -> Option<f64> {
     let yh = y.add(dy);
     let y_unstable = !(y.stable_active() || y.stable_inactive());
     let yh_unstable = !(yh.stable_active() || yh.stable_inactive());
@@ -101,7 +97,11 @@ pub fn select_refined(
         }
     }
     scored.sort_by(|a, b| b.0.total_cmp(&a.0).then(a.1.cmp(&b.1)).then(a.2.cmp(&b.2)));
-    scored.into_iter().take(opts.refine).map(|(_, l, j)| (l, j)).collect()
+    scored
+        .into_iter()
+        .take(opts.refine)
+        .map(|(_, l, j)| (l, j))
+        .collect()
 }
 
 #[cfg(test)]
@@ -147,7 +147,10 @@ mod tests {
         let domain = vec![Interval::new(-1.0, 1.0); 2];
         let bounds = ibp_twin(&net, &domain, 0.1);
         let sub = SubNetwork::decompose(&net, 1, 0, 2);
-        let opts = EncodeOptions { refine: 0, ..Default::default() };
+        let opts = EncodeOptions {
+            refine: 0,
+            ..Default::default()
+        };
         assert!(select_refined(&sub, &bounds, TargetKind::PostActivation, &opts).is_empty());
     }
 }

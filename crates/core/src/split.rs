@@ -45,7 +45,11 @@ pub struct SplitOptions {
 
 impl Default for SplitOptions {
     fn default() -> Self {
-        SplitOptions { solver: SolveOptions::default(), max_nodes: 2_000_000, deadline: None }
+        SplitOptions {
+            solver: SolveOptions::default(),
+            max_nodes: 2_000_000,
+            deadline: None,
+        }
     }
 }
 
@@ -77,9 +81,11 @@ pub fn split_global_affine(
     opts: &SplitOptions,
 ) -> Result<SplitReport, CertifyError> {
     if domain.len() != aff.input_dim {
-        return Err(CertifyError::InvalidInput("domain/input dimension mismatch".into()));
+        return Err(CertifyError::InvalidInput(
+            "domain/input dimension mismatch".into(),
+        ));
     }
-    if !(delta >= 0.0) {
+    if delta.is_nan() || delta < 0.0 {
         return Err(CertifyError::InvalidInput("delta must be ≥ 0".into()));
     }
     let dom: Vec<Interval> = domain.iter().map(|&(l, h)| Interval::new(l, h)).collect();
@@ -87,19 +93,32 @@ pub fn split_global_affine(
     // Marginal pre-activation ranges; both copies share them initially.
     let base: Vec<Vec<Interval>> = seed.y.clone();
 
-    let mut report =
-        SplitReport { epsilons: vec![0.0; aff.output_dim()], exact: true, nodes: 0, lps: 0 };
+    let mut report = SplitReport {
+        epsilons: vec![0.0; aff.output_dim()],
+        exact: true,
+        nodes: 0,
+        lps: 0,
+    };
     let out_dx = seed.dx.last().expect("network has layers");
-    for j in 0..aff.output_dim() {
+    for (j, odx) in out_dx.iter().enumerate().take(aff.output_dim()) {
         for sense in [Sense::Maximize, Sense::Minimize] {
             // Root optimism: the IBP distance bound keeps frontier bounds
             // finite even under a zero budget.
             let root_bound = match sense {
-                Sense::Maximize => out_dx[j].hi,
-                Sense::Minimize => -out_dx[j].lo,
+                Sense::Maximize => odx.hi,
+                Sense::Minimize => -odx.lo,
             };
-            let (bound, complete) =
-                split_search(aff, &dom, delta, &base, j, sense, root_bound, opts, &mut report)?;
+            let (bound, complete) = split_search(
+                aff,
+                &dom,
+                delta,
+                &base,
+                j,
+                sense,
+                root_bound,
+                opts,
+                &mut report,
+            )?;
             let magnitude = match sense {
                 Sense::Maximize => bound,
                 Sense::Minimize => -bound,
@@ -138,16 +157,18 @@ fn split_search(
     };
     // Work in "maximize sign·Δ" form throughout.
     let mut incumbent = f64::NEG_INFINITY;
-    let mut stack = vec![Node { ya: base.to_vec(), yb: base.to_vec(), bound: root_bound }];
+    let mut stack = vec![Node {
+        ya: base.to_vec(),
+        yb: base.to_vec(),
+        bound: root_bound,
+    }];
     let mut complete = true;
 
     while let Some(node) = stack.pop() {
         if node.bound <= incumbent + 1e-9 {
             continue;
         }
-        if report.nodes >= opts.max_nodes
-            || opts.deadline.is_some_and(|d| Instant::now() >= d)
-        {
+        if report.nodes >= opts.max_nodes || opts.deadline.is_some_and(|d| Instant::now() >= d) {
             // Unexplored frontier: its bounds stay valid upper bounds.
             incumbent = incumbent.max(node.bound);
             for n in &stack {
@@ -184,14 +205,13 @@ fn split_search(
             if !layer.relu {
                 continue;
             }
-            for jj in 0..layer.width() {
-                let v = &vars[li + 1][jj];
+            for (jj, v) in vars[li + 1].iter().enumerate().take(layer.width()) {
                 for (is_b, yv, xv) in [
                     (false, sol.value(v.ya), sol.value(v.xa)),
                     (true, sol.value(v.yb), sol.value(v.xb)),
                 ] {
                     let gap = (xv - yv.max(0.0)).abs();
-                    if gap > 1e-7 && worst.map_or(true, |(_, _, _, g)| gap > g) {
+                    if gap > 1e-7 && worst.is_none_or(|(_, _, _, g)| gap > g) {
                         worst = Some((li, jj, is_b, gap));
                     }
                 }
@@ -204,7 +224,11 @@ fn split_search(
                 incumbent = incumbent.max(sol.objective);
             }
             Some((li, jj, is_b, _)) => {
-                let r = if is_b { node.yb[li][jj] } else { node.ya[li][jj] };
+                let r = if is_b {
+                    node.yb[li][jj]
+                } else {
+                    node.ya[li][jj]
+                };
                 // Two children: phase fixed non-negative / non-positive.
                 for half in [Interval::new(r.lo, 0.0), Interval::new(0.0, r.hi)] {
                     let mut child = Node {
@@ -252,7 +276,12 @@ fn encode_node(
         m.add_constraint(xb - xa, Cmp::Le, delta);
         m.add_constraint(xb - xa, Cmp::Ge, -delta);
         // Inputs are their own "activations".
-        level.push(TwinVars { ya: xa, yb: xb, xa, xb });
+        level.push(TwinVars {
+            ya: xa,
+            yb: xb,
+            xa,
+            xb,
+        });
     }
     vars.push(level);
 
@@ -311,8 +340,13 @@ mod tests {
     #[test]
     fn fig1_split_matches_exact() {
         let net = fig1_network();
-        let r = split_global(&net, &[(-1.0, 1.0), (-1.0, 1.0)], 0.1, &SplitOptions::default())
-            .unwrap();
+        let r = split_global(
+            &net,
+            &[(-1.0, 1.0), (-1.0, 1.0)],
+            0.1,
+            &SplitOptions::default(),
+        )
+        .unwrap();
         assert!(r.exact);
         assert!((r.epsilons[0] - 0.2).abs() < 1e-5, "ε = {}", r.epsilons[0]);
         let milp = crate::exact_global(
@@ -333,10 +367,17 @@ mod tests {
             &net,
             &[(-1.0, 1.0), (-1.0, 1.0)],
             0.1,
-            &SplitOptions { max_nodes: 0, ..Default::default() },
+            &SplitOptions {
+                max_nodes: 0,
+                ..Default::default()
+            },
         )
         .unwrap();
         assert!(!r.exact);
-        assert!(r.epsilons[0] >= 0.2 - 1e-9, "bound {} not sound", r.epsilons[0]);
+        assert!(
+            r.epsilons[0] >= 0.2 - 1e-9,
+            "bound {} not sound",
+            r.epsilons[0]
+        );
     }
 }

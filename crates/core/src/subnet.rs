@@ -28,15 +28,13 @@ impl<'a> SubNetwork<'a> {
     /// # Panics
     ///
     /// Panics if `layer` or `target` are out of range or `window == 0`.
-    pub fn decompose(
-        net: &'a AffineNetwork,
-        layer: usize,
-        target: usize,
-        window: usize,
-    ) -> Self {
+    pub fn decompose(net: &'a AffineNetwork, layer: usize, target: usize, window: usize) -> Self {
         assert!(window >= 1, "window must be positive");
         let w = window.min(layer + 1);
-        SubNetwork { net, cone: net.cone(layer, target, w) }
+        SubNetwork {
+            net,
+            cone: net.cone(layer, target, w),
+        }
     }
 
     /// Window depth `w`.

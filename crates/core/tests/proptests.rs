@@ -6,9 +6,7 @@
 //! (exact ≤ refined ≤ LPR ≤ IBP, ITNE ≤ BTNE).
 
 use itne_core::split::{split_global, SplitOptions};
-use itne_core::{
-    certify_global, exact_global, CertifyOptions, EncodingKind, Relaxation,
-};
+use itne_core::{certify_global, exact_global, CertifyOptions, EncodingKind, Relaxation};
 use itne_milp::SolveOptions;
 use itne_nn::{Network, NetworkBuilder};
 use proptest::prelude::*;
@@ -16,11 +14,11 @@ use proptest::prelude::*;
 /// A small random ReLU network (2-3 affine layers, widths ≤ 3).
 fn random_net() -> impl Strategy<Value = Network> {
     (
-        1usize..=3,                                    // input dim
-        proptest::collection::vec(1usize..=3, 1..=2),  // hidden widths
-        1usize..=2,                                    // output dim
+        1usize..=3,                                   // input dim
+        proptest::collection::vec(1usize..=3, 1..=2), // hidden widths
+        1usize..=2,                                   // output dim
         proptest::collection::vec((-60i32..=60).prop_map(|v| v as f64 / 30.0), 120),
-        any::<bool>(),                                 // relu on output
+        any::<bool>(), // relu on output
     )
         .prop_map(|(input, hidden, out, pool, out_relu)| {
             let mut k = 0usize;
@@ -44,7 +42,9 @@ fn random_net() -> impl Strategy<Value = Network> {
             let flat = next(out * prev);
             let bias = next(out);
             let rows: Vec<&[f64]> = flat.chunks(prev).collect();
-            b.dense(&rows, &bias, out_relu).expect("consistent shapes").build()
+            b.dense(&rows, &bias, out_relu)
+                .expect("consistent shapes")
+                .build()
         })
 }
 
@@ -61,7 +61,12 @@ fn unit(seed: &mut u64) -> f64 {
 }
 
 proptest! {
-    #![proptest_config(ProptestConfig::with_cases(48))]
+    // Fixed seed + bounded case count: CI runs are deterministic and any
+    // failure reproduces locally with no persistence files.
+    #![proptest_config(ProptestConfig {
+        rng_seed: 0x17de_c0de_0001,
+        ..ProptestConfig::with_cases(48)
+    })]
 
     /// No sampled perturbation pair may exceed the certified ε, and every
     /// internal twin range must contain the sampled twin traces.

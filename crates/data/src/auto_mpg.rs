@@ -108,6 +108,9 @@ mod tests {
         }
         let mean = |v: &[f64]| v.iter().sum::<f64>() / v.len() as f64;
         assert!(!heavy.is_empty() && !light.is_empty());
-        assert!(mean(&light) > mean(&heavy) + 0.1, "weight→mpg signal too weak");
+        assert!(
+            mean(&light) > mean(&heavy) + 0.1,
+            "weight→mpg signal too weak"
+        );
     }
 }

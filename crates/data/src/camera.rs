@@ -120,7 +120,11 @@ pub fn render_scene(
 
     // Lighting and sensor noise.
     for p in &mut img {
-        let n = if noise > 0.0 { rng.random_range(-noise..noise) } else { 0.0 };
+        let n = if noise > 0.0 {
+            rng.random_range(-noise..noise)
+        } else {
+            0.0
+        };
         *p = (*p * brightness + n).clamp(0.0, 1.0);
     }
     img

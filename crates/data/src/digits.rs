@@ -13,16 +13,36 @@ use rand::RngExt;
 
 /// 5×7 bitmaps for digits 0-9, one string row per scanline.
 const GLYPHS: [[&str; 7]; 10] = [
-    ["01110", "10001", "10011", "10101", "11001", "10001", "01110"], // 0
-    ["00100", "01100", "00100", "00100", "00100", "00100", "01110"], // 1
-    ["01110", "10001", "00001", "00010", "00100", "01000", "11111"], // 2
-    ["11111", "00010", "00100", "00010", "00001", "10001", "01110"], // 3
-    ["00010", "00110", "01010", "10010", "11111", "00010", "00010"], // 4
-    ["11111", "10000", "11110", "00001", "00001", "10001", "01110"], // 5
-    ["00110", "01000", "10000", "11110", "10001", "10001", "01110"], // 6
-    ["11111", "00001", "00010", "00100", "01000", "01000", "01000"], // 7
-    ["01110", "10001", "10001", "01110", "10001", "10001", "01110"], // 8
-    ["01110", "10001", "10001", "01111", "00001", "00010", "01100"], // 9
+    [
+        "01110", "10001", "10011", "10101", "11001", "10001", "01110",
+    ], // 0
+    [
+        "00100", "01100", "00100", "00100", "00100", "00100", "01110",
+    ], // 1
+    [
+        "01110", "10001", "00001", "00010", "00100", "01000", "11111",
+    ], // 2
+    [
+        "11111", "00010", "00100", "00010", "00001", "10001", "01110",
+    ], // 3
+    [
+        "00010", "00110", "01010", "10010", "11111", "00010", "00010",
+    ], // 4
+    [
+        "11111", "10000", "11110", "00001", "00001", "10001", "01110",
+    ], // 5
+    [
+        "00110", "01000", "10000", "11110", "10001", "10001", "01110",
+    ], // 6
+    [
+        "11111", "00001", "00010", "00100", "01000", "01000", "01000",
+    ], // 7
+    [
+        "01110", "10001", "10001", "01110", "10001", "10001", "01110",
+    ], // 8
+    [
+        "01110", "10001", "10001", "01111", "00001", "00010", "01100",
+    ], // 9
 ];
 
 /// Glyph width in cells.
@@ -119,8 +139,11 @@ mod tests {
         let imgs: Vec<Vec<f64>> = (0..10).map(|d| render_digit(d, 12, &mut rng)).collect();
         for i in 0..10 {
             for j in (i + 1)..10 {
-                let l1: f64 =
-                    imgs[i].iter().zip(&imgs[j]).map(|(a, b)| (a - b).abs()).sum();
+                let l1: f64 = imgs[i]
+                    .iter()
+                    .zip(&imgs[j])
+                    .map(|(a, b)| (a - b).abs())
+                    .sum();
                 assert!(l1 > 1.0, "classes {i} and {j} almost identical: {l1}");
             }
         }

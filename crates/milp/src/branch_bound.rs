@@ -45,7 +45,10 @@ pub(crate) fn solve_milp(model: &Model, opts: &SolveOptions) -> Result<Solution,
     let mut incumbent: Option<Solution> = None;
     let mut best_obj = worst;
     let mut best_bound = worst; // tightest relaxation bound seen at the frontier
-    let mut stack = vec![Node { overrides: Vec::new(), parent_bound: -worst }];
+    let mut stack = vec![Node {
+        overrides: Vec::new(),
+        parent_bound: -worst,
+    }];
     let mut pivots = 0u64;
     let mut nodes = 0u64;
     let mut timed_out = false;
@@ -92,7 +95,7 @@ pub(crate) fn solve_milp(model: &Model, opts: &SolveOptions) -> Result<Solution,
             let frac = (v - v.round()).abs();
             if frac > int_tol {
                 let dist = (v - v.floor() - 0.5).abs(); // 0 = perfectly fractional
-                if branch.map_or(true, |(_, _, d)| dist < d) {
+                if branch.is_none_or(|(_, _, d)| dist < d) {
                     branch = Some((c, v, dist));
                 }
             }
@@ -160,7 +163,11 @@ pub(crate) fn solve_milp(model: &Model, opts: &SolveOptions) -> Result<Solution,
             sol.stats = Stats {
                 pivots,
                 nodes,
-                best_bound: if status == Status::Optimal { sol.objective } else { frontier },
+                best_bound: if status == Status::Optimal {
+                    sol.objective
+                } else {
+                    frontier
+                },
                 max_residual: model.violation(sol.values()),
             };
             sol.objective = {
@@ -179,10 +186,7 @@ pub(crate) fn solve_milp(model: &Model, opts: &SolveOptions) -> Result<Solution,
     }
 }
 
-fn with_override(
-    base: &[(usize, f64, f64)],
-    extra: (usize, f64, f64),
-) -> Vec<(usize, f64, f64)> {
+fn with_override(base: &[(usize, f64, f64)], extra: (usize, f64, f64)) -> Vec<(usize, f64, f64)> {
     let mut v = Vec::with_capacity(base.len() + 1);
     v.extend_from_slice(base);
     v.push(extra);
@@ -325,10 +329,7 @@ mod tests {
                     best = best.max(vv);
                 }
             }
-            assert!(
-                (got - best).abs() < 1e-6,
-                "B&B {got} vs brute force {best}"
-            );
+            assert!((got - best).abs() < 1e-6, "B&B {got} vs brute force {best}");
         }
     }
 }

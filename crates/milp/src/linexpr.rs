@@ -32,12 +32,18 @@ impl LinExpr {
 
     /// An expression consisting of a constant only.
     pub fn constant_term(k: f64) -> Self {
-        LinExpr { terms: Vec::new(), constant: k }
+        LinExpr {
+            terms: Vec::new(),
+            constant: k,
+        }
     }
 
     /// Builds an expression from `(variable, coefficient)` pairs and a constant.
     pub fn from_terms<I: IntoIterator<Item = (VarId, f64)>>(terms: I, constant: f64) -> Self {
-        LinExpr { terms: terms.into_iter().collect(), constant }
+        LinExpr {
+            terms: terms.into_iter().collect(),
+            constant,
+        }
     }
 
     /// Adds `coef * var` to the expression.
@@ -74,7 +80,10 @@ impl LinExpr {
             }
         }
         merged.retain(|(_, c)| *c != 0.0);
-        LinExpr { terms: merged, constant: self.constant }
+        LinExpr {
+            terms: merged,
+            constant: self.constant,
+        }
     }
 
     /// Evaluates the expression at the given dense assignment.
@@ -94,7 +103,10 @@ impl LinExpr {
 
 impl From<VarId> for LinExpr {
     fn from(v: VarId) -> Self {
-        LinExpr { terms: vec![(v, 1.0)], constant: 0.0 }
+        LinExpr {
+            terms: vec![(v, 1.0)],
+            constant: 0.0,
+        }
     }
 }
 
@@ -121,7 +133,8 @@ macro_rules! impl_binop {
             fn sub(self, rhs: $rhs) -> LinExpr {
                 let mut out: LinExpr = self.into();
                 let rhs: LinExpr = rhs.into();
-                out.terms.extend(rhs.terms.into_iter().map(|(v, c)| (v, -c)));
+                out.terms
+                    .extend(rhs.terms.into_iter().map(|(v, c)| (v, -c)));
                 out.constant -= rhs.constant;
                 out
             }
@@ -168,14 +181,20 @@ impl Mul<LinExpr> for f64 {
 impl Mul<VarId> for f64 {
     type Output = LinExpr;
     fn mul(self, v: VarId) -> LinExpr {
-        LinExpr { terms: vec![(v, self)], constant: 0.0 }
+        LinExpr {
+            terms: vec![(v, self)],
+            constant: 0.0,
+        }
     }
 }
 
 impl Mul<f64> for VarId {
     type Output = LinExpr;
     fn mul(self, k: f64) -> LinExpr {
-        LinExpr { terms: vec![(self, k)], constant: 0.0 }
+        LinExpr {
+            terms: vec![(self, k)],
+            constant: 0.0,
+        }
     }
 }
 

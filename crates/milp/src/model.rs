@@ -85,19 +85,31 @@ impl Model {
     /// Adds a continuous variable with inclusive bounds `lo ≤ x ≤ hi`.
     /// Either bound may be infinite.
     pub fn add_var(&mut self, lo: f64, hi: f64) -> VarId {
-        self.cols.push(Column { lo, hi, ty: VarType::Continuous });
+        self.cols.push(Column {
+            lo,
+            hi,
+            ty: VarType::Continuous,
+        });
         VarId(self.cols.len() - 1)
     }
 
     /// Adds a binary (0/1 integer) variable.
     pub fn add_binary(&mut self) -> VarId {
-        self.cols.push(Column { lo: 0.0, hi: 1.0, ty: VarType::Integer });
+        self.cols.push(Column {
+            lo: 0.0,
+            hi: 1.0,
+            ty: VarType::Integer,
+        });
         VarId(self.cols.len() - 1)
     }
 
     /// Adds an integer variable with inclusive bounds.
     pub fn add_integer(&mut self, lo: f64, hi: f64) -> VarId {
-        self.cols.push(Column { lo, hi, ty: VarType::Integer });
+        self.cols.push(Column {
+            lo,
+            hi,
+            ty: VarType::Integer,
+        });
         VarId(self.cols.len() - 1)
     }
 
@@ -113,7 +125,10 @@ impl Model {
 
     /// Number of integer variables.
     pub fn num_integers(&self) -> usize {
-        self.cols.iter().filter(|c| c.ty == VarType::Integer).count()
+        self.cols
+            .iter()
+            .filter(|c| c.ty == VarType::Integer)
+            .count()
     }
 
     /// Bounds of a variable.
@@ -195,7 +210,9 @@ impl Model {
     fn validate(&self) -> Result<(), SolveError> {
         for (i, c) in self.cols.iter().enumerate() {
             if c.lo.is_nan() || c.hi.is_nan() {
-                return Err(SolveError::InvalidModel(format!("variable {i} has NaN bound")));
+                return Err(SolveError::InvalidModel(format!(
+                    "variable {i} has NaN bound"
+                )));
             }
             if c.lo > c.hi {
                 return Err(SolveError::InvalidModel(format!(
@@ -206,7 +223,9 @@ impl Model {
         }
         for (i, r) in self.rows.iter().enumerate() {
             if !r.rhs.is_finite() {
-                return Err(SolveError::InvalidModel(format!("row {i} has non-finite rhs")));
+                return Err(SolveError::InvalidModel(format!(
+                    "row {i} has non-finite rhs"
+                )));
             }
             for &(v, c) in &r.terms {
                 if !c.is_finite() {
@@ -218,7 +237,9 @@ impl Model {
         }
         for &(_, c) in &self.objective {
             if !c.is_finite() {
-                return Err(SolveError::InvalidModel("non-finite objective coefficient".into()));
+                return Err(SolveError::InvalidModel(
+                    "non-finite objective coefficient".into(),
+                ));
             }
         }
         Ok(())

@@ -20,7 +20,12 @@ pub struct Tolerances {
 
 impl Default for Tolerances {
     fn default() -> Self {
-        Tolerances { feasibility: 1e-7, optimality: 1e-7, pivot: 1e-9, integrality: 1e-6 }
+        Tolerances {
+            feasibility: 1e-7,
+            optimality: 1e-7,
+            pivot: 1e-9,
+            integrality: 1e-6,
+        }
     }
 }
 
@@ -55,7 +60,10 @@ impl Default for SolveOptions {
 impl SolveOptions {
     /// Options with a wall-clock budget measured from now.
     pub fn with_budget(budget: std::time::Duration) -> Self {
-        SolveOptions { deadline: Some(Instant::now() + budget), ..Self::default() }
+        SolveOptions {
+            deadline: Some(Instant::now() + budget),
+            ..Self::default()
+        }
     }
 
     pub(crate) fn pivot_cap(&self, rows: usize, cols: usize) -> u64 {

@@ -154,7 +154,11 @@ impl Tableau {
                         self.xval[b] -= step * a;
                     }
                 }
-                self.state[q] = if dir > 0.0 { ColState::AtUpper } else { ColState::AtLower };
+                self.state[q] = if dir > 0.0 {
+                    ColState::AtUpper
+                } else {
+                    ColState::AtLower
+                };
                 self.xval[q] = if dir > 0.0 { self.hi[q] } else { self.lo[q] };
                 StepOutcome::Progress { degenerate: false }
             }
@@ -170,13 +174,22 @@ impl Tableau {
                 let leaving = self.basis[r];
                 // Snap the leaving variable exactly to its bound to stop
                 // feasibility drift from accumulating.
-                self.xval[leaving] = if to_lower { self.lo[leaving] } else { self.hi[leaving] };
-                self.state[leaving] =
-                    if to_lower { ColState::AtLower } else { ColState::AtUpper };
+                self.xval[leaving] = if to_lower {
+                    self.lo[leaving]
+                } else {
+                    self.hi[leaving]
+                };
+                self.state[leaving] = if to_lower {
+                    ColState::AtLower
+                } else {
+                    ColState::AtUpper
+                };
                 self.pivot(r, q);
                 self.state[q] = ColState::Basic;
                 self.basis[r] = q;
-                StepOutcome::Progress { degenerate: limit <= 1e-10 }
+                StepOutcome::Progress {
+                    degenerate: limit <= 1e-10,
+                }
             }
         }
     }
@@ -193,6 +206,7 @@ impl Tableau {
             self.tab[row_start + j] *= inv;
         }
         self.tab[row_start + q] = 1.0; // exact unit entry
+
         // Copy the normalized pivot row so we can stream through the others.
         let prow: Vec<f64> = self.tab[row_start..row_start + ncols].to_vec();
         for i in 0..self.nrows {
@@ -202,16 +216,16 @@ impl Tableau {
             let f = self.tab[i * ncols + q];
             if f != 0.0 {
                 let base = i * ncols;
-                for j in 0..ncols {
-                    self.tab[base + j] -= f * prow[j];
+                for (t, &p) in self.tab[base..base + ncols].iter_mut().zip(&prow) {
+                    *t -= f * p;
                 }
                 self.tab[base + q] = 0.0;
             }
         }
         let f = self.dj[q];
         if f != 0.0 {
-            for j in 0..ncols {
-                self.dj[j] -= f * prow[j];
+            for (d, &p) in self.dj.iter_mut().zip(&prow) {
+                *d -= f * p;
             }
             self.dj[q] = 0.0;
         }
@@ -368,7 +382,11 @@ pub(crate) fn solve_lp_bounded(
         } else {
             let sv = v.clamp(lo[sc], hi[sc]);
             xval[sc] = sv;
-            state[sc] = if sv == lo[sc] { ColState::AtLower } else { ColState::AtUpper };
+            state[sc] = if sv == lo[sc] {
+                ColState::AtLower
+            } else {
+                ColState::AtUpper
+            };
             let resid = v - sv;
             art_cols.push((r, resid.signum()));
             basis.push(usize::MAX); // fixed up below
@@ -466,7 +484,12 @@ pub(crate) fn solve_lp_bounded(
     Ok(Solution {
         objective,
         status: Status::Optimal,
-        stats: Stats { pivots: t.pivots, nodes: 0, best_bound: objective, max_residual },
+        stats: Stats {
+            pivots: t.pivots,
+            nodes: 0,
+            best_bound: objective,
+            max_residual,
+        },
         values,
     })
 }
@@ -485,7 +508,7 @@ fn drive_out_artificials(t: &mut Tableau) {
                 continue;
             }
             let a = t.entry(r, j).abs();
-            if a > t.pivot_tol && best.map_or(true, |(_, b)| a > b) {
+            if a > t.pivot_tol && best.is_none_or(|(_, b)| a > b) {
                 best = Some((j, a));
             }
         }
@@ -500,10 +523,7 @@ fn drive_out_artificials(t: &mut Tableau) {
     }
 }
 
-fn solve_unconstrained(
-    model: &Model,
-    var_bounds: &[(f64, f64)],
-) -> Result<Solution, SolveError> {
+fn solve_unconstrained(model: &Model, var_bounds: &[(f64, f64)]) -> Result<Solution, SolveError> {
     let flip = matches!(model.sense, Some(Sense::Maximize));
     let n = model.cols.len();
     let mut cost = vec![0.0f64; n];
@@ -536,7 +556,10 @@ fn solve_unconstrained(
     Ok(Solution {
         objective,
         status: Status::Optimal,
-        stats: Stats { best_bound: objective, ..Stats::default() },
+        stats: Stats {
+            best_bound: objective,
+            ..Stats::default()
+        },
         values,
     })
 }

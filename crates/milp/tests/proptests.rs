@@ -27,12 +27,20 @@ fn coef() -> impl Strategy<Value = f64> {
 }
 
 fn random_lp() -> impl Strategy<Value = RandomLp> {
-    (2usize..=5, 1usize..=4, prop_oneof![Just(Sense::Minimize), Just(Sense::Maximize)])
+    (
+        2usize..=5,
+        1usize..=4,
+        prop_oneof![Just(Sense::Minimize), Just(Sense::Maximize)],
+    )
         .prop_flat_map(|(n, m, sense)| {
             let bounds = proptest::collection::vec((-3i32..=0, 0i32..=3), n)
                 .prop_map(|bs| bs.into_iter().map(|(l, h)| (l as f64, h as f64)).collect());
             let rows = proptest::collection::vec(
-                (proptest::collection::vec(coef(), n), cmp_strategy(), -5i32..=5),
+                (
+                    proptest::collection::vec(coef(), n),
+                    cmp_strategy(),
+                    -5i32..=5,
+                ),
                 m,
             )
             .prop_map(|rs| {
@@ -43,10 +51,17 @@ fn random_lp() -> impl Strategy<Value = RandomLp> {
             let obj = proptest::collection::vec(coef(), n);
             (Just(n), bounds, rows, obj, Just(sense))
         })
-        .prop_map(|(n, bounds, rows, obj, sense)| RandomLp { n, bounds, rows, obj, sense })
+        .prop_map(|(n, bounds, rows, obj, sense)| RandomLp {
+            n,
+            bounds,
+            rows,
+            obj,
+            sense,
+        })
 }
 
 fn build(lp: &RandomLp) -> (Model, Vec<itne_milp::VarId>) {
+    assert_eq!(lp.bounds.len(), lp.n, "strategy produced inconsistent LP");
     let mut m = Model::new();
     let vars: Vec<_> = lp.bounds.iter().map(|&(l, h)| m.add_var(l, h)).collect();
     for (cs, cmp, rhs) in &lp.rows {
@@ -86,7 +101,12 @@ fn objective(lp: &RandomLp, x: &[f64]) -> f64 {
 }
 
 proptest! {
-    #![proptest_config(ProptestConfig::with_cases(256))]
+    // Fixed seed + bounded case count: CI runs are deterministic and any
+    // failure reproduces locally with no persistence files.
+    #![proptest_config(ProptestConfig {
+        rng_seed: 0x17de_c0de_0002,
+        ..ProptestConfig::with_cases(256)
+    })]
 
     #[test]
     fn lp_solutions_are_feasible_and_dominant(lp in random_lp()) {

@@ -131,7 +131,10 @@ impl AffineNetwork {
                                     }
                                 }
                                 terms.sort_by_key(|&(i, _)| i);
-                                rows.push(SparseRow { terms, bias: c.bias[oc] });
+                                rows.push(SparseRow {
+                                    terms,
+                                    bias: c.bias[oc],
+                                });
                             }
                         }
                     }
@@ -163,7 +166,10 @@ impl AffineNetwork {
                 }
             }
         }
-        Ok(AffineNetwork { input_dim: net.input_dim(), layers })
+        Ok(AffineNetwork {
+            input_dim: net.input_dim(),
+            layers,
+        })
     }
 
     /// Number of affine layers `n`.
@@ -178,7 +184,10 @@ impl AffineNetwork {
 
     /// Output dimension `mₙ`.
     pub fn output_dim(&self) -> usize {
-        self.layers.last().map(AffineLayer::width).unwrap_or(self.input_dim)
+        self.layers
+            .last()
+            .map(AffineLayer::width)
+            .unwrap_or(self.input_dim)
     }
 
     /// Forward pass through the lowered form (used to cross-check lowering
@@ -226,7 +235,11 @@ impl AffineNetwork {
             wanted.dedup();
             levels[k] = wanted;
         }
-        Cone { layer, window, levels }
+        Cone {
+            layer,
+            window,
+            levels,
+        }
     }
 }
 
@@ -302,10 +315,16 @@ mod tests {
 
     #[test]
     fn conv_rows_are_local() {
-        let mut net = NetworkBuilder::input_image(1, 6, 6).conv2d(2, 3, 1, 0, true).unwrap().build();
+        let mut net = NetworkBuilder::input_image(1, 6, 6)
+            .conv2d(2, 3, 1, 0, true)
+            .unwrap()
+            .build();
         // Give the conv non-zero weights so terms survive.
         if let crate::layer::Layer::Conv2d(c) = &mut net.layers_mut()[0] {
-            c.kernels.iter_mut().enumerate().for_each(|(i, k)| *k = 1.0 + i as f64);
+            c.kernels
+                .iter_mut()
+                .enumerate()
+                .for_each(|(i, k)| *k = 1.0 + i as f64);
         }
         let aff = AffineNetwork::from_network(&net).unwrap();
         // Every conv row touches exactly kh·kw·in_c = 9 inputs.
@@ -341,9 +360,15 @@ mod tests {
 
     #[test]
     fn avgpool_lowers_to_uniform_weights() {
-        let net = NetworkBuilder::input_image(1, 2, 2).avg_pool(2, 2).unwrap().build();
+        let net = NetworkBuilder::input_image(1, 2, 2)
+            .avg_pool(2, 2)
+            .unwrap()
+            .build();
         let aff = AffineNetwork::from_network(&net).unwrap();
-        assert_eq!(aff.layers[0].rows[0].terms, vec![(0, 0.25), (1, 0.25), (2, 0.25), (3, 0.25)]);
+        assert_eq!(
+            aff.layers[0].rows[0].terms,
+            vec![(0, 0.25), (1, 0.25), (2, 0.25), (3, 0.25)]
+        );
         assert_eq!(aff.forward(&[1.0, 2.0, 3.0, 4.0]), vec![2.5]);
     }
 }

@@ -31,8 +31,11 @@ pub fn initialize(net: &mut Network, seed: u64) {
     for layer in net.layers_mut() {
         match layer {
             Layer::Dense(d) => {
-                let scheme =
-                    if d.relu { WeightInit::HeUniform } else { WeightInit::GlorotUniform };
+                let scheme = if d.relu {
+                    WeightInit::HeUniform
+                } else {
+                    WeightInit::GlorotUniform
+                };
                 let lim = scheme.limit(d.in_dim, d.out_dim);
                 for w in &mut d.weights {
                     *w = rng.random_range(-lim..lim);
@@ -42,8 +45,11 @@ pub fn initialize(net: &mut Network, seed: u64) {
             Layer::Conv2d(c) => {
                 let fan_in = c.in_c * c.kh * c.kw;
                 let fan_out = c.out_c * c.kh * c.kw;
-                let scheme =
-                    if c.relu { WeightInit::HeUniform } else { WeightInit::GlorotUniform };
+                let scheme = if c.relu {
+                    WeightInit::HeUniform
+                } else {
+                    WeightInit::GlorotUniform
+                };
                 let lim = scheme.limit(fan_in, fan_out);
                 for k in &mut c.kernels {
                     *k = rng.random_range(-lim..lim);
@@ -82,7 +88,10 @@ mod tests {
 
     #[test]
     fn weights_are_bounded_by_he_limit() {
-        let mut net = NetworkBuilder::input(9).dense_zeros(4, true).unwrap().build();
+        let mut net = NetworkBuilder::input(9)
+            .dense_zeros(4, true)
+            .unwrap()
+            .build();
         initialize(&mut net, 7);
         let lim = (6.0f64 / 9.0).sqrt();
         if let Layer::Dense(d) = &net.layers()[0] {

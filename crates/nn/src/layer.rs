@@ -32,7 +32,9 @@ impl Dense {
     /// bias of the wrong length.
     pub fn new(rows: &[&[f64]], bias: &[f64], relu: bool) -> Result<Self, NnError> {
         if rows.is_empty() || rows[0].is_empty() {
-            return Err(NnError::InvalidLayer("dense layer needs a non-empty weight matrix".into()));
+            return Err(NnError::InvalidLayer(
+                "dense layer needs a non-empty weight matrix".into(),
+            ));
         }
         let in_dim = rows[0].len();
         if rows.iter().any(|r| r.len() != in_dim) {
@@ -102,7 +104,9 @@ impl Conv2d {
         relu: bool,
     ) -> Result<Self, NnError> {
         if in_c == 0 || out_c == 0 || kh == 0 || kw == 0 || stride == 0 {
-            return Err(NnError::InvalidLayer("conv2d geometry must be positive".into()));
+            return Err(NnError::InvalidLayer(
+                "conv2d geometry must be positive".into(),
+            ));
         }
         Ok(Conv2d {
             kernels: vec![0.0; out_c * in_c * kh * kw],
@@ -149,7 +153,10 @@ pub struct AvgPool2d {
 impl AvgPool2d {
     /// Output spatial size for an input of `h × w`.
     pub fn out_hw(&self, h: usize, w: usize) -> (usize, usize) {
-        ((h - self.kernel) / self.stride + 1, (w - self.kernel) / self.stride + 1)
+        (
+            (h - self.kernel) / self.stride + 1,
+            (w - self.kernel) / self.stride + 1,
+        )
     }
 }
 
@@ -242,13 +249,13 @@ impl Layer {
             Layer::Dense(d) => {
                 let xin = x.data();
                 let mut y = vec![0.0f64; d.out_dim];
-                for o in 0..d.out_dim {
+                for (o, yo) in y.iter_mut().enumerate() {
                     let row = &d.weights[o * d.in_dim..(o + 1) * d.in_dim];
                     let mut acc = d.bias[o];
                     for (wv, xv) in row.iter().zip(xin) {
                         acc += wv * xv;
                     }
-                    y[o] = acc;
+                    *yo = acc;
                 }
                 Tensor::from_vec(vec![d.out_dim], y)
             }
@@ -323,7 +330,10 @@ mod tests {
     fn dense_forward_matches_hand_computation() {
         let d = Dense::new(&[&[1.0, 2.0], &[3.0, -1.0]], &[0.5, -0.5], false).unwrap();
         let y = Layer::Dense(d).forward_pre(&Tensor::from_slice(&[2.0, 1.0]));
-        assert_eq!(y.data(), &[1.0 * 2.0 + 2.0 * 1.0 + 0.5, 3.0 * 2.0 - 1.0 - 0.5]);
+        assert_eq!(
+            y.data(),
+            &[1.0 * 2.0 + 2.0 * 1.0 + 0.5, 3.0 * 2.0 - 1.0 - 0.5]
+        );
     }
 
     #[test]
@@ -374,7 +384,10 @@ mod tests {
 
     #[test]
     fn avgpool_averages_windows() {
-        let p = AvgPool2d { kernel: 2, stride: 2 };
+        let p = AvgPool2d {
+            kernel: 2,
+            stride: 2,
+        };
         let x = Tensor::from_vec(vec![1, 2, 4], vec![1.0, 3.0, 5.0, 7.0, 1.0, 3.0, 5.0, 7.0]);
         let y = Layer::AvgPool2d(p).forward_pre(&x);
         assert_eq!(y.data(), &[2.0, 6.0]);

@@ -122,7 +122,10 @@ pub struct Trace {
 impl Trace {
     /// The network output.
     pub fn output(&self) -> &[f64] {
-        self.post.last().expect("trace has at least the input").data()
+        self.post
+            .last()
+            .expect("trace has at least the input")
+            .data()
     }
 }
 
@@ -149,13 +152,21 @@ impl NetworkBuilder {
     /// Starts a network with a flat input of `dim` features.
     pub fn input(dim: usize) -> Self {
         let s = Shape(vec![dim]);
-        NetworkBuilder { input_shape: s.clone(), current: s, layers: Vec::new() }
+        NetworkBuilder {
+            input_shape: s.clone(),
+            current: s,
+            layers: Vec::new(),
+        }
     }
 
     /// Starts a network with an image input `[channels, height, width]`.
     pub fn input_image(channels: usize, height: usize, width: usize) -> Self {
         let s = Shape(vec![channels, height, width]);
-        NetworkBuilder { input_shape: s.clone(), current: s, layers: Vec::new() }
+        NetworkBuilder {
+            input_shape: s.clone(),
+            current: s,
+            layers: Vec::new(),
+        }
     }
 
     fn push(mut self, layer: Layer) -> Result<Self, NnError> {
@@ -213,7 +224,9 @@ impl NetworkBuilder {
                 )))
             }
         };
-        self.push(Layer::Conv2d(Conv2d::zeros(in_c, out_c, kernel, kernel, stride, padding, relu)?))
+        self.push(Layer::Conv2d(Conv2d::zeros(
+            in_c, out_c, kernel, kernel, stride, padding, relu,
+        )?))
     }
 
     /// Appends an average-pooling layer.
@@ -237,7 +250,10 @@ impl NetworkBuilder {
 
     /// Finalizes the network.
     pub fn build(self) -> Network {
-        Network { input_shape: self.input_shape, layers: self.layers }
+        Network {
+            input_shape: self.input_shape,
+            layers: self.layers,
+        }
     }
 }
 

@@ -56,7 +56,10 @@ impl Tensor {
     pub fn zeros(shape: impl Into<Shape>) -> Self {
         let shape = shape.into();
         let n = shape.len();
-        Tensor { shape, data: vec![0.0; n] }
+        Tensor {
+            shape,
+            data: vec![0.0; n],
+        }
     }
 
     /// Wraps existing data.
@@ -72,7 +75,10 @@ impl Tensor {
 
     /// A rank-1 tensor.
     pub fn from_slice(data: &[f64]) -> Self {
-        Tensor { shape: Shape(vec![data.len()]), data: data.to_vec() }
+        Tensor {
+            shape: Shape(vec![data.len()]),
+            data: data.to_vec(),
+        }
     }
 
     /// The shape.
@@ -102,7 +108,11 @@ impl Tensor {
     /// Panics if element counts differ.
     pub fn reshape(mut self, shape: impl Into<Shape>) -> Self {
         let shape = shape.into();
-        assert_eq!(shape.len(), self.data.len(), "reshape element count mismatch");
+        assert_eq!(
+            shape.len(),
+            self.data.len(),
+            "reshape element count mismatch"
+        );
         self.shape = shape;
         self
     }
@@ -158,7 +168,8 @@ mod tests {
         let mut t = Tensor::zeros(vec![2, 2, 3]);
         *t.at3_mut(1, 0, 2) = 7.0;
         assert_eq!(t.at3(1, 0, 2), 7.0);
-        assert_eq!(t.data()[1 * 6 + 0 * 3 + 2], 7.0);
+        // Flat offset 8 = c·(h·w) + y·w + x = 1·6 + 0·3 + 2.
+        assert_eq!(t.data()[8], 7.0);
     }
 
     #[test]

@@ -61,10 +61,19 @@ impl Gradients {
 /// # Panics
 ///
 /// Panics if `trace` or `grads` do not match `net`.
-pub fn backward(net: &Network, trace: &Trace, dloss_dout: &[f64], grads: &mut Gradients) -> Vec<f64> {
+pub fn backward(
+    net: &Network,
+    trace: &Trace,
+    dloss_dout: &[f64],
+    grads: &mut Gradients,
+) -> Vec<f64> {
     let layers = net.layers();
     assert_eq!(trace.pre.len(), layers.len(), "trace/network mismatch");
-    assert_eq!(grads.per_layer.len(), layers.len(), "grads/network mismatch");
+    assert_eq!(
+        grads.per_layer.len(),
+        layers.len(),
+        "grads/network mismatch"
+    );
     let mut g: Vec<f64> = dloss_dout.to_vec();
 
     for (li, layer) in layers.iter().enumerate().rev() {

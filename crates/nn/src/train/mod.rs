@@ -58,7 +58,13 @@ pub struct TrainConfig {
 
 impl Default for TrainConfig {
     fn default() -> Self {
-        TrainConfig { epochs: 50, batch_size: 32, loss: Loss::Mse, seed: 0, verbose: false }
+        TrainConfig {
+            epochs: 50,
+            batch_size: 32,
+            loss: Loss::Mse,
+            seed: 0,
+            verbose: false,
+        }
     }
 }
 
@@ -89,7 +95,11 @@ pub fn train(
     cfg: &TrainConfig,
 ) -> TrainReport {
     assert!(!data.is_empty(), "cannot train on an empty dataset");
-    assert_eq!(data.inputs.len(), data.targets.len(), "inputs/targets length mismatch");
+    assert_eq!(
+        data.inputs.len(),
+        data.targets.len(),
+        "inputs/targets length mismatch"
+    );
     let mut rng = StdRng::seed_from_u64(cfg.seed);
     let mut order: Vec<usize> = (0..data.len()).collect();
     let mut report = TrainReport::default();
@@ -131,7 +141,11 @@ pub fn evaluate_mse(net: &Network, data: &Dataset) -> f64 {
 /// Classification accuracy of `net` (argmax of output vs argmax of target).
 pub fn accuracy(net: &Network, data: &Dataset) -> f64 {
     let argmax = |v: &[f64]| {
-        v.iter().enumerate().max_by(|a, b| a.1.total_cmp(b.1)).map(|(i, _)| i).unwrap_or(0)
+        v.iter()
+            .enumerate()
+            .max_by(|a, b| a.1.total_cmp(b.1))
+            .map(|(i, _)| i)
+            .unwrap_or(0)
     };
     let correct = data
         .inputs
@@ -162,15 +176,21 @@ mod tests {
         let inputs: Vec<Vec<f64>> = (0..64)
             .map(|i| vec![(i % 8) as f64 / 8.0, (i / 8) as f64 / 8.0])
             .collect();
-        let targets: Vec<Vec<f64>> =
-            inputs.iter().map(|p| vec![p[0] - 2.0 * p[1] + 0.5]).collect();
+        let targets: Vec<Vec<f64>> = inputs
+            .iter()
+            .map(|p| vec![p[0] - 2.0 * p[1] + 0.5])
+            .collect();
         let data = Dataset { inputs, targets };
         let mut opt = Adam::new(0.01);
         let report = train(
             &mut net,
             &data,
             &mut opt,
-            &TrainConfig { epochs: 120, batch_size: 16, ..Default::default() },
+            &TrainConfig {
+                epochs: 120,
+                batch_size: 16,
+                ..Default::default()
+            },
         );
         assert!(
             report.final_loss() < 0.05 * report.loss_history[0].max(1e-3),
@@ -201,8 +221,11 @@ mod tests {
             for y in 0..6 {
                 for x in 0..6 {
                     let bright = if top { y < 3 } else { y >= 3 };
-                    img[y * 6 + x] =
-                        if bright { 0.8 + 0.01 * ((k + x) % 5) as f64 } else { 0.1 };
+                    img[y * 6 + x] = if bright {
+                        0.8 + 0.01 * ((k + x) % 5) as f64
+                    } else {
+                        0.1
+                    };
                 }
             }
             inputs.push(img);
@@ -221,6 +244,10 @@ mod tests {
                 ..Default::default()
             },
         );
-        assert!(accuracy(&net, &data) > 0.95, "accuracy {}", accuracy(&net, &data));
+        assert!(
+            accuracy(&net, &data) > 0.95,
+            "accuracy {}",
+            accuracy(&net, &data)
+        );
     }
 }

@@ -23,7 +23,11 @@ pub struct Sgd {
 impl Sgd {
     /// SGD with the given learning rate and momentum 0.9.
     pub fn new(lr: f64) -> Self {
-        Sgd { lr, momentum: 0.9, velocity: None }
+        Sgd {
+            lr,
+            momentum: 0.9,
+            velocity: None,
+        }
     }
 }
 
@@ -52,12 +56,24 @@ impl Adam {
     /// Adam with the given learning rate and standard (0.9, 0.999, 1e-8)
     /// moment parameters.
     pub fn new(lr: f64) -> Self {
-        Adam { lr, beta1: 0.9, beta2: 0.999, eps: 1e-8, weight_decay: 0.0, t: 0, m: None, v: None }
+        Adam {
+            lr,
+            beta1: 0.9,
+            beta2: 0.999,
+            eps: 1e-8,
+            weight_decay: 0.0,
+            t: 0,
+            m: None,
+            v: None,
+        }
     }
 
     /// AdamW: Adam plus decoupled weight decay.
     pub fn with_weight_decay(lr: f64, weight_decay: f64) -> Self {
-        Adam { weight_decay, ..Self::new(lr) }
+        Adam {
+            weight_decay,
+            ..Self::new(lr)
+        }
     }
 }
 
@@ -67,7 +83,12 @@ fn for_each_param(
     grads: &Gradients,
     mut f: impl FnMut(usize, usize, &mut f64, f64),
 ) {
-    for (li, (layer, grad)) in net.layers_mut().iter_mut().zip(&grads.per_layer).enumerate() {
+    for (li, (layer, grad)) in net
+        .layers_mut()
+        .iter_mut()
+        .zip(&grads.per_layer)
+        .enumerate()
+    {
         match (layer, grad) {
             (Layer::Dense(d), LayerGrad::Dense { dw, db }) => {
                 for (pi, (w, g)) in d.weights.iter_mut().zip(dw).enumerate() {
@@ -165,7 +186,10 @@ mod tests {
 
     fn quadratic_step(opt: &mut dyn Optimizer) -> f64 {
         // One-parameter problem: minimize (w·1 - 1)² via repeated steps.
-        let mut net = NetworkBuilder::input(1).dense_zeros(1, false).unwrap().build();
+        let mut net = NetworkBuilder::input(1)
+            .dense_zeros(1, false)
+            .unwrap()
+            .build();
         initialize(&mut net, 2);
         for _ in 0..400 {
             let trace = net.forward_trace(&[1.0]);

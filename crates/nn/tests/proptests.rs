@@ -1,7 +1,7 @@
 //! Property-based checks of the network substrate.
 
-use itne_nn::{AffineNetwork, Network, NetworkBuilder};
 use itne_nn::train::input_gradient;
+use itne_nn::{AffineNetwork, Network, NetworkBuilder};
 use proptest::prelude::*;
 
 fn weight() -> impl Strategy<Value = f64> {
@@ -11,7 +11,11 @@ fn weight() -> impl Strategy<Value = f64> {
 
 /// A random dense network: 2-4 layers with widths 1-4.
 fn random_dense_net() -> impl Strategy<Value = Network> {
-    (1usize..=3, proptest::collection::vec(1usize..=4, 1..=3), proptest::collection::vec(weight(), 200))
+    (
+        1usize..=3,
+        proptest::collection::vec(1usize..=4, 1..=3),
+        proptest::collection::vec(weight(), 200),
+    )
         .prop_map(|(input_dim, widths, ws)| {
             let mut k = 0;
             let mut take = |n: usize| {
@@ -39,7 +43,13 @@ fn random_dense_net() -> impl Strategy<Value = Network> {
 
 /// A random conv network over a small image.
 fn random_conv_net() -> impl Strategy<Value = Network> {
-    (1usize..=2, 1usize..=2, 0usize..=1, proptest::collection::vec(weight(), 64), 1usize..=3)
+    (
+        1usize..=2,
+        1usize..=2,
+        0usize..=1,
+        proptest::collection::vec(weight(), 64),
+        1usize..=3,
+    )
         .prop_map(|(out_c, stride, padding, ws, dense_out)| {
             let mut net = NetworkBuilder::input_image(1, 5, 5)
                 .conv2d(out_c, 3, stride, padding, true)
@@ -74,11 +84,19 @@ fn random_conv_net() -> impl Strategy<Value = Network> {
 }
 
 fn inputs_for(net: &Network) -> impl Strategy<Value = Vec<f64>> {
-    proptest::collection::vec((-100i32..=100).prop_map(|v| v as f64 / 100.0), net.input_dim())
+    proptest::collection::vec(
+        (-100i32..=100).prop_map(|v| v as f64 / 100.0),
+        net.input_dim(),
+    )
 }
 
 proptest! {
-    #![proptest_config(ProptestConfig::with_cases(64))]
+    // Fixed seed + bounded case count: CI runs are deterministic and any
+    // failure reproduces locally with no persistence files.
+    #![proptest_config(ProptestConfig {
+        rng_seed: 0x17de_c0de_0003,
+        ..ProptestConfig::with_cases(64)
+    })]
 
     /// The lowered sparse-affine form computes exactly the same function.
     #[test]
@@ -174,9 +192,9 @@ proptest! {
 
         let base = eval_target(&x);
         let mut perturbed = x.clone();
-        for i in 0..perturbed.len() {
+        for (i, p) in perturbed.iter_mut().enumerate() {
             if !cone.levels[0].contains(&i) {
-                perturbed[i] += 17.0; // wild perturbation outside the cone
+                *p += 17.0; // wild perturbation outside the cone
             }
         }
         let after = eval_target(&perturbed);

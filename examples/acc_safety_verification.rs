@@ -19,15 +19,19 @@
 
 use itne::cert::{certify_global, CertifyOptions};
 use itne::control::{
-    max_tolerable_estimation_error, simulate, PerceptionConfig, PerceptionModel, SafeSet,
-    SimConfig,
+    max_tolerable_estimation_error, simulate, PerceptionConfig, PerceptionModel, SafeSet, SimConfig,
 };
 use itne::data::CameraSpec;
 
 fn main() -> Result<(), Box<dyn std::error::Error>> {
     // Smaller-than-default camera and model keep this example quick (~1 min);
     // the bench binary runs the full configuration.
-    let spec = CameraSpec { height: 8, width: 16, focal: 2.4, ..CameraSpec::default() };
+    let spec = CameraSpec {
+        height: 8,
+        width: 16,
+        focal: 2.4,
+        ..CameraSpec::default()
+    };
     let cfg = PerceptionConfig {
         spec,
         conv_channels: (3, 4),
@@ -38,14 +42,25 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     };
     let (model, data, _) = PerceptionModel::train_new(&cfg);
     let dd1 = model.model_error(&data);
-    println!("perception net: {} hidden neurons, Δd₁ = {dd1:.4}", model.net.hidden_neurons());
+    println!(
+        "perception net: {} hidden neurons, Δd₁ = {dd1:.4}",
+        model.net.hidden_neurons()
+    );
 
     let delta = 2.0 / 255.0;
     let domain = model.input_domain(&data, delta);
-    let opts = CertifyOptions { window: 2, refine: 4, threads: 2, ..Default::default() };
+    let opts = CertifyOptions {
+        window: 2,
+        refine: 4,
+        threads: 2,
+        ..Default::default()
+    };
     let report = certify_global(&model.net, &domain, delta, &opts)?;
     let dd2 = report.epsilon(0);
-    println!("certified global robustness at δ=2/255: Δd₂ ≤ ε̄ = {dd2:.4} ({:?})", report.stats.wall);
+    println!(
+        "certified global robustness at δ=2/255: Δd₂ ≤ ε̄ = {dd2:.4} ({:?})",
+        report.stats.wall
+    );
 
     let safe = SafeSet::default();
     let beta = max_tolerable_estimation_error(&safe, 1e-4);
@@ -58,12 +73,21 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     }
 
     // Empirical stress test, as in the paper's Webots runs.
-    for (label, d) in [("no attack", 0.0), ("δ=2/255", delta), ("δ=10/255", 10.0 / 255.0)] {
+    for (label, d) in [
+        ("no attack", 0.0),
+        ("δ=2/255", delta),
+        ("δ=10/255", 10.0 / 255.0),
+    ] {
         let r = simulate(
             &model,
             beta,
             &safe,
-            &SimConfig { episodes: 6, steps: 200, delta: d, seed: 11 },
+            &SimConfig {
+                episodes: 6,
+                steps: 200,
+                delta: d,
+                seed: 11,
+            },
         );
         println!(
             "sim {label:>9}: max|Δd| = {:.4}, bound exceedances {}/{} steps, unsafe episodes {}/{}",

@@ -34,9 +34,18 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         &mut net,
         &data,
         &mut opt,
-        &TrainConfig { epochs: 120, batch_size: 32, loss: Loss::Mse, seed: 3, verbose: false },
+        &TrainConfig {
+            epochs: 120,
+            batch_size: 32,
+            loss: Loss::Mse,
+            seed: 3,
+            verbose: false,
+        },
     );
-    println!("trained 7-8-8-1 network, final MSE {:.5}", report.final_loss());
+    println!(
+        "trained 7-8-8-1 network, final MSE {:.5}",
+        report.final_loss()
+    );
 
     let domain: Vec<(f64, f64)> = vec![(0.0, 1.0); 7];
     let delta = 0.001; // the paper's δ for Auto MPG
@@ -66,7 +75,12 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
 
     // --- Algorithm 1, the paper's Auto-MPG configuration: W = 2, half the
     //     neurons refined. ---
-    let opts = CertifyOptions { window: 2, refine: 8, threads: 2, ..Default::default() };
+    let opts = CertifyOptions {
+        window: 2,
+        refine: 8,
+        threads: 2,
+        ..Default::default()
+    };
     let ours = certify_global(&net, &domain, delta, &opts)?;
     println!(
         "Algorithm 1 (W=2, r=8):    ε̄ = {:.5}   ({:?}, {} LPs)",

@@ -52,7 +52,12 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     //     neurons per sub-problem under Gurobi; with the from-scratch B&B a
     //     lighter configuration keeps this example interactive (see the
     //     scaling note in EXPERIMENTS.md). ---
-    let opts = CertifyOptions { window: 2, refine: 4, threads: 2, ..Default::default() };
+    let opts = CertifyOptions {
+        window: 2,
+        refine: 4,
+        threads: 2,
+        ..Default::default()
+    };
     let ours = certify_global(&net, &domain, delta, &opts)?;
 
     // --- PGD under-approximation on a dataset slice (2 outputs as in the
@@ -63,7 +68,11 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         &slice,
         delta,
         Some(&domain),
-        &PgdOptions { steps: 15, restarts: 2, ..Default::default() },
+        &PgdOptions {
+            steps: 15,
+            restarts: 2,
+            ..Default::default()
+        },
     );
 
     println!("\noutput |     ε̲ (PGD) |  ε̄ (ours) | ratio");
@@ -74,7 +83,10 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
             ours.epsilon(j),
             ours.epsilon(j) / under.epsilon(j).max(1e-12)
         );
-        assert!(under.epsilon(j) <= ours.epsilon(j) + 1e-7, "sandwich violated");
+        assert!(
+            under.epsilon(j) <= ours.epsilon(j) + 1e-7,
+            "sandwich violated"
+        );
     }
     println!(
         "\ncertification: {:?}, {} LPs, {} MILP nodes (paper: <3× gap for >5k neurons)",

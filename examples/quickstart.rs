@@ -43,6 +43,9 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         "Over-approximation factor:  {:.2}×  (paper's §II-D band: 1.25-1.5×)",
         ours.epsilon(0) / exact.epsilon(0)
     );
-    assert!(ours.epsilon(0) >= exact.epsilon(0) - 1e-9, "soundness violated?!");
+    assert!(
+        ours.epsilon(0) >= exact.epsilon(0) - 1e-9,
+        "soundness violated?!"
+    );
     Ok(())
 }

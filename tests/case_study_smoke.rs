@@ -4,15 +4,20 @@
 
 use itne::cert::{certify_global, CertifyOptions};
 use itne::control::{
-    analyze, max_tolerable_estimation_error, simulate, PerceptionConfig, PerceptionModel,
-    SafeSet, SimConfig,
+    analyze, max_tolerable_estimation_error, simulate, PerceptionConfig, PerceptionModel, SafeSet,
+    SimConfig,
 };
 use itne::data::CameraSpec;
 
 #[test]
 fn acc_pipeline_end_to_end() {
     // Small camera and model keep this a smoke test.
-    let spec = CameraSpec { height: 8, width: 16, focal: 2.4, ..CameraSpec::default() };
+    let spec = CameraSpec {
+        height: 8,
+        width: 16,
+        focal: 2.4,
+        ..CameraSpec::default()
+    };
     let cfg = PerceptionConfig {
         spec,
         conv_channels: (3, 3),
@@ -37,7 +42,11 @@ fn acc_pipeline_end_to_end() {
         &model.net,
         &domain,
         delta,
-        &CertifyOptions { window: 2, threads: 2, ..Default::default() },
+        &CertifyOptions {
+            window: 2,
+            threads: 2,
+            ..Default::default()
+        },
     )
     .expect("certification runs");
     let dd2 = report.epsilon(0);
@@ -55,7 +64,12 @@ fn acc_pipeline_end_to_end() {
         &model,
         beta,
         &safe,
-        &SimConfig { episodes: 4, steps: 150, delta: 0.0, seed: 3 },
+        &SimConfig {
+            episodes: 4,
+            steps: 150,
+            delta: 0.0,
+            seed: 3,
+        },
     );
     assert_eq!(sim.unsafe_episodes, 0, "clean closed loop went unsafe");
 
@@ -65,13 +79,23 @@ fn acc_pipeline_end_to_end() {
         &model,
         beta,
         &safe,
-        &SimConfig { episodes: 3, steps: 100, delta: 2.0 / 255.0, seed: 9 },
+        &SimConfig {
+            episodes: 3,
+            steps: 100,
+            delta: 2.0 / 255.0,
+            seed: 9,
+        },
     );
     let strong = simulate(
         &model,
         beta,
         &safe,
-        &SimConfig { episodes: 3, steps: 100, delta: 12.0 / 255.0, seed: 9 },
+        &SimConfig {
+            episodes: 3,
+            steps: 100,
+            delta: 12.0 / 255.0,
+            seed: 9,
+        },
     );
     assert!(
         strong.max_abs_dd + 1e-9 >= weak.max_abs_dd,

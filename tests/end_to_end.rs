@@ -27,9 +27,18 @@ fn train_certify_attack_sandwich() {
         &mut net,
         &train_set,
         &mut opt,
-        &TrainConfig { epochs: 80, batch_size: 16, loss: Loss::Mse, seed: 2, verbose: false },
+        &TrainConfig {
+            epochs: 80,
+            batch_size: 16,
+            loss: Loss::Mse,
+            seed: 2,
+            verbose: false,
+        },
     );
-    assert!(evaluate_mse(&net, &test_set) < 0.03, "model failed to generalize");
+    assert!(
+        evaluate_mse(&net, &test_set) < 0.03,
+        "model failed to generalize"
+    );
 
     let domain = vec![(0.0, 1.0); 7];
     let delta = 0.004;
@@ -47,14 +56,21 @@ fn train_certify_attack_sandwich() {
         &net,
         &domain,
         delta,
-        &CertifyOptions { window: 2, refine: 5, ..Default::default() },
+        &CertifyOptions {
+            window: 2,
+            refine: 5,
+            ..Default::default()
+        },
     )
     .expect("certifies");
 
     let (lo, ex, hi) = (under.epsilon(0), exact.epsilon(0), certified.epsilon(0));
     assert!(lo <= ex + 1e-7, "PGD {lo} above exact {ex}");
     assert!(ex <= hi + 1e-7, "certified {hi} below exact {ex}");
-    assert!(hi <= 4.0 * ex.max(1e-9), "certified bound uselessly loose: {hi} vs exact {ex}");
+    assert!(
+        hi <= 4.0 * ex.max(1e-9),
+        "certified bound uselessly loose: {hi} vs exact {ex}"
+    );
 
     // --- Certified ε̄ must also hold empirically on random twin pairs. ---
     let mut seed = 99u64;
@@ -66,10 +82,15 @@ fn train_certify_attack_sandwich() {
     };
     for _ in 0..2000 {
         let x: Vec<f64> = (0..7).map(|_| unit()).collect();
-        let xh: Vec<f64> =
-            x.iter().map(|&v| (v + (unit() * 2.0 - 1.0) * delta).clamp(0.0, 1.0)).collect();
+        let xh: Vec<f64> = x
+            .iter()
+            .map(|&v| (v + (unit() * 2.0 - 1.0) * delta).clamp(0.0, 1.0))
+            .collect();
         let d = (net.forward(&xh)[0] - net.forward(&x)[0]).abs();
-        assert!(d <= hi + 1e-7, "sampled variation {d} exceeds certified {hi}");
+        assert!(
+            d <= hi + 1e-7,
+            "sampled variation {d} exceeds certified {hi}"
+        );
     }
 }
 
@@ -88,7 +109,13 @@ fn parallel_certification_agrees_with_serial() {
         &mut net,
         &data,
         &mut opt,
-        &TrainConfig { epochs: 40, batch_size: 16, loss: Loss::Mse, seed: 2, verbose: false },
+        &TrainConfig {
+            epochs: 40,
+            batch_size: 16,
+            loss: Loss::Mse,
+            seed: 2,
+            verbose: false,
+        },
     );
     let domain = vec![(0.0, 1.0); 7];
     let serial = certify_global(&net, &domain, 0.002, &CertifyOptions::default()).expect("ok");
@@ -96,7 +123,10 @@ fn parallel_certification_agrees_with_serial() {
         &net,
         &domain,
         0.002,
-        &CertifyOptions { threads: 2, ..Default::default() },
+        &CertifyOptions {
+            threads: 2,
+            ..Default::default()
+        },
     )
     .expect("ok");
     assert_eq!(serial.epsilons, parallel.epsilons);

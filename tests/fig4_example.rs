@@ -41,7 +41,11 @@ fn itne_nd_gives_1_5x() {
         &fig1(),
         &DOM,
         DELTA,
-        &CertifyOptions { window: 1, relaxation: Relaxation::Exact, ..Default::default() },
+        &CertifyOptions {
+            window: 1,
+            relaxation: Relaxation::Exact,
+            ..Default::default()
+        },
     )
     .expect("certifies");
     assert!((r.epsilon(0) - 0.3).abs() < 1e-5, "ε = {}", r.epsilon(0));
@@ -89,7 +93,11 @@ fn local_rows_match_paper() {
         &[0.0, 0.0],
         DELTA,
         None,
-        &CertifyOptions { relaxation: Relaxation::Exact, window: 2, ..Default::default() },
+        &CertifyOptions {
+            relaxation: Relaxation::Exact,
+            window: 2,
+            ..Default::default()
+        },
     )
     .expect("certifies");
     assert!((exact.output_ranges[0].hi - 0.125).abs() < 1e-6);
@@ -112,13 +120,16 @@ fn full_method_ordering_on_the_example() {
     // exact ≤ Algorithm 1 ≤ ITNE-ND ≤ BTNE-ND, as Fig. 4 lays out.
     let net = fig1();
     let exact = exact_global(&net, &DOM, DELTA, SolveOptions::default()).expect("solves");
-    let alg1 =
-        certify_global(&net, &DOM, DELTA, &CertifyOptions::default()).expect("certifies");
+    let alg1 = certify_global(&net, &DOM, DELTA, &CertifyOptions::default()).expect("certifies");
     let itne_nd = certify_global(
         &net,
         &DOM,
         DELTA,
-        &CertifyOptions { window: 1, relaxation: Relaxation::Exact, ..Default::default() },
+        &CertifyOptions {
+            window: 1,
+            relaxation: Relaxation::Exact,
+            ..Default::default()
+        },
     )
     .expect("certifies");
     let btne_nd = certify_global(

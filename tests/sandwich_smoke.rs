@@ -1,0 +1,66 @@
+//! Integration smoke test: the sound-and-tight sandwich on the paper's
+//! Fig. 1 network.
+//!
+//! With δ = 0.1 over X = [-1, 1]², the true worst-case output deviation is
+//! ε = 0.2. Any sampled pair of δ-close inputs gives a lower bound on ε, the
+//! exact MILP computes ε itself, and `certify_global` (Algorithm 1) returns a
+//! sound over-approximation ε̄. So the three must order as
+//!
+//! ```text
+//! sampled_lower_bound  ≤  exact_global  ≤  certify_global  ≤  0.3
+//! ```
+//!
+//! with the final 0.3 being the paper's ITNE-ND/LPR tightness band for this
+//! network (IBP alone would report 0.3; the certified bound must not be
+//! looser than that).
+
+use itne::cert::example::fig1_network;
+use itne::cert::{certify_global, exact_global, sampled_lower_bound, CertifyOptions};
+use itne::milp::SolveOptions;
+
+#[test]
+fn fig1_sound_and_tight_sandwich() {
+    let net = fig1_network();
+    let domain = [(-1.0, 1.0), (-1.0, 1.0)];
+    let delta = 0.1;
+
+    let sampled = sampled_lower_bound(&net, &domain, delta, 21, 40);
+    let exact = exact_global(&net, &domain, delta, SolveOptions::default())
+        .expect("exact MILP solves the Fig. 1 network");
+    let certified = certify_global(&net, &domain, delta, &CertifyOptions::default())
+        .expect("Algorithm 1 certifies the Fig. 1 network");
+
+    assert_eq!(net.output_dim(), 1);
+    for (j, &lower) in sampled.iter().enumerate() {
+        assert!(
+            lower <= exact.epsilon(j) + 1e-9,
+            "sampled lower bound {} exceeds exact {} on output {j}",
+            lower,
+            exact.epsilon(j)
+        );
+        assert!(
+            exact.epsilon(j) <= certified.epsilon(j) + 1e-9,
+            "certified bound {} is unsound: exact is {} on output {j}",
+            certified.epsilon(j),
+            exact.epsilon(j)
+        );
+    }
+
+    // The known Fig. 1 values: exact ε = 0.2, certified ε̄ within [0.2, 0.3].
+    assert!(
+        (exact.epsilon(0) - 0.2).abs() < 1e-6,
+        "exact ε should be 0.2, got {}",
+        exact.epsilon(0)
+    );
+    assert!(
+        certified.epsilon(0) >= 0.2 - 1e-9 && certified.epsilon(0) <= 0.3,
+        "certified ε̄ {} outside the paper's [0.2, 0.3] band",
+        certified.epsilon(0)
+    );
+    // And the sampled bound is genuinely informative (not degenerate zero).
+    assert!(
+        sampled[0] > 0.15,
+        "sampled lower bound {} is too loose to be a meaningful check",
+        sampled[0]
+    );
+}

@@ -1,0 +1,592 @@
+//! Vendored minimal stand-in for `proptest`.
+//!
+//! The container this workspace builds in has no network access, so the slice
+//! of proptest the workspace's test suites use is implemented here:
+//! [`strategy::Strategy`] with `prop_map` / `prop_flat_map` / `boxed`,
+//! range and tuple strategies, [`collection::vec`], [`strategy::Just`],
+//! `any::<bool>()`, `prop_oneof!`, and the [`proptest!`] /
+//! [`prop_assert!`] / [`prop_assert_eq!`] / [`prop_assume!`] macros.
+//!
+//! Two deliberate simplifications relative to real proptest:
+//!
+//! * **Determinism.** Each test's RNG is seeded from
+//!   [`test_runner::Config::rng_seed`] XOR a hash of the test name; the same
+//!   binary always explores the same cases (no OS entropy, no persistence
+//!   files). CI failures therefore reproduce locally by default.
+//! * **No shrinking.** A failing case panics with its inputs via
+//!   `prop_assert!`'s message instead of being minimized first.
+
+#![forbid(unsafe_code)]
+
+/// Test configuration and the deterministic RNG.
+pub mod test_runner {
+    /// Run configuration (`ProptestConfig` in the prelude).
+    #[derive(Clone, Debug)]
+    pub struct Config {
+        /// Number of accepted cases to run per test.
+        pub cases: u32,
+        /// Base RNG seed; each test XORs in a hash of its own name.
+        pub rng_seed: u64,
+        /// Give up after this many `prop_assume!` rejections per accepted
+        /// case (on average).
+        pub max_global_rejects: u32,
+    }
+
+    impl Config {
+        /// The default configuration with `cases` cases.
+        pub fn with_cases(cases: u32) -> Self {
+            Config {
+                cases,
+                ..Config::default()
+            }
+        }
+    }
+
+    impl Default for Config {
+        fn default() -> Self {
+            Config {
+                cases: 64,
+                rng_seed: 0x17de_cafc_0ffe,
+                max_global_rejects: 10,
+            }
+        }
+    }
+
+    /// Why a single case did not count toward `cases`.
+    #[derive(Clone, Copy, Debug)]
+    pub enum TestCaseError {
+        /// `prop_assume!` failed; draw a fresh case.
+        Reject,
+    }
+
+    /// FNV-1a, used to derive per-test seeds from test names.
+    pub const fn fnv1a(name: &str) -> u64 {
+        let bytes = name.as_bytes();
+        let mut hash = 0xcbf2_9ce4_8422_2325u64;
+        let mut i = 0;
+        while i < bytes.len() {
+            hash ^= bytes[i] as u64;
+            hash = hash.wrapping_mul(0x0000_0100_0000_01b3);
+            i += 1;
+        }
+        hash
+    }
+
+    /// xoshiro256++ seeded via splitmix64 — deterministic and dependency-free.
+    #[derive(Clone, Debug)]
+    pub struct TestRng {
+        s: [u64; 4],
+    }
+
+    impl TestRng {
+        /// Builds a generator from a 64-bit seed.
+        pub fn from_seed(seed: u64) -> Self {
+            let mut sm = seed;
+            let mut next = move || {
+                sm = sm.wrapping_add(0x9e37_79b9_7f4a_7c15);
+                let mut z = sm;
+                z = (z ^ (z >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
+                z = (z ^ (z >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
+                z ^ (z >> 31)
+            };
+            TestRng {
+                s: [next(), next(), next(), next()],
+            }
+        }
+
+        /// The next raw 64-bit word.
+        pub fn next_u64(&mut self) -> u64 {
+            let s = &mut self.s;
+            let result = s[0].wrapping_add(s[3]).rotate_left(23).wrapping_add(s[0]);
+            let t = s[1] << 17;
+            s[2] ^= s[0];
+            s[3] ^= s[1];
+            s[1] ^= s[2];
+            s[0] ^= s[3];
+            s[2] ^= t;
+            s[3] = s[3].rotate_left(45);
+            result
+        }
+
+        /// Uniform in `[0, 1)`.
+        pub fn unit(&mut self) -> f64 {
+            (self.next_u64() >> 11) as f64 / (1u64 << 53) as f64
+        }
+
+        /// Uniform in `[0, n)`.
+        pub fn below(&mut self, n: u64) -> u64 {
+            assert!(n > 0, "below(0)");
+            self.next_u64() % n
+        }
+    }
+}
+
+/// Strategies: value generators composed the proptest way.
+pub mod strategy {
+    use crate::test_runner::TestRng;
+    use std::ops::{Range, RangeInclusive};
+
+    /// A generator of values of type [`Strategy::Value`].
+    pub trait Strategy {
+        /// The type of generated values.
+        type Value;
+
+        /// Draws one value.
+        fn new_value(&self, rng: &mut TestRng) -> Self::Value;
+
+        /// Maps generated values through `f`.
+        fn prop_map<O, F: Fn(Self::Value) -> O>(self, f: F) -> Map<Self, F>
+        where
+            Self: Sized,
+        {
+            Map { inner: self, f }
+        }
+
+        /// Generates a value, then generates from the strategy `f` returns.
+        fn prop_flat_map<S: Strategy, F: Fn(Self::Value) -> S>(self, f: F) -> FlatMap<Self, F>
+        where
+            Self: Sized,
+        {
+            FlatMap { inner: self, f }
+        }
+
+        /// Type-erases this strategy.
+        fn boxed(self) -> BoxedStrategy<Self::Value>
+        where
+            Self: Sized + 'static,
+        {
+            Box::new(self)
+        }
+    }
+
+    /// A type-erased strategy.
+    pub type BoxedStrategy<T> = Box<dyn Strategy<Value = T>>;
+
+    impl<T> Strategy for BoxedStrategy<T> {
+        type Value = T;
+        fn new_value(&self, rng: &mut TestRng) -> T {
+            (**self).new_value(rng)
+        }
+    }
+
+    impl<S: Strategy + ?Sized> Strategy for &S {
+        type Value = S::Value;
+        fn new_value(&self, rng: &mut TestRng) -> S::Value {
+            (**self).new_value(rng)
+        }
+    }
+
+    /// Always yields a clone of the given value.
+    #[derive(Clone, Debug)]
+    pub struct Just<T: Clone>(pub T);
+
+    impl<T: Clone> Strategy for Just<T> {
+        type Value = T;
+        fn new_value(&self, _rng: &mut TestRng) -> T {
+            self.0.clone()
+        }
+    }
+
+    /// See [`Strategy::prop_map`].
+    pub struct Map<S, F> {
+        inner: S,
+        f: F,
+    }
+
+    impl<S: Strategy, O, F: Fn(S::Value) -> O> Strategy for Map<S, F> {
+        type Value = O;
+        fn new_value(&self, rng: &mut TestRng) -> O {
+            (self.f)(self.inner.new_value(rng))
+        }
+    }
+
+    /// See [`Strategy::prop_flat_map`].
+    pub struct FlatMap<S, F> {
+        inner: S,
+        f: F,
+    }
+
+    impl<S: Strategy, S2: Strategy, F: Fn(S::Value) -> S2> Strategy for FlatMap<S, F> {
+        type Value = S2::Value;
+        fn new_value(&self, rng: &mut TestRng) -> S2::Value {
+            (self.f)(self.inner.new_value(rng)).new_value(rng)
+        }
+    }
+
+    /// Uniform choice between type-erased strategies (`prop_oneof!`).
+    pub struct Union<T> {
+        options: Vec<BoxedStrategy<T>>,
+    }
+
+    impl<T> Union<T> {
+        /// A union over the given non-empty option list.
+        pub fn new(options: Vec<BoxedStrategy<T>>) -> Self {
+            assert!(!options.is_empty(), "prop_oneof! of zero strategies");
+            Union { options }
+        }
+    }
+
+    impl<T> Strategy for Union<T> {
+        type Value = T;
+        fn new_value(&self, rng: &mut TestRng) -> T {
+            let i = rng.below(self.options.len() as u64) as usize;
+            self.options[i].new_value(rng)
+        }
+    }
+
+    macro_rules! impl_int_range_strategy {
+        ($($t:ty),*) => {$(
+            impl Strategy for Range<$t> {
+                type Value = $t;
+                fn new_value(&self, rng: &mut TestRng) -> $t {
+                    assert!(self.start < self.end, "empty range strategy");
+                    let span = (self.end as i128 - self.start as i128) as u128;
+                    let r = (rng.next_u64() as u128 % span) as i128;
+                    (self.start as i128 + r) as $t
+                }
+            }
+            impl Strategy for RangeInclusive<$t> {
+                type Value = $t;
+                fn new_value(&self, rng: &mut TestRng) -> $t {
+                    let (lo, hi) = (*self.start(), *self.end());
+                    assert!(lo <= hi, "empty range strategy");
+                    let span = (hi as i128 - lo as i128) as u128 + 1;
+                    let r = (rng.next_u64() as u128 % span) as i128;
+                    (lo as i128 + r) as $t
+                }
+            }
+        )*};
+    }
+
+    impl_int_range_strategy!(i8, i16, i32, i64, u8, u16, u32, u64, usize, isize);
+
+    impl Strategy for Range<f64> {
+        type Value = f64;
+        fn new_value(&self, rng: &mut TestRng) -> f64 {
+            assert!(self.start < self.end, "empty range strategy");
+            let v = self.start + rng.unit() * (self.end - self.start);
+            // FP rounding can land exactly on `end`; keep the range half-open.
+            if v >= self.end {
+                self.end.next_down().max(self.start)
+            } else {
+                v
+            }
+        }
+    }
+
+    impl Strategy for RangeInclusive<f64> {
+        type Value = f64;
+        fn new_value(&self, rng: &mut TestRng) -> f64 {
+            let (lo, hi) = (*self.start(), *self.end());
+            assert!(lo <= hi, "empty range strategy");
+            lo + rng.unit() * (hi - lo)
+        }
+    }
+
+    macro_rules! impl_tuple_strategy {
+        ($(($($name:ident : $idx:tt),+))*) => {$(
+            impl<$($name: Strategy),+> Strategy for ($($name,)+) {
+                type Value = ($($name::Value,)+);
+                fn new_value(&self, rng: &mut TestRng) -> Self::Value {
+                    ($(self.$idx.new_value(rng),)+)
+                }
+            }
+        )*};
+    }
+
+    impl_tuple_strategy! {
+        (A: 0)
+        (A: 0, B: 1)
+        (A: 0, B: 1, C: 2)
+        (A: 0, B: 1, C: 2, D: 3)
+        (A: 0, B: 1, C: 2, D: 3, E: 4)
+        (A: 0, B: 1, C: 2, D: 3, E: 4, F: 5)
+        (A: 0, B: 1, C: 2, D: 3, E: 4, F: 5, G: 6)
+        (A: 0, B: 1, C: 2, D: 3, E: 4, F: 5, G: 6, H: 7)
+    }
+}
+
+/// Collection strategies.
+pub mod collection {
+    use crate::strategy::Strategy;
+    use crate::test_runner::TestRng;
+    use std::ops::{Range, RangeInclusive};
+
+    /// An inclusive length range for [`vec`].
+    #[derive(Clone, Copy, Debug)]
+    pub struct SizeRange {
+        lo: usize,
+        hi: usize,
+    }
+
+    impl From<usize> for SizeRange {
+        fn from(n: usize) -> Self {
+            SizeRange { lo: n, hi: n }
+        }
+    }
+
+    impl From<Range<usize>> for SizeRange {
+        fn from(r: Range<usize>) -> Self {
+            assert!(r.start < r.end, "empty vec size range");
+            SizeRange {
+                lo: r.start,
+                hi: r.end - 1,
+            }
+        }
+    }
+
+    impl From<RangeInclusive<usize>> for SizeRange {
+        fn from(r: RangeInclusive<usize>) -> Self {
+            assert!(r.start() <= r.end(), "empty vec size range");
+            SizeRange {
+                lo: *r.start(),
+                hi: *r.end(),
+            }
+        }
+    }
+
+    /// See [`vec`].
+    pub struct VecStrategy<S> {
+        elem: S,
+        size: SizeRange,
+    }
+
+    impl<S: Strategy> Strategy for VecStrategy<S> {
+        type Value = Vec<S::Value>;
+        fn new_value(&self, rng: &mut TestRng) -> Vec<S::Value> {
+            let span = (self.size.hi - self.size.lo) as u64 + 1;
+            let len = self.size.lo + rng.below(span) as usize;
+            (0..len).map(|_| self.elem.new_value(rng)).collect()
+        }
+    }
+
+    /// A `Vec` whose length is drawn from `size` and whose elements are drawn
+    /// from `elem`.
+    pub fn vec<S: Strategy>(elem: S, size: impl Into<SizeRange>) -> VecStrategy<S> {
+        VecStrategy {
+            elem,
+            size: size.into(),
+        }
+    }
+}
+
+/// `any::<T>()` support.
+pub mod arbitrary {
+    use crate::strategy::Strategy;
+    use crate::test_runner::TestRng;
+    use std::marker::PhantomData;
+
+    /// Types with a canonical strategy.
+    pub trait Arbitrary: Sized {
+        /// Draws one canonical value.
+        fn arbitrary_value(rng: &mut TestRng) -> Self;
+    }
+
+    /// The strategy returned by [`any`].
+    pub struct Any<T>(PhantomData<T>);
+
+    impl<T: Arbitrary> Strategy for Any<T> {
+        type Value = T;
+        fn new_value(&self, rng: &mut TestRng) -> T {
+            T::arbitrary_value(rng)
+        }
+    }
+
+    /// The canonical strategy for `T`.
+    pub fn any<T: Arbitrary>() -> Any<T> {
+        Any(PhantomData)
+    }
+
+    impl Arbitrary for bool {
+        fn arbitrary_value(rng: &mut TestRng) -> bool {
+            rng.next_u64() & 1 == 1
+        }
+    }
+
+    impl Arbitrary for f64 {
+        fn arbitrary_value(rng: &mut TestRng) -> f64 {
+            // Finite, moderately sized values: property tests over certified
+            // bounds want well-scaled inputs, not FP edge-case hunting.
+            (rng.unit() * 2.0 - 1.0) * 1e3
+        }
+    }
+
+    macro_rules! impl_arbitrary_int {
+        ($($t:ty),*) => {$(
+            impl Arbitrary for $t {
+                fn arbitrary_value(rng: &mut TestRng) -> $t {
+                    rng.next_u64() as $t
+                }
+            }
+        )*};
+    }
+
+    impl_arbitrary_int!(i8, i16, i32, i64, u8, u16, u32, u64, usize, isize);
+}
+
+/// The glob-import surface used by test files.
+pub mod prelude {
+    pub use crate::arbitrary::any;
+    pub use crate::collection;
+    pub use crate::strategy::{BoxedStrategy, Just, Strategy};
+    pub use crate::test_runner::Config as ProptestConfig;
+    pub use crate::test_runner::TestCaseError;
+    pub use crate::{prop_assert, prop_assert_eq, prop_assume, prop_oneof, proptest};
+}
+
+/// Defines deterministic property tests. Mirrors real proptest's syntax:
+///
+/// ```ignore
+/// proptest! {
+///     #![proptest_config(ProptestConfig::with_cases(64))]
+///     #[test]
+///     fn my_prop(x in 0usize..10, v in collection::vec(0i32..5, 3)) { ... }
+/// }
+/// ```
+#[macro_export]
+macro_rules! proptest {
+    (#![proptest_config($cfg:expr)] $($rest:tt)*) => {
+        $crate::__proptest_impl! { ($cfg); $($rest)* }
+    };
+    ($($rest:tt)*) => {
+        $crate::__proptest_impl! { ($crate::test_runner::Config::default()); $($rest)* }
+    };
+}
+
+#[doc(hidden)]
+#[macro_export]
+macro_rules! __proptest_impl {
+    (($cfg:expr); $($(#[$meta:meta])* fn $name:ident($($pat:pat in $strat:expr),+ $(,)?) $body:block)*) => {
+        $(
+            $(#[$meta])*
+            // The body runs inside an immediately-called closure so that
+            // `prop_assume!` can early-return a rejection.
+            #[allow(clippy::redundant_closure_call)]
+            fn $name() {
+                let __config: $crate::test_runner::Config = $cfg;
+                let __seed =
+                    __config.rng_seed ^ $crate::test_runner::fnv1a(stringify!($name));
+                let mut __rng = $crate::test_runner::TestRng::from_seed(__seed);
+                let mut __accepted: u32 = 0;
+                let mut __attempts: u32 = 0;
+                let __max_attempts =
+                    __config.cases.saturating_mul(__config.max_global_rejects.max(1));
+                while __accepted < __config.cases {
+                    assert!(
+                        __attempts < __max_attempts,
+                        "proptest: too many prop_assume! rejections \
+                         ({__attempts} attempts for {__accepted} accepted cases)"
+                    );
+                    __attempts += 1;
+                    $(
+                        let $pat =
+                            $crate::strategy::Strategy::new_value(&($strat), &mut __rng);
+                    )+
+                    let __outcome: ::std::result::Result<
+                        (),
+                        $crate::test_runner::TestCaseError,
+                    > = (|| {
+                        $body
+                        ::std::result::Result::Ok(())
+                    })();
+                    match __outcome {
+                        ::std::result::Result::Ok(()) => __accepted += 1,
+                        ::std::result::Result::Err(
+                            $crate::test_runner::TestCaseError::Reject,
+                        ) => continue,
+                    }
+                }
+            }
+        )*
+    };
+}
+
+/// Asserts inside a [`proptest!`] body; panics with the formatted message
+/// (this vendored implementation does not shrink).
+#[macro_export]
+macro_rules! prop_assert {
+    ($cond:expr) => {
+        $crate::prop_assert!($cond, "assertion failed: {}", stringify!($cond))
+    };
+    ($cond:expr, $($fmt:tt)+) => {
+        if !($cond) {
+            panic!($($fmt)+);
+        }
+    };
+}
+
+/// Equality assertion inside a [`proptest!`] body.
+#[macro_export]
+macro_rules! prop_assert_eq {
+    ($left:expr, $right:expr $(,)?) => {{
+        let (__l, __r) = (&$left, &$right);
+        $crate::prop_assert!(*__l == *__r, "assertion failed: `{:?}` != `{:?}`", __l, __r);
+    }};
+}
+
+/// Discards the current case (does not count toward `cases`) when `cond` is
+/// false.
+#[macro_export]
+macro_rules! prop_assume {
+    ($cond:expr) => {
+        if !($cond) {
+            return ::std::result::Result::Err($crate::test_runner::TestCaseError::Reject);
+        }
+    };
+}
+
+/// Uniform choice among strategies of a common value type.
+#[macro_export]
+macro_rules! prop_oneof {
+    ($($strat:expr),+ $(,)?) => {
+        $crate::strategy::Union::new(vec![
+            $($crate::strategy::Strategy::boxed($strat)),+
+        ])
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use crate::prelude::*;
+
+    #[test]
+    fn seeds_are_deterministic() {
+        let mut a = crate::test_runner::TestRng::from_seed(42);
+        let mut b = crate::test_runner::TestRng::from_seed(42);
+        for _ in 0..64 {
+            assert_eq!(a.next_u64(), b.next_u64());
+        }
+    }
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(32))]
+
+        #[test]
+        fn ranges_and_vecs_obey_bounds(
+            n in 1usize..=4,
+            xs in collection::vec((-5i32..=5).prop_map(|v| v * 2), 2..=6),
+            f in 0.0f64..1.0,
+        ) {
+            prop_assert!((1..=4).contains(&n));
+            prop_assert!(xs.len() >= 2 && xs.len() <= 6);
+            for x in &xs {
+                prop_assert!(*x >= -10 && *x <= 10 && x % 2 == 0);
+            }
+            prop_assert!((0.0..1.0).contains(&f));
+        }
+
+        #[test]
+        fn oneof_flat_map_and_assume_work(
+            pick in prop_oneof![Just(1u32), Just(2), Just(3)],
+            (len, v) in (1usize..=3).prop_flat_map(|n| {
+                (Just(n), collection::vec(0i32..10, n))
+            }),
+            b in any::<bool>(),
+        ) {
+            prop_assume!(pick != 3);
+            prop_assert!(pick == 1 || pick == 2);
+            prop_assert_eq!(len, v.len());
+            let _ = b;
+        }
+    }
+}

@@ -1,0 +1,475 @@
+//! Vendored minimal `#[derive(Serialize)]` / `#[derive(Deserialize)]`.
+//!
+//! `syn`/`quote` are unavailable offline, so the derive input is parsed
+//! directly from the `proc_macro` token stream. Supported shapes — exactly
+//! the ones this workspace uses:
+//!
+//! * structs with named fields (any visibility),
+//! * tuple structs (newtype structs serialize transparently),
+//! * enums with unit, newtype, tuple, and struct variants
+//!   (externally tagged, as in real serde).
+//!
+//! Generics and `#[serde(...)]` attributes are not supported and produce a
+//! `compile_error!` rather than wrong code.
+
+use proc_macro::{Delimiter, TokenStream, TokenTree};
+
+/// What we learned about the deriving type.
+enum Shape {
+    /// Named-field struct and its field names.
+    Struct(Vec<String>),
+    /// Tuple struct and its arity.
+    TupleStruct(usize),
+    /// Enum and its variants.
+    Enum(Vec<Variant>),
+}
+
+struct Variant {
+    name: String,
+    kind: VariantKind,
+}
+
+enum VariantKind {
+    Unit,
+    /// Tuple variant with the given arity (arity 1 is a newtype).
+    Tuple(usize),
+    /// Struct variant with named fields.
+    Struct(Vec<String>),
+}
+
+struct Parsed {
+    name: String,
+    shape: Shape,
+}
+
+fn compile_error(msg: &str) -> TokenStream {
+    format!("compile_error!({msg:?});")
+        .parse()
+        .expect("valid error tokens")
+}
+
+#[proc_macro_derive(Serialize)]
+pub fn derive_serialize(input: TokenStream) -> TokenStream {
+    match parse(input) {
+        Ok(p) => gen_serialize(&p).parse().expect("generated impl parses"),
+        Err(e) => compile_error(&e),
+    }
+}
+
+#[proc_macro_derive(Deserialize)]
+pub fn derive_deserialize(input: TokenStream) -> TokenStream {
+    match parse(input) {
+        Ok(p) => gen_deserialize(&p).parse().expect("generated impl parses"),
+        Err(e) => compile_error(&e),
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Parsing
+// ---------------------------------------------------------------------------
+
+/// Rejects `#[serde(...)]` at a skipped attribute position (`tokens[i]` is
+/// the `#`); every other attribute is ignored.
+fn check_skipped_attr(tokens: &[TokenTree], i: usize) -> Result<(), String> {
+    if let Some(TokenTree::Group(g)) = tokens.get(i + 1) {
+        if let Some(TokenTree::Ident(id)) = g.stream().into_iter().next() {
+            if id.to_string() == "serde" {
+                return Err(
+                    "serde derive: #[serde(...)] attributes are not supported by the \
+                     vendored derive — restructure the type instead"
+                        .into(),
+                );
+            }
+        }
+    }
+    Ok(())
+}
+
+fn parse(input: TokenStream) -> Result<Parsed, String> {
+    let tokens: Vec<TokenTree> = input.into_iter().collect();
+    let mut i = 0;
+
+    // Skip outer attributes and visibility ahead of `struct` / `enum`.
+    let kind = loop {
+        match tokens.get(i) {
+            Some(TokenTree::Punct(p)) if p.as_char() == '#' => {
+                check_skipped_attr(&tokens, i)?;
+                i += 2; // `#` + bracket group
+            }
+            Some(TokenTree::Ident(id)) if id.to_string() == "pub" => {
+                i += 1;
+                if let Some(TokenTree::Group(g)) = tokens.get(i) {
+                    if g.delimiter() == Delimiter::Parenthesis {
+                        i += 1; // pub(crate) etc.
+                    }
+                }
+            }
+            Some(TokenTree::Ident(id)) => {
+                let s = id.to_string();
+                if s == "struct" || s == "enum" {
+                    i += 1;
+                    break s;
+                }
+                return Err(format!("serde derive: unexpected `{s}`"));
+            }
+            other => return Err(format!("serde derive: unexpected token {other:?}")),
+        }
+    };
+
+    let name = match tokens.get(i) {
+        Some(TokenTree::Ident(id)) => id.to_string(),
+        other => return Err(format!("serde derive: expected type name, got {other:?}")),
+    };
+    i += 1;
+
+    if let Some(TokenTree::Punct(p)) = tokens.get(i) {
+        if p.as_char() == '<' {
+            return Err(format!(
+                "serde derive: generic type `{name}` is not supported"
+            ));
+        }
+    }
+
+    let shape = match tokens.get(i) {
+        Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => {
+            if kind == "struct" {
+                Shape::Struct(parse_named_fields(g.stream())?)
+            } else {
+                Shape::Enum(parse_variants(g.stream())?)
+            }
+        }
+        Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Parenthesis => {
+            if kind != "struct" {
+                return Err("serde derive: malformed enum".into());
+            }
+            Shape::TupleStruct(count_top_level_fields(g.stream()))
+        }
+        other => {
+            return Err(format!(
+                "serde derive: unsupported shape for `{name}` (unit struct or {other:?})"
+            ))
+        }
+    };
+
+    Ok(Parsed { name, shape })
+}
+
+/// Field names of a named-field body: `pub a: T, b: U, ...`.
+fn parse_named_fields(stream: TokenStream) -> Result<Vec<String>, String> {
+    let tokens: Vec<TokenTree> = stream.into_iter().collect();
+    let mut fields = Vec::new();
+    let mut i = 0;
+    while i < tokens.len() {
+        // Attributes.
+        while matches!(&tokens[i], TokenTree::Punct(p) if p.as_char() == '#') {
+            check_skipped_attr(&tokens, i)?;
+            i += 2;
+        }
+        // Visibility.
+        if matches!(&tokens[i], TokenTree::Ident(id) if id.to_string() == "pub") {
+            i += 1;
+            if let Some(TokenTree::Group(g)) = tokens.get(i) {
+                if g.delimiter() == Delimiter::Parenthesis {
+                    i += 1;
+                }
+            }
+        }
+        match &tokens[i] {
+            TokenTree::Ident(id) => fields.push(id.to_string()),
+            other => return Err(format!("serde derive: expected field name, got {other:?}")),
+        }
+        i += 1;
+        match tokens.get(i) {
+            Some(TokenTree::Punct(p)) if p.as_char() == ':' => i += 1,
+            other => return Err(format!("serde derive: expected `:`, got {other:?}")),
+        }
+        // Skip the type: everything until a comma outside `<...>`. The `>`
+        // of a `->` return arrow is not an angle-bracket close.
+        let mut angle = 0i32;
+        let mut prev_dash = false;
+        while i < tokens.len() {
+            match &tokens[i] {
+                TokenTree::Punct(p) if p.as_char() == '<' => angle += 1,
+                TokenTree::Punct(p) if p.as_char() == '>' && !prev_dash => angle -= 1,
+                TokenTree::Punct(p) if p.as_char() == ',' && angle == 0 => {
+                    i += 1;
+                    break;
+                }
+                _ => {}
+            }
+            prev_dash = matches!(&tokens[i], TokenTree::Punct(p) if p.as_char() == '-');
+            i += 1;
+        }
+    }
+    Ok(fields)
+}
+
+/// Number of comma-separated fields at the top level of a tuple body.
+fn count_top_level_fields(stream: TokenStream) -> usize {
+    let tokens: Vec<TokenTree> = stream.into_iter().collect();
+    if tokens.is_empty() {
+        return 0;
+    }
+    let mut count = 1;
+    let mut angle = 0i32;
+    let mut prev_dash = false;
+    let mut saw_tokens_since_comma = false;
+    for t in &tokens {
+        match t {
+            TokenTree::Punct(p) if p.as_char() == '<' => angle += 1,
+            // The `>` of a `->` return arrow is not an angle-bracket close.
+            TokenTree::Punct(p) if p.as_char() == '>' && !prev_dash => angle -= 1,
+            TokenTree::Punct(p) if p.as_char() == ',' && angle == 0 => {
+                count += 1;
+                prev_dash = false;
+                saw_tokens_since_comma = false;
+                continue;
+            }
+            _ => {}
+        }
+        prev_dash = matches!(t, TokenTree::Punct(p) if p.as_char() == '-');
+        saw_tokens_since_comma = true;
+    }
+    if !saw_tokens_since_comma {
+        count -= 1; // trailing comma
+    }
+    count
+}
+
+fn parse_variants(stream: TokenStream) -> Result<Vec<Variant>, String> {
+    let tokens: Vec<TokenTree> = stream.into_iter().collect();
+    let mut variants = Vec::new();
+    let mut i = 0;
+    while i < tokens.len() {
+        while matches!(&tokens[i], TokenTree::Punct(p) if p.as_char() == '#') {
+            check_skipped_attr(&tokens, i)?;
+            i += 2;
+        }
+        let name = match &tokens[i] {
+            TokenTree::Ident(id) => id.to_string(),
+            other => {
+                return Err(format!(
+                    "serde derive: expected variant name, got {other:?}"
+                ))
+            }
+        };
+        i += 1;
+        let kind = match tokens.get(i) {
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Parenthesis => {
+                i += 1;
+                VariantKind::Tuple(count_top_level_fields(g.stream()))
+            }
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => {
+                i += 1;
+                VariantKind::Struct(parse_named_fields(g.stream())?)
+            }
+            _ => VariantKind::Unit,
+        };
+        if matches!(tokens.get(i), Some(TokenTree::Punct(p)) if p.as_char() == '=') {
+            return Err("serde derive: explicit discriminants are not supported".into());
+        }
+        match tokens.get(i) {
+            Some(TokenTree::Punct(p)) if p.as_char() == ',' => i += 1,
+            None => {}
+            other => return Err(format!("serde derive: expected `,`, got {other:?}")),
+        }
+        variants.push(Variant { name, kind });
+    }
+    Ok(variants)
+}
+
+// ---------------------------------------------------------------------------
+// Code generation (emitted as source text, then re-parsed)
+// ---------------------------------------------------------------------------
+
+fn gen_serialize(p: &Parsed) -> String {
+    let name = &p.name;
+    let mut out = String::new();
+    out.push_str(&format!(
+        "#[automatically_derived]\nimpl ::serde::Serialize for {name} {{\n    \
+         fn to_value(&self) -> ::serde::Value {{\n"
+    ));
+    match &p.shape {
+        Shape::Struct(fields) => {
+            out.push_str("        ::serde::Value::Object(vec![\n");
+            for f in fields {
+                out.push_str(&format!(
+                    "            ({f:?}.to_string(), ::serde::Serialize::to_value(&self.{f})),\n"
+                ));
+            }
+            out.push_str("        ])\n");
+        }
+        Shape::TupleStruct(1) => {
+            out.push_str("        ::serde::Serialize::to_value(&self.0)\n");
+        }
+        Shape::TupleStruct(n) => {
+            out.push_str("        ::serde::Value::Array(vec![\n");
+            for idx in 0..*n {
+                out.push_str(&format!(
+                    "            ::serde::Serialize::to_value(&self.{idx}),\n"
+                ));
+            }
+            out.push_str("        ])\n");
+        }
+        Shape::Enum(variants) => {
+            out.push_str("        match self {\n");
+            for v in variants {
+                let vname = &v.name;
+                match &v.kind {
+                    VariantKind::Unit => out.push_str(&format!(
+                        "            {name}::{vname} => ::serde::Value::Str({vname:?}.to_string()),\n"
+                    )),
+                    VariantKind::Tuple(1) => out.push_str(&format!(
+                        "            {name}::{vname}(__f0) => ::serde::Value::Object(vec![\n                \
+                         ({vname:?}.to_string(), ::serde::Serialize::to_value(__f0))]),\n"
+                    )),
+                    VariantKind::Tuple(n) => {
+                        let binders: Vec<String> = (0..*n).map(|k| format!("__f{k}")).collect();
+                        let elems: Vec<String> = binders
+                            .iter()
+                            .map(|b| format!("::serde::Serialize::to_value({b})"))
+                            .collect();
+                        out.push_str(&format!(
+                            "            {name}::{vname}({}) => ::serde::Value::Object(vec![\n                \
+                             ({vname:?}.to_string(), ::serde::Value::Array(vec![{}]))]),\n",
+                            binders.join(", "),
+                            elems.join(", ")
+                        ));
+                    }
+                    VariantKind::Struct(fields) => {
+                        let entries: Vec<String> = fields
+                            .iter()
+                            .map(|f| {
+                                format!("({f:?}.to_string(), ::serde::Serialize::to_value({f}))")
+                            })
+                            .collect();
+                        out.push_str(&format!(
+                            "            {name}::{vname} {{ {} }} => ::serde::Value::Object(vec![\n                \
+                             ({vname:?}.to_string(), ::serde::Value::Object(vec![{}]))]),\n",
+                            fields.join(", "),
+                            entries.join(", ")
+                        ));
+                    }
+                }
+            }
+            out.push_str("        }\n");
+        }
+    }
+    out.push_str("    }\n}\n");
+    out
+}
+
+fn gen_deserialize(p: &Parsed) -> String {
+    let name = &p.name;
+    let mut out = String::new();
+    out.push_str(&format!(
+        "#[automatically_derived]\nimpl ::serde::Deserialize for {name} {{\n    \
+         fn from_value(__v: &::serde::Value) -> ::std::result::Result<Self, ::serde::DeError> {{\n"
+    ));
+    match &p.shape {
+        Shape::Struct(fields) => {
+            out.push_str(&format!(
+                "        let __obj = __v.as_object().ok_or_else(|| \
+                 ::serde::DeError::custom(format!(\"expected object for struct {name}, got {{}}\", __v.kind())))?;\n"
+            ));
+            out.push_str(&format!("        ::std::result::Result::Ok({name} {{\n"));
+            for f in fields {
+                out.push_str(&format!(
+                    "            {f}: ::serde::from_field(__obj, {f:?})?,\n"
+                ));
+            }
+            out.push_str("        })\n");
+        }
+        Shape::TupleStruct(1) => {
+            out.push_str(&format!(
+                "        ::std::result::Result::Ok({name}(::serde::Deserialize::from_value(__v)?))\n"
+            ));
+        }
+        Shape::TupleStruct(n) => {
+            out.push_str(&format!(
+                "        let __items = __v.as_array().ok_or_else(|| \
+                 ::serde::DeError::custom(format!(\"expected array for tuple struct {name}, got {{}}\", __v.kind())))?;\n        \
+                 if __items.len() != {n} {{\n            \
+                 return ::std::result::Result::Err(::serde::DeError::custom(format!(\n                \
+                 \"tuple struct {name} expects {n} elements, got {{}}\", __items.len())));\n        }}\n"
+            ));
+            let elems: Vec<String> = (0..*n)
+                .map(|k| format!("::serde::Deserialize::from_value(&__items[{k}])?"))
+                .collect();
+            out.push_str(&format!(
+                "        ::std::result::Result::Ok({name}({}))\n",
+                elems.join(", ")
+            ));
+        }
+        Shape::Enum(variants) => {
+            out.push_str("        match __v {\n");
+            let units: Vec<&Variant> = variants
+                .iter()
+                .filter(|v| matches!(v.kind, VariantKind::Unit))
+                .collect();
+            out.push_str("            ::serde::Value::Str(__s) => match __s.as_str() {\n");
+            for v in &units {
+                let vname = &v.name;
+                out.push_str(&format!(
+                    "                {vname:?} => ::std::result::Result::Ok({name}::{vname}),\n"
+                ));
+            }
+            out.push_str(&format!(
+                "                __other => ::std::result::Result::Err(::serde::DeError::custom(\n                    \
+                 format!(\"unknown unit variant `{{__other}}` for enum {name}\"))),\n            }},\n"
+            ));
+            out.push_str(
+                "            ::serde::Value::Object(__entries) if __entries.len() == 1 => {\n                \
+                 let (__tag, __inner) = &__entries[0];\n                match __tag.as_str() {\n",
+            );
+            for v in variants {
+                let vname = &v.name;
+                match &v.kind {
+                    VariantKind::Unit => {}
+                    VariantKind::Tuple(1) => out.push_str(&format!(
+                        "                    {vname:?} => ::std::result::Result::Ok(\n                        \
+                         {name}::{vname}(::serde::Deserialize::from_value(__inner)?)),\n"
+                    )),
+                    VariantKind::Tuple(n) => {
+                        let elems: Vec<String> = (0..*n)
+                            .map(|k| format!("::serde::Deserialize::from_value(&__items[{k}])?"))
+                            .collect();
+                        out.push_str(&format!(
+                            "                    {vname:?} => {{\n                        \
+                             let __items = __inner.as_array().ok_or_else(|| \
+                             ::serde::DeError::custom(\"expected array payload\"))?;\n                        \
+                             if __items.len() != {n} {{\n                            \
+                             return ::std::result::Result::Err(::serde::DeError::custom(\n                                \
+                             \"wrong payload arity for variant {vname}\"));\n                        }}\n                        \
+                             ::std::result::Result::Ok({name}::{vname}({}))\n                    }},\n",
+                            elems.join(", ")
+                        ));
+                    }
+                    VariantKind::Struct(fields) => {
+                        let inits: Vec<String> = fields
+                            .iter()
+                            .map(|f| format!("{f}: ::serde::from_field(__obj, {f:?})?"))
+                            .collect();
+                        out.push_str(&format!(
+                            "                    {vname:?} => {{\n                        \
+                             let __obj = __inner.as_object().ok_or_else(|| \
+                             ::serde::DeError::custom(\"expected object payload\"))?;\n                        \
+                             ::std::result::Result::Ok({name}::{vname} {{ {} }})\n                    }},\n",
+                            inits.join(", ")
+                        ));
+                    }
+                }
+            }
+            out.push_str(&format!(
+                "                    __other => ::std::result::Result::Err(::serde::DeError::custom(\n                        \
+                 format!(\"unknown variant `{{__other}}` for enum {name}\"))),\n                }}\n            }},\n"
+            ));
+            out.push_str(&format!(
+                "            __other => ::std::result::Result::Err(::serde::DeError::custom(\n                \
+                 format!(\"expected variant of enum {name}, got {{}}\", __other.kind()))),\n        }}\n"
+            ));
+        }
+    }
+    out.push_str("    }\n}\n");
+    out
+}
