@@ -1,0 +1,150 @@
+//! Ablation: warm-started batched LP solving vs the cold per-objective path.
+//!
+//! Runs Algorithm 1 on the Table I networks twice — once with
+//! `SolveOptions::warm_start` off (every directed solve pays simplex phase 1
+//! from scratch) and once with the `BatchSolver` warm-start chain on — and
+//! reports wall-clock, pivot counts, warm-start hit rates, and the certified
+//! ε̄ of both paths. The epsilons must agree **bit for bit**: batching is a
+//! pure optimization (the golden regression tests lock the same property).
+//!
+//! ```text
+//! cargo run --release -p itne_bench --bin ablation_batch [-- --full]
+//! ```
+//!
+//! `--full` extends the sweep to the larger FC nets and the conv net
+//! (several minutes); the default quick set matches CI budgets.
+
+use itne_bench::nets::{auto_mpg_net, digits_net, BenchNet};
+use itne_bench::table::{fmt_duration, save_json, Table};
+use itne_core::{certify_global, CertifyOptions, CertifyStats, GlobalReport};
+use serde::Serialize;
+use std::time::Instant;
+
+#[derive(Serialize)]
+struct Row {
+    net: String,
+    cold_s: f64,
+    warm_s: f64,
+    speedup: f64,
+    cold_pivots: u64,
+    warm_pivots: u64,
+    pivots_saved: u64,
+    warm_hits: u64,
+    warm_misses: u64,
+    fallbacks_cold: u64,
+    fallbacks_warm: u64,
+    eps_bits_equal: bool,
+    eps: f64,
+}
+
+fn run(bench: &BenchNet, warm: bool) -> (GlobalReport, f64) {
+    let mut opts = CertifyOptions {
+        window: 2,
+        refine: 0,
+        ..Default::default()
+    };
+    opts.solver.warm_start = warm;
+    // Small nets certify in well under a millisecond; report the best of a
+    // few repetitions so the speedup column measures solver work, not timer
+    // granularity and cache warmup.
+    let reps = if bench.net.hidden_neurons() > 100 {
+        1
+    } else {
+        5
+    };
+    let mut best = f64::INFINITY;
+    let mut report = None;
+    for _ in 0..reps {
+        let t0 = Instant::now();
+        let r = certify_global(&bench.net, &bench.domain, bench.delta, &opts).expect("certifies");
+        best = best.min(t0.elapsed().as_secs_f64());
+        report = Some(r);
+    }
+    (report.expect("at least one rep"), best)
+}
+
+fn describe(stats: &CertifyStats) -> String {
+    format!(
+        "{} LPs, {} pivots, {} fallbacks",
+        stats.query.solves, stats.query.pivots, stats.query.fallbacks
+    )
+}
+
+fn main() {
+    let full = std::env::args().any(|a| a == "--full");
+    let mut table = Table::new(
+        "Ablation: warm-started batched LP sweeps (cold vs warm)",
+        &[
+            "net",
+            "cold",
+            "warm",
+            "speedup",
+            "warm hits",
+            "misses",
+            "pivots saved",
+            "fallbacks",
+            "ε̄ equal",
+        ],
+    );
+    let mut rows = Vec::new();
+
+    let mut benches = vec![auto_mpg_net(1, 4), auto_mpg_net(2, 6), auto_mpg_net(3, 8)];
+    if full {
+        benches.push(auto_mpg_net(4, 16));
+        benches.push(auto_mpg_net(5, 32));
+        benches.push(digits_net(6, 1));
+    }
+
+    for bench in &benches {
+        let name = format!("mpg-id{} ({}n)", bench.id, bench.net.hidden_neurons());
+        eprintln!("-- {name}: cold ...");
+        let (cold, cold_s) = run(bench, false);
+        eprintln!("   cold: {} in {cold_s:.2}s", describe(&cold.stats));
+        eprintln!("-- {name}: warm ...");
+        let (warm, warm_s) = run(bench, true);
+        eprintln!("   warm: {} in {warm_s:.2}s", describe(&warm.stats));
+
+        let bits =
+            |r: &GlobalReport| -> Vec<u64> { r.epsilons.iter().map(|e| e.to_bits()).collect() };
+        let equal = bits(&cold) == bits(&warm);
+        let row = Row {
+            net: name.clone(),
+            cold_s,
+            warm_s,
+            speedup: cold_s / warm_s.max(1e-12),
+            cold_pivots: cold.stats.query.pivots,
+            warm_pivots: warm.stats.query.pivots,
+            pivots_saved: warm.stats.query.pivots_saved,
+            warm_hits: warm.stats.query.warm_hits,
+            warm_misses: warm.stats.query.warm_misses,
+            fallbacks_cold: cold.stats.query.fallbacks,
+            fallbacks_warm: warm.stats.query.fallbacks,
+            eps_bits_equal: equal,
+            eps: warm.max_epsilon(),
+        };
+        table.row(&[
+            row.net.clone(),
+            fmt_duration(std::time::Duration::from_secs_f64(row.cold_s)),
+            fmt_duration(std::time::Duration::from_secs_f64(row.warm_s)),
+            format!("{:.2}×", row.speedup),
+            row.warm_hits.to_string(),
+            row.warm_misses.to_string(),
+            row.pivots_saved.to_string(),
+            format!("{}/{}", row.fallbacks_cold, row.fallbacks_warm),
+            if row.eps_bits_equal { "yes" } else { "NO" }.to_string(),
+        ]);
+        rows.push(row);
+        table.print();
+    }
+    save_json("ablation_batch", &rows);
+
+    let diverged: Vec<&Row> = rows.iter().filter(|r| !r.eps_bits_equal).collect();
+    if !diverged.is_empty() {
+        for r in diverged {
+            eprintln!("DIVERGED: {} — warm and cold epsilons differ", r.net);
+        }
+        std::process::exit(1);
+    }
+    let gmean: f64 = rows.iter().map(|r| r.speedup.ln()).sum::<f64>() / rows.len() as f64;
+    println!("\ngeometric-mean speedup: {:.2}×", gmean.exp());
+}

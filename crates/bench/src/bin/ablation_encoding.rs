@@ -22,6 +22,7 @@ struct Row {
     btne_over_itne: f64,
     t_itne_s: f64,
     t_btne_s: f64,
+    fallbacks: u64,
 }
 
 fn main() {
@@ -52,11 +53,17 @@ fn main() {
             let t = Instant::now();
             let r = certify_global(&bench.net, &bench.domain, bench.delta, &opts)
                 .expect("certification runs");
-            (r.max_epsilon(), t.elapsed())
+            (r.max_epsilon(), t.elapsed(), r.stats.query.fallbacks)
         };
-        let (itne, t_itne) = run(EncodingKind::Itne, false);
-        let (aware, _) = run(EncodingKind::Itne, true);
-        let (btne, t_btne) = run(EncodingKind::Btne, false);
+        let (itne, t_itne, fb_itne) = run(EncodingKind::Itne, false);
+        let (aware, _, fb_aware) = run(EncodingKind::Itne, true);
+        let (btne, t_btne, fb_btne) = run(EncodingKind::Btne, false);
+        let fallbacks = fb_itne + fb_aware + fb_btne;
+        if fallbacks > 0 {
+            eprintln!(
+                "   width {width}: {fallbacks} IBP fallbacks (itne {fb_itne}, y-aware {fb_aware}, btne {fb_btne}) — affected bounds are IBP-loose"
+            );
+        }
 
         table.row(&[
             width.to_string(),
@@ -75,6 +82,7 @@ fn main() {
             btne_over_itne: btne / itne,
             t_itne_s: t_itne.as_secs_f64(),
             t_btne_s: t_btne.as_secs_f64(),
+            fallbacks,
         });
     }
     table.print();

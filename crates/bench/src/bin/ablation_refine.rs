@@ -20,6 +20,7 @@ struct Row {
     over_exact: f64,
     seconds: f64,
     milp_nodes: u64,
+    fallbacks: u64,
 }
 
 fn main() {
@@ -36,7 +37,7 @@ fn main() {
 
     let mut table = Table::new(
         "Ablation: refinement count r (mpg-8x8, W = 2)",
-        &["r", "ε̄", "ε̄/ε", "time", "B&B nodes"],
+        &["r", "ε̄", "ε̄/ε", "time", "B&B nodes", "fallbacks"],
     );
     let mut rows = Vec::new();
     let mut last = f64::INFINITY;
@@ -57,6 +58,7 @@ fn main() {
             format!("{:.3}×", rep.max_epsilon() / e),
             fmt_duration(dt),
             rep.stats.query.nodes.to_string(),
+            rep.stats.query.fallbacks.to_string(),
         ]);
         assert!(
             rep.max_epsilon() <= last + 1e-9,
@@ -69,6 +71,7 @@ fn main() {
             over_exact: rep.max_epsilon() / e,
             seconds: dt.as_secs_f64(),
             milp_nodes: rep.stats.query.nodes,
+            fallbacks: rep.stats.query.fallbacks,
         });
     }
     table.print();

@@ -18,12 +18,14 @@ struct Row {
     eps: f64,
     seconds: f64,
     lps: u64,
+    fallbacks: u64,
+    warm_hits: u64,
 }
 
 fn main() {
     let mut table = Table::new(
         "Ablation: window size W (ITNE + LPR, no refinement)",
-        &["net", "W", "ε̄", "time", "LPs"],
+        &["net", "W", "ε̄", "time", "LPs", "fallbacks", "warm hits"],
     );
     let mut rows = Vec::new();
 
@@ -49,6 +51,8 @@ fn main() {
                 format!("{:.5}", r.max_epsilon()),
                 fmt_duration(dt),
                 r.stats.query.solves.to_string(),
+                r.stats.query.fallbacks.to_string(),
+                r.stats.query.warm_hits.to_string(),
             ]);
             rows.push(Row {
                 net: name.into(),
@@ -56,6 +60,8 @@ fn main() {
                 eps: r.max_epsilon(),
                 seconds: dt.as_secs_f64(),
                 lps: r.stats.query.solves,
+                fallbacks: r.stats.query.fallbacks,
+                warm_hits: r.stats.query.warm_hits,
             });
         }
     }

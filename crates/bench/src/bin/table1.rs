@@ -39,6 +39,12 @@ struct Row {
     eps_ours: f64,
     split_exact: bool,
     milp_exact: bool,
+    /// Queries that fell back to their IBP interval (degenerate/stalled LPs);
+    /// a non-zero count means ε̄ is looser than the LP relaxation could give.
+    fallbacks: u64,
+    warm_hits: u64,
+    warm_misses: u64,
+    pivots_saved: u64,
 }
 
 fn main() {
@@ -169,6 +175,17 @@ fn run_row(bench: &BenchNet, budget: Duration, quick: bool) -> Row {
     let ours = certify_global(net, domain, *delta, &opts).expect("certification runs");
     row.t_ours_s = t0.elapsed().as_secs_f64();
     row.eps_ours = ours.max_epsilon();
+    let q = ours.stats.query;
+    row.fallbacks = q.fallbacks;
+    row.warm_hits = q.warm_hits;
+    row.warm_misses = q.warm_misses;
+    row.pivots_saved = q.pivots_saved;
+    // Surface the solver-health counters — a fallback means a sub-problem
+    // kept its looser IBP range, which would otherwise be invisible here.
+    eprintln!(
+        "   ours: {} LPs, {} pivots, {} IBP fallbacks, warm {}/{} hit/miss (~{} pivots saved)",
+        q.solves, q.pivots, q.fallbacks, q.warm_hits, q.warm_misses, q.pivots_saved
+    );
 
     // --- Exact baselines (skip on conv nets, as the paper's do not scale). ---
     if !is_conv {

@@ -47,13 +47,35 @@ pub struct CertifyOptions {
     /// form (pure engineering; results are identical — see the
     /// `closed_form_equals_lp` test).
     pub closed_form_x: bool,
-    /// Worker threads for the per-neuron loop (1 = serial).
+    /// Worker threads for the per-neuron loop (1 = serial). Results are
+    /// identical for every thread count: neurons of a layer only read the
+    /// previous layers' bounds, and each neuron's own sub-problem is solved
+    /// in isolation (each worker runs its own warm-start chains, so batching
+    /// composes with parallelism with no shared solver state).
+    ///
+    /// [`CertifyOptions::default`] reads the `ITNE_TEST_THREADS` environment
+    /// variable (once, at first use) so CI can re-run the whole test suite
+    /// with the parallel path exercised; unset or invalid means 1.
     pub threads: usize,
     /// Per-solve limits and tolerances.
     pub solver: SolveOptions,
     /// Overall wall-clock deadline; on expiry remaining neurons keep their
     /// sound IBP ranges (the result stays sound, only looser).
     pub deadline: Option<Instant>,
+}
+
+/// Default worker-thread count: `ITNE_TEST_THREADS` when set to a sane
+/// value, else 1. Read once — the certifier is deterministic across thread
+/// counts, so this only changes *how* the suite runs, never its results.
+fn default_threads() -> usize {
+    static THREADS: std::sync::OnceLock<usize> = std::sync::OnceLock::new();
+    *THREADS.get_or_init(|| {
+        std::env::var("ITNE_TEST_THREADS")
+            .ok()
+            .and_then(|v| v.parse::<usize>().ok())
+            .filter(|&t| (1..=64).contains(&t))
+            .unwrap_or(1)
+    })
 }
 
 impl Default for CertifyOptions {
@@ -65,7 +87,7 @@ impl Default for CertifyOptions {
             refine: 0,
             y_aware_distance: false,
             closed_form_x: true,
-            threads: 1,
+            threads: default_threads(),
             solver: SolveOptions {
                 // Per-query budget: a rare degenerate-stalling LP must not
                 // dominate the run — it falls back to the sound IBP range
@@ -112,7 +134,9 @@ impl CertifyOptions {
 /// Work counters and timing for one certification run.
 #[derive(Copy, Clone, Debug, Default)]
 pub struct CertifyStats {
-    /// Accumulated query counters (LP solves, pivots, nodes, fallbacks).
+    /// Accumulated query counters: LP solves, pivots, nodes, IBP fallbacks,
+    /// and the warm-start sweep telemetry (`warm_hits`, `warm_misses`,
+    /// `pivots_saved`) of the batched LP subsystem.
     pub query: QueryStats,
     /// Sub-problems processed (one per neuron per pass).
     pub subproblems: u64,

@@ -5,14 +5,51 @@
 //! outer bounds by construction; solver failures fall back to the caller's
 //! interval (typically IBP), and successful results are intersected with
 //! that fallback (both are sound, so the intersection is sound and tighter).
+//!
+//! Each sub-problem encodes its skeleton **once** and sweeps all of its
+//! objectives (min/max of the target's value and distance expressions)
+//! through one [`BatchSolver`]: the first solve runs cold, every later one
+//! warm-starts from the previous optimal basis and skips simplex phase 1.
+//! Warm starting is a pure optimization — a basis that cannot be restored
+//! falls back to a cold solve inside the batch layer — so certified ranges
+//! are identical to the per-objective cold path (asserted bit-for-bit by the
+//! golden regression suite; disable via [`SolveOptions::warm_start`]).
 
 use crate::encode::EncodedSubNet;
 use crate::interval::Interval;
-use itne_milp::{LinExpr, Model, Sense, SolveOptions, Status};
+use itne_milp::{BatchSolver, BatchStats, LinExpr, Sense, SolveOptions, Status};
 
 /// Slack added to LP optima before use as bounds, absorbing solver
 /// tolerances.
 const SOUND_SLACK: f64 = 1e-7;
+
+/// Grid the padded optima are snapped *outward* onto (2⁻³⁰ ≈ 9.3e-10, two
+/// orders below [`SOUND_SLACK`]). Different pivot paths to the same optimum
+/// — cold vs warm-started, or a future alternative backend — land within a
+/// few ulps of each other; snapping outward collapses them onto the same
+/// representable bound *unless the two values straddle a grid line*, so
+/// path-independence is overwhelmingly likely per solve rather than
+/// absolute. For a fixed network it is deterministic either way, which is
+/// what the golden suite locks; a straddle would surface there as a stable,
+/// investigable diff, not flakiness. Snapping away from the feasible region
+/// only ever *loosens* the bound, so soundness is unconditional.
+const BOUND_GRID: f64 = 1.0 / (1024.0 * 1024.0 * 1024.0);
+
+/// Magnitude past which grid snapping degenerates (the quotient leaves the
+/// exactly-representable integer range); such bounds are kept un-snapped —
+/// their relative slack term (`|v|·1e-9`) already dwarfs any path noise.
+const GRID_LIMIT: f64 = 1e6;
+
+/// Rounds a padded bound outward (`up` for upper bounds, down for lower) to
+/// the [`BOUND_GRID`] lattice.
+fn snap_outward(v: f64, up: bool) -> f64 {
+    if !v.is_finite() || v.abs() >= GRID_LIMIT {
+        return v;
+    }
+    let q = v / BOUND_GRID;
+    let q = if up { q.ceil() } else { q.floor() };
+    q * BOUND_GRID
+}
 
 /// Work counters accumulated across queries.
 #[derive(Copy, Clone, Debug, Default, PartialEq, Eq)]
@@ -26,6 +63,13 @@ pub struct QueryStats {
     /// Queries that fell back to the caller's interval (solver failure or
     /// early-out on deadline).
     pub fallbacks: u64,
+    /// Solves completed from a warm-started simplex basis (phase 1 skipped).
+    pub warm_hits: u64,
+    /// Warm-start attempts that were rejected and re-ran cold.
+    pub warm_misses: u64,
+    /// Estimated simplex pivots avoided by warm starts (see
+    /// [`BatchStats::pivots_saved`]).
+    pub pivots_saved: u64,
 }
 
 impl QueryStats {
@@ -35,27 +79,54 @@ impl QueryStats {
         self.pivots += other.pivots;
         self.nodes += other.nodes;
         self.fallbacks += other.fallbacks;
+        self.warm_hits += other.warm_hits;
+        self.warm_misses += other.warm_misses;
+        self.pivots_saved += other.pivots_saved;
+    }
+
+    /// Folds in the warm-start counters of one finished batch sweep. Solve
+    /// and pivot counts are *not* taken from the batch — they are already
+    /// accounted per query — only the counters unique to batching.
+    fn absorb_batch(&mut self, batch: BatchStats) {
+        self.warm_hits += batch.warm_hits;
+        self.warm_misses += batch.warm_misses;
+        self.pivots_saved += batch.pivots_saved;
     }
 }
 
 /// Minimizes and maximizes `expr` over the encoded model, returning a sound
 /// interval clipped to `fallback`.
 pub fn range_of_expr(
-    model: &mut Model,
+    enc: &mut EncodedSubNet,
+    expr: LinExpr,
+    fallback: Interval,
+    solver: &SolveOptions,
+    stats: &mut QueryStats,
+) -> Interval {
+    let mut batch = BatchSolver::new(&mut enc.model);
+    let r = range_in_batch(&mut batch, expr, fallback, solver, stats);
+    stats.absorb_batch(batch.stats());
+    r
+}
+
+/// [`range_of_expr`] inside an already-open batch sweep, so consecutive
+/// ranges over the same skeleton share one warm-start chain.
+fn range_in_batch(
+    batch: &mut BatchSolver<'_>,
     expr: LinExpr,
     fallback: Interval,
     solver: &SolveOptions,
     stats: &mut QueryStats,
 ) -> Interval {
     let lo = directed_bound(
-        model,
+        batch,
         expr.clone(),
         Sense::Minimize,
         fallback.lo,
         solver,
         stats,
     );
-    let hi = directed_bound(model, expr, Sense::Maximize, fallback.hi, solver, stats);
+    let hi = directed_bound(batch, expr, Sense::Maximize, fallback.hi, solver, stats);
     // Both [lo, hi] and fallback are sound outer ranges; intersect.
     Interval::new(lo.min(hi), hi.max(lo))
         .intersect(fallback, 1e-9)
@@ -66,7 +137,7 @@ pub fn range_of_expr(
 /// produce a *sound* bound (errors, or a timed-out MILP whose frontier bound
 /// is unavailable).
 fn directed_bound(
-    model: &mut Model,
+    batch: &mut BatchSolver<'_>,
     expr: LinExpr,
     sense: Sense,
     fallback_bound: f64,
@@ -79,9 +150,8 @@ fn directed_bound(
             return fallback_bound;
         }
     }
-    model.set_objective(sense, expr);
     stats.solves += 1;
-    match model.solve_with(solver) {
+    match batch.solve(sense, expr, solver) {
         Ok(sol) => {
             stats.pivots += sol.stats.pivots;
             stats.nodes += sol.stats.nodes;
@@ -92,8 +162,8 @@ fn directed_bound(
                 Status::TimedOut | Status::NodeLimit => sol.stats.best_bound,
             };
             match sense {
-                Sense::Maximize => v + SOUND_SLACK + v.abs() * 1e-9,
-                Sense::Minimize => v - SOUND_SLACK - v.abs() * 1e-9,
+                Sense::Maximize => snap_outward(v + SOUND_SLACK + v.abs() * 1e-9, true),
+                Sense::Minimize => snap_outward(v - SOUND_SLACK - v.abs() * 1e-9, false),
             }
         }
         Err(_) => {
@@ -106,6 +176,9 @@ fn directed_bound(
 /// `LpRelaxY`: ranges of the target's pre-activation and its distance,
 /// `(y, Δy)`. For BTNE encodings the distance is the expression `ŷ − y`; for
 /// single-copy encodings it is `[0, 0]`.
+///
+/// The encoding is built once by the caller; all four directed solves (min y,
+/// max y, min Δy, max Δy) run as one warm-started sweep over it.
 pub fn lp_relax_y(
     enc: &mut EncodedSubNet,
     fallback_y: Interval,
@@ -115,37 +188,21 @@ pub fn lp_relax_y(
 ) -> (Interval, Interval) {
     let t = enc.target_vars();
     let y = t.y.expect("target has a pre-activation variable");
-    let yr = range_of_expr(
-        &mut enc.model,
-        (1.0 * y).compact(),
-        fallback_y,
-        solver,
-        stats,
-    );
+    let mut batch = BatchSolver::new(&mut enc.model);
+    let yr = range_in_batch(&mut batch, (1.0 * y).compact(), fallback_y, solver, stats);
     let dyr = if let Some(dy) = t.dy {
-        range_of_expr(
-            &mut enc.model,
-            (1.0 * dy).compact(),
-            fallback_dy,
-            solver,
-            stats,
-        )
+        range_in_batch(&mut batch, (1.0 * dy).compact(), fallback_dy, solver, stats)
     } else if let Some(yh) = t.yh {
-        range_of_expr(
-            &mut enc.model,
-            1.0 * yh - 1.0 * y,
-            fallback_dy,
-            solver,
-            stats,
-        )
+        range_in_batch(&mut batch, 1.0 * yh - 1.0 * y, fallback_dy, solver, stats)
     } else {
         Interval::point(0.0)
     };
+    stats.absorb_batch(batch.stats());
     (yr, dyr)
 }
 
 /// `LpRelaxX`: ranges of the target's post-activation and its distance,
-/// `(x, Δx)`.
+/// `(x, Δx)`, swept warm-started over one encoding like [`lp_relax_y`].
 pub fn lp_relax_x(
     enc: &mut EncodedSubNet,
     fallback_x: Interval,
@@ -155,32 +212,16 @@ pub fn lp_relax_x(
 ) -> (Interval, Interval) {
     let t = enc.target_vars();
     let x = t.x.expect("target has a post-activation variable");
-    let xr = range_of_expr(
-        &mut enc.model,
-        (1.0 * x).compact(),
-        fallback_x,
-        solver,
-        stats,
-    );
+    let mut batch = BatchSolver::new(&mut enc.model);
+    let xr = range_in_batch(&mut batch, (1.0 * x).compact(), fallback_x, solver, stats);
     let dxr = if let Some(dx) = t.dx {
-        range_of_expr(
-            &mut enc.model,
-            (1.0 * dx).compact(),
-            fallback_dx,
-            solver,
-            stats,
-        )
+        range_in_batch(&mut batch, (1.0 * dx).compact(), fallback_dx, solver, stats)
     } else if let Some(xh) = t.xh {
-        range_of_expr(
-            &mut enc.model,
-            1.0 * xh - 1.0 * x,
-            fallback_dx,
-            solver,
-            stats,
-        )
+        range_in_batch(&mut batch, 1.0 * xh - 1.0 * x, fallback_dx, solver, stats)
     } else {
         Interval::point(0.0)
     };
+    stats.absorb_batch(batch.stats());
     (xr, dxr)
 }
 
@@ -249,6 +290,72 @@ mod tests {
             (dyr.lo + 0.15).abs() < 1e-5 && (dyr.hi - 0.15).abs() < 1e-5,
             "{dyr}"
         );
+        // Four directed solves over one skeleton: the first is cold, the
+        // remaining three reuse the basis (or legitimately re-run cold, but
+        // never silently vanish).
+        assert_eq!(stats.solves, 4);
+        assert!(
+            stats.warm_hits + stats.warm_misses >= 3,
+            "sweep did not attempt warm starts: {stats:?}"
+        );
+    }
+
+    #[test]
+    fn warm_and_cold_sweeps_agree_bitwise() {
+        // The same sub-problem solved with and without warm starts must give
+        // identical intervals — batching is a pure optimization.
+        let net = fig1_affine();
+        let domain = vec![Interval::new(-1.0, 1.0); 2];
+        let bounds = ibp_twin(&net, &domain, 0.1);
+        for (li, j) in [(0usize, 0usize), (0, 1), (1, 0)] {
+            let sub = SubNetwork::decompose(&net, li, j, 2);
+            let opts = EncodeOptions {
+                delta: 0.1,
+                ..Default::default()
+            };
+            let run = |warm: bool| {
+                let mut enc = encode_subnet(&sub, &bounds, TargetKind::PreActivation, &opts);
+                let solver = SolveOptions {
+                    warm_start: warm,
+                    ..Default::default()
+                };
+                let mut stats = QueryStats::default();
+                lp_relax_y(
+                    &mut enc,
+                    bounds.y[li][j],
+                    bounds.dy[li][j],
+                    &solver,
+                    &mut stats,
+                )
+            };
+            let (wy, wdy) = run(true);
+            let (cy, cdy) = run(false);
+            assert_eq!(wy, cy, "y range diverged at ({li}, {j})");
+            assert_eq!(wdy, cdy, "Δy range diverged at ({li}, {j})");
+        }
+    }
+
+    #[test]
+    fn snapping_is_outward_and_idempotent() {
+        for v in [0.0, 0.25, -0.25, 1.0e-3, -7.77e2, 123.456] {
+            let up = snap_outward(v, true);
+            let down = snap_outward(v, false);
+            assert!(up >= v, "upper snap moved inward: {v} -> {up}");
+            assert!(down <= v, "lower snap moved inward: {v} -> {down}");
+            assert!(up - v <= BOUND_GRID, "upper snap too coarse");
+            assert!(v - down <= BOUND_GRID, "lower snap too coarse");
+            // Grid points are fixed points, so snapping twice is snapping once.
+            assert_eq!(snap_outward(up, true), up);
+            assert_eq!(snap_outward(down, false), down);
+        }
+        // Values within a grid cell of each other snap together (the warm vs
+        // cold pivot-path property) unless they straddle a grid line.
+        let a = 0.1234567891;
+        let b = a + 1e-13;
+        assert_eq!(snap_outward(a, true), snap_outward(b, true));
+        // Huge magnitudes pass through untouched.
+        assert_eq!(snap_outward(3.0e7, true), 3.0e7);
+        assert_eq!(snap_outward(f64::INFINITY, true), f64::INFINITY);
     }
 
     #[test]

@@ -1,0 +1,372 @@
+//! Warm-started objective sweeps over one constraint skeleton.
+//!
+//! The certifier's dominant query pattern is "one model, many objectives":
+//! each `LpRelaxY`/`LpRelaxX` sub-problem minimizes *and* maximizes several
+//! expressions over the identical constraint set. A cold simplex solve pays
+//! phase 1 (driving artificial variables out of every equality row) each
+//! time, even though feasibility does not depend on the objective at all.
+//! [`BatchSolver`] amortizes that: the first solve runs cold and snapshots
+//! its final [`Basis`]; each subsequent solve restores the snapshot — already
+//! primal feasible — and reoptimizes phase 2 only. Whenever a restore cannot
+//! complete (singular refactorization, stale snapshot, numerical trouble),
+//! the solve transparently falls back to a cold solve, so results never
+//! depend on whether a warm start succeeded.
+//!
+//! Mixed-integer models are accepted for uniformity but always solved cold
+//! through branch-and-bound (warm-starting a B&B tree is out of scope); the
+//! continuous/integer dispatch matches [`Model::solve_with`] exactly.
+
+use crate::error::SolveError;
+use crate::model::{Model, Sense};
+use crate::options::SolveOptions;
+use crate::simplex::{self, Resident, ResolveOutcome};
+use crate::{branch_bound, LinExpr, Solution};
+
+/// Work counters for one [`BatchSolver`]'s lifetime.
+#[derive(Copy, Clone, Debug, Default, PartialEq, Eq)]
+pub struct BatchStats {
+    /// Objectives solved (in any way).
+    pub solves: u64,
+    /// Solves completed from a restored basis (phase 1 skipped).
+    pub warm_hits: u64,
+    /// Warm attempts that were rejected and fell back to a cold solve.
+    pub warm_misses: u64,
+    /// Solves that ran cold because no snapshot was available (the first
+    /// solve of every sweep, MILP solves, and everything after a failure).
+    pub cold_solves: u64,
+    /// Total simplex pivots across all solves, *including* the pivots burned
+    /// by warm attempts that were later rejected (that work is real even
+    /// though its result was discarded).
+    pub pivots: u64,
+    /// Estimated pivots avoided by warm-starting: for each warm hit, the
+    /// pivot count of the most recent *cold* solve on this skeleton minus
+    /// the warm solve's own pivots, saturating at zero. An estimate — the
+    /// true counterfactual would require solving cold again.
+    pub pivots_saved: u64,
+}
+
+impl BatchStats {
+    /// Accumulates another counter set.
+    pub fn absorb(&mut self, other: BatchStats) {
+        self.solves += other.solves;
+        self.warm_hits += other.warm_hits;
+        self.warm_misses += other.warm_misses;
+        self.cold_solves += other.cold_solves;
+        self.pivots += other.pivots;
+        self.pivots_saved += other.pivots_saved;
+    }
+}
+
+/// Sweeps a list of objectives over one [`Model`] skeleton, warm-starting
+/// each solve from the previous one's optimal basis.
+///
+/// ```
+/// use itne_milp::{BatchSolver, Cmp, Model, Sense, SolveOptions};
+///
+/// let mut m = Model::new();
+/// let x = m.add_var(0.0, 10.0);
+/// let y = m.add_var(0.0, 10.0);
+/// m.add_constraint(x + y, Cmp::Le, 6.0);
+/// m.add_constraint(2.0 * x + y, Cmp::Le, 9.0);
+///
+/// let opts = SolveOptions::default();
+/// let mut batch = BatchSolver::new(&mut m);
+/// let hi = batch.solve(Sense::Maximize, 3.0 * x + 2.0 * y, &opts).unwrap();
+/// let lo = batch.solve(Sense::Minimize, 3.0 * x + 2.0 * y, &opts).unwrap();
+/// assert!((hi.objective - 15.0).abs() < 1e-6);
+/// assert!((lo.objective - 0.0).abs() < 1e-6);
+/// assert_eq!(batch.stats().warm_hits, 1); // the second solve reused the basis
+/// ```
+pub struct BatchSolver<'m> {
+    model: &'m mut Model,
+    /// The previous solve's live factorized tableau. Reoptimizing it in
+    /// place is strictly cheaper than restoring a [`crate::Basis`] snapshot
+    /// (no `B⁻¹` refactorization per solve); the snapshot API remains the
+    /// mechanism for warm starts *across* model instances
+    /// ([`Model::solve_with_basis`]).
+    resident: Option<Resident>,
+    /// Pivot count of the most recent cold solve, the baseline for
+    /// [`BatchStats::pivots_saved`].
+    last_cold_pivots: u64,
+    stats: BatchStats,
+}
+
+impl<'m> BatchSolver<'m> {
+    /// Wraps a model skeleton. The model's constraints and bounds must stay
+    /// fixed for the sweep's duration (the borrow enforces exclusivity); the
+    /// objective is overwritten by every [`BatchSolver::solve`].
+    pub fn new(model: &'m mut Model) -> Self {
+        BatchSolver {
+            model,
+            resident: None,
+            last_cold_pivots: 0,
+            stats: BatchStats::default(),
+        }
+    }
+
+    /// Counters accumulated so far.
+    pub fn stats(&self) -> BatchStats {
+        self.stats
+    }
+
+    /// Sets `sense expr` as the objective and solves, warm-starting from the
+    /// previous solve's basis when one is available (and
+    /// [`SolveOptions::warm_start`] is on).
+    ///
+    /// # Errors
+    ///
+    /// See [`SolveError`]; identical failure modes to [`Model::solve_with`].
+    pub fn solve(
+        &mut self,
+        sense: Sense,
+        expr: impl Into<LinExpr>,
+        opts: &SolveOptions,
+    ) -> Result<Solution, SolveError> {
+        self.model.set_objective(sense, expr);
+        self.stats.solves += 1;
+        self.model.validate()?;
+
+        if self.model.num_integers() > 0 {
+            // Mixed models: no warm start, same dispatch as `solve_with`.
+            self.stats.cold_solves += 1;
+            let sol = branch_bound::solve_milp(self.model, opts)?;
+            self.stats.pivots += sol.stats.pivots;
+            return Ok(sol);
+        }
+
+        // Dense-tableau economics: above the cell limit, reoptimizing the
+        // dense end-state costs more than a fresh sparse cold solve (see
+        // `SolveOptions::warm_start_cell_limit`). The resident tableau is
+        // `[A | I_slack | I_art]`, i.e. up to n + 2m columns — one slack per
+        // row plus at worst one artificial per row.
+        let m = self.model.num_constraints() as u64;
+        let cells = m.saturating_mul(2 * m + self.model.num_vars() as u64);
+        let warm_allowed = opts.warm_start && cells <= opts.warm_start_cell_limit;
+
+        if warm_allowed {
+            if let Some(resident) = &mut self.resident {
+                match resident.resolve(self.model, opts) {
+                    Ok(ResolveOutcome::Solved(sol)) => {
+                        self.stats.warm_hits += 1;
+                        self.stats.pivots += sol.stats.pivots;
+                        self.stats.pivots_saved +=
+                            self.last_cold_pivots.saturating_sub(sol.stats.pivots);
+                        return Ok(sol);
+                    }
+                    Ok(ResolveOutcome::Rejected { wasted_pivots }) => {
+                        // Fall through to a cold solve.
+                        self.stats.warm_misses += 1;
+                        self.stats.pivots += wasted_pivots;
+                        self.resident = None;
+                    }
+                    Err(e) => {
+                        self.resident = None;
+                        return Err(e);
+                    }
+                }
+            }
+        }
+
+        self.stats.cold_solves += 1;
+        match simplex::solve_lp_resident(self.model, opts) {
+            Ok((sol, resident)) => {
+                self.stats.pivots += sol.stats.pivots;
+                self.last_cold_pivots = sol.stats.pivots;
+                self.resident = if warm_allowed { resident } else { None };
+                Ok(sol)
+            }
+            Err(e) => {
+                self.resident = None;
+                Err(e)
+            }
+        }
+    }
+
+    /// Solves every `(sense, expr)` objective in order, returning one result
+    /// per objective. Failures are per-objective — a failed solve does not
+    /// abort the rest of the sweep (matching the certifier's per-query
+    /// fallback semantics).
+    pub fn sweep(
+        &mut self,
+        objectives: impl IntoIterator<Item = (Sense, LinExpr)>,
+        opts: &SolveOptions,
+    ) -> Vec<Result<Solution, SolveError>> {
+        objectives
+            .into_iter()
+            .map(|(sense, expr)| self.solve(sense, expr, opts))
+            .collect()
+    }
+
+    /// Minimizes then maximizes `expr`, returning `(min, max)` objective
+    /// values — the warm-started counterpart of [`Model::solve_range`].
+    ///
+    /// # Errors
+    ///
+    /// See [`SolveError`].
+    pub fn solve_range(
+        &mut self,
+        expr: impl Into<LinExpr>,
+        opts: &SolveOptions,
+    ) -> Result<(f64, f64), SolveError> {
+        let e = expr.into();
+        let lo = self.solve(Sense::Minimize, e.clone(), opts)?.objective;
+        let hi = self.solve(Sense::Maximize, e, opts)?.objective;
+        Ok((lo, hi))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::Cmp;
+
+    fn skeleton() -> (Model, crate::VarId, crate::VarId) {
+        let mut m = Model::new();
+        let x = m.add_var(0.0, 10.0);
+        let y = m.add_var(0.0, 10.0);
+        m.add_constraint(x + y, Cmp::Le, 6.0);
+        m.add_constraint(2.0 * x + y, Cmp::Le, 9.0);
+        m.add_constraint(x - y, Cmp::Ge, -5.0);
+        (m, x, y)
+    }
+
+    #[test]
+    fn sweep_matches_cold_solves() {
+        let (mut m, x, y) = skeleton();
+        let opts = SolveOptions::default();
+        let objectives: Vec<(Sense, LinExpr)> = vec![
+            (Sense::Maximize, 3.0 * x + 2.0 * y),
+            (Sense::Minimize, 3.0 * x + 2.0 * y),
+            (Sense::Maximize, 1.0 * y - 1.0 * x),
+            (Sense::Minimize, 1.0 * y),
+            (Sense::Maximize, 1.0 * x),
+        ];
+
+        let cold: Vec<f64> = objectives
+            .iter()
+            .map(|(s, e)| {
+                let mut fresh = m.clone();
+                fresh.set_objective(*s, e.clone());
+                fresh.solve().expect("cold solves").objective
+            })
+            .collect();
+
+        let mut batch = BatchSolver::new(&mut m);
+        let warm: Vec<f64> = batch
+            .sweep(objectives, &opts)
+            .into_iter()
+            .map(|r| r.expect("warm sweep solves").objective)
+            .collect();
+
+        for (w, c) in warm.iter().zip(&cold) {
+            assert!((w - c).abs() < 1e-9, "warm {w} vs cold {c}");
+        }
+        let stats = batch.stats();
+        assert_eq!(stats.solves, 5);
+        assert_eq!(stats.cold_solves + stats.warm_hits + stats.warm_misses, 5);
+        assert!(stats.warm_hits >= 4, "expected warm hits, got {stats:?}");
+    }
+
+    #[test]
+    fn warm_start_disabled_runs_every_solve_cold() {
+        let (mut m, x, y) = skeleton();
+        let opts = SolveOptions {
+            warm_start: false,
+            ..Default::default()
+        };
+        let mut batch = BatchSolver::new(&mut m);
+        batch.solve(Sense::Maximize, x + y, &opts).unwrap();
+        batch.solve(Sense::Minimize, x + y, &opts).unwrap();
+        let stats = batch.stats();
+        assert_eq!(stats.cold_solves, 2);
+        assert_eq!(stats.warm_hits, 0);
+        assert_eq!(stats.warm_misses, 0);
+    }
+
+    #[test]
+    fn integer_models_solve_cold_through_branch_and_bound() {
+        let mut m = Model::new();
+        let a = m.add_binary();
+        let b = m.add_binary();
+        m.add_constraint(3.0 * a + 4.0 * b, Cmp::Le, 6.0);
+        let opts = SolveOptions::default();
+        let mut batch = BatchSolver::new(&mut m);
+        let hi = batch
+            .solve(Sense::Maximize, 10.0 * a + 13.0 * b, &opts)
+            .unwrap();
+        assert!((hi.objective - 13.0).abs() < 1e-6);
+        let lo = batch
+            .solve(Sense::Minimize, 10.0 * a + 13.0 * b, &opts)
+            .unwrap();
+        assert!(lo.objective.abs() < 1e-9);
+        let stats = batch.stats();
+        assert_eq!(stats.cold_solves, 2);
+        assert_eq!(stats.warm_hits, 0);
+    }
+
+    #[test]
+    fn redundant_equality_rows_stay_warm() {
+        // The duplicated hyperplane keeps a frozen artificial in the final
+        // basis. A `Basis` snapshot cannot represent that (see
+        // `Model::solve_with_basis`), but the live resident tableau carries
+        // the frozen artificial along, so the sweep still warm-starts — and
+        // must still agree with `Model::solve`.
+        let mut m = Model::new();
+        let x = m.add_var(0.0, 5.0);
+        let y = m.add_var(0.0, 5.0);
+        m.add_constraint(x + y, Cmp::Eq, 4.0);
+        m.add_constraint(2.0 * x + 2.0 * y, Cmp::Eq, 8.0);
+        let opts = SolveOptions::default();
+        let mut batch = BatchSolver::new(&mut m);
+        let hi = batch.solve(Sense::Maximize, 1.0 * x, &opts).unwrap();
+        let lo = batch.solve(Sense::Minimize, 1.0 * x, &opts).unwrap();
+        assert!((hi.objective - 4.0).abs() < 1e-6);
+        assert!(lo.objective.abs() < 1e-6);
+        let stats = batch.stats();
+        assert_eq!(stats.cold_solves, 1);
+        assert_eq!(stats.warm_hits, 1);
+    }
+
+    #[test]
+    fn infeasible_skeleton_errors_on_every_solve() {
+        let mut m = Model::new();
+        let x = m.add_var(0.0, 1.0);
+        m.add_constraint(2.0 * x, Cmp::Ge, 3.0);
+        let opts = SolveOptions::default();
+        let mut batch = BatchSolver::new(&mut m);
+        for _ in 0..2 {
+            assert_eq!(
+                batch.solve(Sense::Maximize, 1.0 * x, &opts).unwrap_err(),
+                SolveError::Infeasible
+            );
+        }
+        assert_eq!(batch.stats().cold_solves, 2);
+    }
+
+    #[test]
+    fn unbounded_objective_is_reported_warm_or_cold() {
+        let mut m = Model::new();
+        let x = m.add_var(0.0, f64::INFINITY);
+        let y = m.add_var(0.0, 10.0);
+        m.add_constraint(y - x, Cmp::Le, 1.0);
+        let opts = SolveOptions::default();
+        let mut batch = BatchSolver::new(&mut m);
+        // Bounded objective first, to install a basis.
+        batch.solve(Sense::Maximize, 1.0 * y, &opts).unwrap();
+        assert_eq!(
+            batch.solve(Sense::Maximize, 1.0 * x, &opts).unwrap_err(),
+            SolveError::Unbounded
+        );
+    }
+
+    #[test]
+    fn solve_range_is_warm_on_the_second_leg() {
+        let (mut m, x, y) = skeleton();
+        let opts = SolveOptions::default();
+        let mut batch = BatchSolver::new(&mut m);
+        let (lo, hi) = batch.solve_range(x + y, &opts).unwrap();
+        assert!(lo.abs() < 1e-9);
+        assert!((hi - 6.0).abs() < 1e-6);
+        assert_eq!(batch.stats().warm_hits, 1);
+    }
+}

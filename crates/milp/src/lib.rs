@@ -11,7 +11,14 @@
 //!   certification encodings bound every variable;
 //! * a **branch-and-bound** search over integer (in practice binary ReLU
 //!   indicator) variables, with deadline and node-limit support
-//!   ([`Model::solve`] on mixed models).
+//!   ([`Model::solve`] on mixed models);
+//! * **warm-started objective sweeps**: a solve's final simplex [`Basis`] can
+//!   be snapshotted and re-injected as the starting basis of the next solve
+//!   over the same constraint skeleton ([`Model::solve_with_basis`]), and
+//!   [`BatchSolver`] drives whole objective batches that way — skipping
+//!   phase 1 on every hit and falling back to a cold solve whenever a
+//!   restored basis cannot complete. This is the certifier's hot path: every
+//!   `LpRelaxY`/`LpRelaxX` sub-problem is "one skeleton, several objectives".
 //!
 //! The API is deliberately Gurobi-shaped: build a [`Model`], add variables with
 //! bounds, add linear constraints, set a linear objective, and solve.
@@ -45,6 +52,7 @@
 
 #![forbid(unsafe_code)]
 
+mod batch;
 mod branch_bound;
 mod error;
 mod linexpr;
@@ -52,10 +60,12 @@ mod model;
 mod options;
 mod simplex;
 
+pub use batch::{BatchSolver, BatchStats};
 pub use error::SolveError;
 pub use linexpr::LinExpr;
 pub use model::{Cmp, Model, Sense, VarId, VarType};
 pub use options::{SolveOptions, Tolerances};
+pub use simplex::Basis;
 
 use serde::{Deserialize, Serialize};
 

@@ -207,7 +207,43 @@ impl Model {
         Ok((lo, hi))
     }
 
-    fn validate(&self) -> Result<(), SolveError> {
+    /// Re-solves the model for a new objective, warm-starting from `warm`
+    /// (the basis snapshot of an earlier solve over the same constraint
+    /// skeleton) when possible, and returns the solution together with a
+    /// snapshot of its own final basis for the next solve.
+    ///
+    /// Warm-starting never changes results: a basis that cannot be restored
+    /// (shape mismatch, singularity, infeasibility after restore) silently
+    /// falls back to a cold solve. Models with integer variables are solved
+    /// by branch-and-bound and return no snapshot. For sweeping many
+    /// objectives, prefer [`crate::BatchSolver`], which also tracks
+    /// warm-start hit/miss statistics.
+    ///
+    /// # Errors
+    ///
+    /// See [`SolveError`]; identical failure modes to [`Model::solve_with`].
+    pub fn solve_with_basis(
+        &self,
+        opts: &SolveOptions,
+        warm: Option<&crate::Basis>,
+    ) -> Result<(Solution, Option<crate::Basis>), SolveError> {
+        self.validate()?;
+        if self.num_integers() > 0 {
+            return Ok((branch_bound::solve_milp(self, opts)?, None));
+        }
+        if opts.warm_start {
+            if let Some(basis) = warm {
+                if let simplex::WarmOutcome::Solved(sol, next) =
+                    simplex::solve_lp_warm(self, opts, basis)?
+                {
+                    return Ok((sol, next));
+                }
+            }
+        }
+        simplex::solve_lp_snapshot(self, opts)
+    }
+
+    pub(crate) fn validate(&self) -> Result<(), SolveError> {
         for (i, c) in self.cols.iter().enumerate() {
             if c.lo.is_nan() || c.hi.is_nan() {
                 return Err(SolveError::InvalidModel(format!(

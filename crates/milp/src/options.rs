@@ -44,6 +44,25 @@ pub struct SolveOptions {
     /// incumbent with [`crate::Status::TimedOut`] (or
     /// [`crate::SolveError::Timeout`] if none exists).
     pub deadline: Option<Instant>,
+    /// Allow [`crate::BatchSolver`] (and [`crate::Model::solve_with_basis`])
+    /// to reuse the basis of an earlier solve instead of running phase 1
+    /// from scratch. Disabling forces every solve cold — useful to prove
+    /// warm-started results are a pure optimization (see the golden
+    /// regression tests) and to bisect suspected solver issues.
+    pub warm_start: bool,
+    /// Tableau-size ceiling (rows × worst-case columns, `m·(n + 2m)`) above
+    /// which [`crate::BatchSolver`] re-solves cold even when `warm_start` is
+    /// on. A cold solve's early pivots touch only the rows where the
+    /// entering column is non-zero, which on a fresh sparse
+    /// `[A | I_slack | I_art]` tableau is few; a warm reoptimization always
+    /// starts from the previous solve's *fully dense* end state, so on very
+    /// large sub-problems each warm pivot costs several cold ones and warm
+    /// starting loses wall-clock despite winning the pivot count. `u64::MAX`
+    /// removes the limit. The default (2²⁰ cells ≈ an 8 MB tableau) keeps
+    /// warm starts on every fully-connected Table I sub-problem and gates
+    /// them off on the large conv-net windows where the inversion was
+    /// measured.
+    pub warm_start_cell_limit: u64,
 }
 
 impl Default for SolveOptions {
@@ -53,6 +72,8 @@ impl Default for SolveOptions {
             max_pivots: 0,
             max_nodes: 20_000_000,
             deadline: None,
+            warm_start: true,
+            warm_start_cell_limit: 1 << 20,
         }
     }
 }

@@ -25,10 +25,119 @@ enum ColState {
     Free,
 }
 
+/// A reusable snapshot of a simplex basis: which column occupies each row
+/// plus the resting state of every structural and slack column.
+///
+/// Produced by [`crate::Model::solve_with_basis`] (and internally by every
+/// successful LP solve) and re-injected as the *starting* basis of a later
+/// solve over the **same** constraint skeleton — typically with a different
+/// objective. Restoring skips phase 1 entirely: the basis is refactorized
+/// against the original matrix and phase 2 reoptimizes from there. A snapshot
+/// is only meaningful for the model shape that produced it; restoring it
+/// elsewhere is detected (shape/feasibility checks) and rejected, at which
+/// point callers fall back to a cold solve.
+#[derive(Clone, Debug)]
+pub struct Basis {
+    /// Per-column resting state for the `n + m` structural + slack columns.
+    state: Vec<ColState>,
+    /// Basic column of each row.
+    rows: Vec<usize>,
+    /// Structural column count of the originating model.
+    n: usize,
+    /// Row count of the originating model.
+    m: usize,
+}
+
+/// Outcome of a warm-started solve attempt (crate-internal: callers decide
+/// how to fall back and how to count the attempt).
+pub(crate) enum WarmOutcome {
+    /// The restored basis reoptimized to optimality.
+    Solved(Solution, Option<Basis>),
+    /// The basis could not be restored (shape mismatch, singular
+    /// refactorization, primal infeasibility, or numerical trouble during
+    /// reoptimization). The caller should solve cold.
+    Rejected,
+}
+
+/// A live factorized tableau kept resident between the solves of one
+/// objective sweep ([`crate::BatchSolver`]). Unlike a [`Basis`] snapshot —
+/// which must refactorize `B⁻¹` from the original matrix on every restore —
+/// the resident tableau is already at its final basis when the next
+/// objective arrives, so a warm solve costs only a reduced-cost rebuild plus
+/// the phase-2 pivots of the reoptimization itself.
+///
+/// Only valid while the originating model's constraint skeleton and bounds
+/// stay unchanged (the batch layer guarantees this by holding the model
+/// mutably for the sweep's whole lifetime).
+pub(crate) struct Resident {
+    t: Tableau,
+    /// Structural column count of the originating model.
+    n: usize,
+    /// The bounds the tableau was built with (for residual checks).
+    var_bounds: Vec<(f64, f64)>,
+}
+
+/// Outcome of reoptimizing a [`Resident`] tableau under a new objective.
+pub(crate) enum ResolveOutcome {
+    /// Optimal for the new objective; the tableau stays resident.
+    Solved(Solution),
+    /// Numerical trouble (iteration limit, drifted residuals). The caller
+    /// should discard the resident and solve cold. Carries the pivots the
+    /// abandoned attempt burned, so callers can keep work counters honest.
+    Rejected { wasted_pivots: u64 },
+}
+
+impl Resident {
+    /// Reoptimizes the resident tableau under `model`'s *current* objective
+    /// (phase 2 only — the basis is already primal feasible).
+    ///
+    /// # Errors
+    ///
+    /// [`SolveError::Unbounded`] when the new objective is genuinely
+    /// unbounded over the skeleton; everything recoverable is reported as
+    /// [`ResolveOutcome::Rejected`] instead.
+    pub(crate) fn resolve(
+        &mut self,
+        model: &Model,
+        opts: &SolveOptions,
+    ) -> Result<ResolveOutcome, SolveError> {
+        let t = &mut self.t;
+        if model.cols.len() != self.n || model.rows.len() != t.nrows {
+            return Ok(ResolveOutcome::Rejected { wasted_pivots: 0 });
+        }
+        let flip = matches!(model.sense, Some(Sense::Maximize));
+        let mut costs = vec![0.0f64; t.ncols];
+        for &(v, c) in &model.objective {
+            costs[v] += if flip { -c } else { c };
+        }
+        t.rebuild_dj(&costs);
+        t.pivots = 0; // per-solve iteration count
+        match t.optimize(true, opts.pivot_cap(t.nrows, t.ncols)) {
+            Ok(()) => {}
+            Err(SolveError::Unbounded) => return Err(SolveError::Unbounded),
+            Err(_) => {
+                return Ok(ResolveOutcome::Rejected {
+                    wasted_pivots: t.pivots,
+                })
+            }
+        }
+        match finish(model, &self.var_bounds, t) {
+            Ok(sol) => Ok(ResolveOutcome::Solved(sol)),
+            Err(_) => Ok(ResolveOutcome::Rejected {
+                wasted_pivots: t.pivots,
+            }),
+        }
+    }
+}
+
 struct Tableau {
     /// Row-major dense tableau, `rows × ncols`; starts as `[A | I_slack | I_art]`
     /// and is kept equal to `B⁻¹·[A | I | I]` by pivoting.
     tab: Vec<f64>,
+    /// `B⁻¹·b`, maintained through pivots. Only populated (non-empty) by the
+    /// warm-start path, which needs it to recover basic values from a
+    /// restored basis; the cold path tracks values incrementally instead.
+    rhs: Vec<f64>,
     /// Reduced costs for the current phase, length `ncols`.
     dj: Vec<f64>,
     /// Current value of every column (basic and non-basic).
@@ -206,6 +315,11 @@ impl Tableau {
             self.tab[row_start + j] *= inv;
         }
         self.tab[row_start + q] = 1.0; // exact unit entry
+        let track_rhs = !self.rhs.is_empty();
+        if track_rhs {
+            self.rhs[r] *= inv;
+        }
+        let prhs = if track_rhs { self.rhs[r] } else { 0.0 };
 
         // Copy the normalized pivot row so we can stream through the others.
         let prow: Vec<f64> = self.tab[row_start..row_start + ncols].to_vec();
@@ -220,6 +334,9 @@ impl Tableau {
                     *t -= f * p;
                 }
                 self.tab[base + q] = 0.0;
+                if track_rhs {
+                    self.rhs[i] -= f * prhs;
+                }
             }
         }
         let f = self.dj[q];
@@ -263,6 +380,21 @@ impl Tableau {
                 }
             }
         }
+    }
+
+    /// Extracts a reusable [`Basis`] snapshot, or `None` when the final basis
+    /// still contains an artificial column (a redundant row kept its frozen
+    /// artificial) and therefore cannot be restored against `[A | I]` alone.
+    fn snapshot(&self, n_struct: usize) -> Option<Basis> {
+        if self.basis.iter().any(|&b| b >= self.art_start) {
+            return None;
+        }
+        Some(Basis {
+            state: self.state[..self.art_start].to_vec(),
+            rows: self.basis.clone(),
+            n: n_struct,
+            m: self.nrows,
+        })
     }
 
     /// Rebuilds reduced costs `dj = c − c_B·B⁻¹·A` from scratch.
@@ -317,6 +449,34 @@ pub(crate) fn solve_lp(model: &Model, opts: &SolveOptions) -> Result<Solution, S
     solve_lp_bounded(model, &bounds, opts)
 }
 
+/// [`solve_lp`] that also extracts a [`Basis`] snapshot for warm-starting a
+/// later solve over the same skeleton.
+pub(crate) fn solve_lp_snapshot(
+    model: &Model,
+    opts: &SolveOptions,
+) -> Result<(Solution, Option<Basis>), SolveError> {
+    let bounds: Vec<(f64, f64)> = model.cols.iter().map(|c| (c.lo, c.hi)).collect();
+    let (sol, t) = solve_lp_core(model, &bounds, opts)?;
+    let snapshot = t.and_then(|t| t.snapshot(model.cols.len()));
+    Ok((sol, snapshot))
+}
+
+/// [`solve_lp`] that also hands back the live factorized tableau for
+/// in-place reoptimization under later objectives ([`Resident::resolve`]).
+pub(crate) fn solve_lp_resident(
+    model: &Model,
+    opts: &SolveOptions,
+) -> Result<(Solution, Option<Resident>), SolveError> {
+    let bounds: Vec<(f64, f64)> = model.cols.iter().map(|c| (c.lo, c.hi)).collect();
+    let (sol, t) = solve_lp_core(model, &bounds, opts)?;
+    let resident = t.map(|t| Resident {
+        t,
+        n: model.cols.len(),
+        var_bounds: bounds,
+    });
+    Ok((sol, resident))
+}
+
 /// Solves a continuous relaxation with per-variable bound overrides (used by
 /// branch-and-bound so nodes don't clone the constraint matrix).
 pub(crate) fn solve_lp_bounded(
@@ -324,6 +484,14 @@ pub(crate) fn solve_lp_bounded(
     var_bounds: &[(f64, f64)],
     opts: &SolveOptions,
 ) -> Result<Solution, SolveError> {
+    solve_lp_core(model, var_bounds, opts).map(|(sol, _)| sol)
+}
+
+fn solve_lp_core(
+    model: &Model,
+    var_bounds: &[(f64, f64)],
+    opts: &SolveOptions,
+) -> Result<(Solution, Option<Tableau>), SolveError> {
     let n = model.cols.len();
     let m = model.rows.len();
     debug_assert_eq!(var_bounds.len(), n);
@@ -336,8 +504,9 @@ pub(crate) fn solve_lp_bounded(
     }
 
     // Trivial case: no constraints — each variable goes to its best bound.
+    // (No snapshot: there is no basis, and re-solving is already trivial.)
     if m == 0 {
-        return solve_unconstrained(model, var_bounds);
+        return solve_unconstrained(model, var_bounds).map(|s| (s, None));
     }
 
     // Internal costs are always "minimize".
@@ -427,6 +596,7 @@ pub(crate) fn solve_lp_bounded(
 
     let mut t = Tableau {
         tab,
+        rhs: Vec::new(),
         dj: vec![0.0; ncols],
         xval,
         lo,
@@ -470,6 +640,13 @@ pub(crate) fn solve_lp_bounded(
     t.rebuild_dj(&costs);
     t.optimize(true, cap)?;
 
+    let sol = finish(model, var_bounds, &t)?;
+    Ok((sol, Some(t)))
+}
+
+/// Reads the optimal point out of a terminated tableau, checking residuals.
+fn finish(model: &Model, var_bounds: &[(f64, f64)], t: &Tableau) -> Result<Solution, SolveError> {
+    let n = model.cols.len();
     let values: Vec<f64> = t.xval[..n].to_vec();
     let mut objective = model.obj_constant;
     for &(v, c) in &model.objective {
@@ -492,6 +669,183 @@ pub(crate) fn solve_lp_bounded(
         },
         values,
     })
+}
+
+/// Attempts a warm-started solve: restore `warm`, refactorize it against the
+/// original matrix, and reoptimize phase 2 under the model's current
+/// objective. Phase 1 is skipped entirely — the restored basis is already
+/// primal feasible when the skeleton is unchanged.
+///
+/// Anything that prevents completing from the restored basis (shape mismatch,
+/// a singular refactorization, primal infeasibility after restore, iteration
+/// limits, residual failures) yields [`WarmOutcome::Rejected`] so the caller
+/// can fall back to a cold solve; only genuine model-level errors
+/// ([`SolveError::Unbounded`], invalid bounds) propagate as `Err`.
+pub(crate) fn solve_lp_warm(
+    model: &Model,
+    opts: &SolveOptions,
+    warm: &Basis,
+) -> Result<WarmOutcome, SolveError> {
+    let n = model.cols.len();
+    let m = model.rows.len();
+    let tol = opts.tolerances;
+    if warm.n != n || warm.m != m || m == 0 || warm.state.len() != n + m || warm.rows.len() != m {
+        return Ok(WarmOutcome::Rejected);
+    }
+    let var_bounds: Vec<(f64, f64)> = model.cols.iter().map(|c| (c.lo, c.hi)).collect();
+    for &(lo, hi) in &var_bounds {
+        if lo > hi {
+            return Err(SolveError::Infeasible);
+        }
+    }
+
+    let ncols = n + m;
+    let mut lo = Vec::with_capacity(ncols);
+    let mut hi = Vec::with_capacity(ncols);
+    for &(l, h) in &var_bounds {
+        lo.push(l);
+        hi.push(h);
+    }
+    for row in &model.rows {
+        let (l, h) = slack_bounds(row.cmp);
+        lo.push(l);
+        hi.push(h);
+    }
+
+    // Non-basic columns rest exactly at their recorded bound; a recorded
+    // state that no longer matches a finite bound means the snapshot belongs
+    // to a different model.
+    let state = warm.state.clone();
+    let mut xval = vec![0.0f64; ncols];
+    for j in 0..ncols {
+        match state[j] {
+            ColState::Basic => {}
+            ColState::AtLower => {
+                if !lo[j].is_finite() {
+                    return Ok(WarmOutcome::Rejected);
+                }
+                xval[j] = lo[j];
+            }
+            ColState::AtUpper => {
+                if !hi[j].is_finite() {
+                    return Ok(WarmOutcome::Rejected);
+                }
+                xval[j] = hi[j];
+            }
+            ColState::Free => xval[j] = 0.0,
+        }
+    }
+    if warm
+        .rows
+        .iter()
+        .any(|&b| b >= ncols || state[b] != ColState::Basic)
+    {
+        return Ok(WarmOutcome::Rejected);
+    }
+
+    let mut tab = vec![0.0f64; m * ncols];
+    for (r, row) in model.rows.iter().enumerate() {
+        let base = r * ncols;
+        for &(v, c) in &row.terms {
+            tab[base + v] = c;
+        }
+        tab[base + n + r] = 1.0;
+    }
+    let rhs: Vec<f64> = model.rows.iter().map(|row| row.rhs).collect();
+
+    let mut t = Tableau {
+        tab,
+        rhs,
+        dj: vec![0.0; ncols],
+        xval,
+        lo,
+        hi,
+        state,
+        basis: warm.rows.clone(),
+        nrows: m,
+        ncols,
+        art_start: ncols,
+        pivots: 0,
+        feas_tol: tol.feasibility,
+        opt_tol: tol.optimality,
+        pivot_tol: tol.pivot,
+    };
+
+    // Refactorize: make each recorded basic column the unit vector of its
+    // row. The row ↔ column pairing is fixed by the snapshot, but the
+    // *elimination order* is chosen greedily by pivot magnitude — fixed-order
+    // elimination hits structurally zero pivots on perfectly good bases
+    // whenever a leading sub-permutation is singular. Ties break to the
+    // lowest row index, keeping the order (and the arithmetic) deterministic.
+    // If the best remaining pivot still vanishes, the recorded basis really
+    // is singular with respect to this matrix — reject rather than divide.
+    let mut eliminated = vec![false; m];
+    for _ in 0..m {
+        let mut best: Option<(usize, f64)> = None;
+        for (r, &done) in eliminated.iter().enumerate() {
+            if done {
+                continue;
+            }
+            let a = t.entry(r, t.basis[r]).abs();
+            if best.is_none_or(|(_, mag)| a > mag) {
+                best = Some((r, a));
+            }
+        }
+        let (r, mag) = best.expect("one un-eliminated row per pass");
+        if mag <= t.pivot_tol {
+            return Ok(WarmOutcome::Rejected);
+        }
+        t.pivot(r, t.basis[r]);
+        eliminated[r] = true;
+    }
+    // Refactorization eliminations are setup, not simplex iterations: report
+    // only the reoptimization's own pivots (the convention iteration counts
+    // use), so warm and cold pivot counters stay comparable.
+    t.pivots = 0;
+
+    // Recover basic values x_B = B⁻¹b − B⁻¹N·x_N and confirm the restored
+    // point is still primal feasible (it must be when the skeleton is
+    // unchanged; drift beyond tolerance means the snapshot is stale).
+    for r in 0..m {
+        let b = t.basis[r];
+        let mut v = t.rhs[r];
+        let base = r * t.ncols;
+        for j in 0..t.ncols {
+            let a = t.tab[base + j];
+            if a != 0.0 && t.state[j] != ColState::Basic {
+                v -= a * t.xval[j];
+            }
+        }
+        t.xval[b] = v;
+    }
+    for r in 0..m {
+        let b = t.basis[r];
+        let v = t.xval[b];
+        if v < t.lo[b] - t.feas_tol || v > t.hi[b] + t.feas_tol {
+            return Ok(WarmOutcome::Rejected);
+        }
+        t.xval[b] = v.clamp(t.lo[b], t.hi[b]);
+    }
+
+    // Phase 2 only: reduced costs for the current objective, then reoptimize.
+    let flip = matches!(model.sense, Some(Sense::Maximize));
+    let mut costs = vec![0.0f64; ncols];
+    for &(v, c) in &model.objective {
+        costs[v] += if flip { -c } else { c };
+    }
+    t.rebuild_dj(&costs);
+    match t.optimize(true, opts.pivot_cap(m, ncols)) {
+        Ok(()) => {}
+        Err(SolveError::Unbounded) => return Err(SolveError::Unbounded),
+        Err(_) => return Ok(WarmOutcome::Rejected),
+    }
+    match finish(model, &var_bounds, &t) {
+        Ok(sol) => {
+            let snapshot = t.snapshot(n);
+            Ok(WarmOutcome::Solved(sol, snapshot))
+        }
+        Err(_) => Ok(WarmOutcome::Rejected),
+    }
 }
 
 /// Pivots basic artificial variables (all at value 0) out of the basis; rows

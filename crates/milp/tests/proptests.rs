@@ -4,8 +4,12 @@
 //!   feasible point we can find by sampling.
 //! * Branch-and-bound must agree with brute-force enumeration over all binary
 //!   assignments (each completed by an LP on the continuous remainder).
+//! * Warm-started batched sweeps ([`BatchSolver`]) and basis snapshot/restore
+//!   chains ([`Model::solve_with_basis`]) must agree with independent cold
+//!   solves on every objective of randomly generated *feasible* skeletons —
+//!   including when a restore is rejected and falls back to a cold solve.
 
-use itne_milp::{Cmp, LinExpr, Model, Sense, SolveError};
+use itne_milp::{BatchSolver, Cmp, LinExpr, Model, Sense, SolveError, SolveOptions};
 use proptest::prelude::*;
 
 #[derive(Debug, Clone)]
@@ -98,6 +102,98 @@ fn feasible(lp: &RandomLp, x: &[f64]) -> bool {
 
 fn objective(lp: &RandomLp, x: &[f64]) -> f64 {
     lp.obj.iter().zip(x).map(|(c, v)| c * v).sum()
+}
+
+/// A random LP skeleton that is feasible *by construction* (every row's rhs
+/// is offset from the activity of a known in-box point), plus a batch of
+/// objectives to sweep over it — the certifier's query shape.
+#[derive(Debug, Clone)]
+struct FeasibleSweep {
+    bounds: Vec<(f64, f64)>,
+    /// The known feasible point, used only to build `rows`.
+    point: Vec<f64>,
+    rows: Vec<(Vec<f64>, Cmp, f64)>,
+    objectives: Vec<(Sense, Vec<f64>)>,
+    /// Append a scaled copy of row 0's hyperplane pinned at the witness
+    /// point, as an equality. Linearly dependent rows routinely strand a
+    /// frozen artificial in the final basis, which makes basis snapshots
+    /// unavailable (`solve_with_basis` returns no snapshot) and forces
+    /// restore chains through their cold-fallback path.
+    duplicate_row: bool,
+}
+
+fn sense_strategy() -> impl Strategy<Value = Sense> {
+    prop_oneof![Just(Sense::Minimize), Just(Sense::Maximize)]
+}
+
+fn feasible_sweep() -> impl Strategy<Value = FeasibleSweep> {
+    (2usize..=5, 1usize..=4, 2usize..=6, any::<bool>())
+        .prop_flat_map(|(n, m, k, duplicate_row)| {
+            let bounds = proptest::collection::vec((-3i32..=0, 0i32..=3), n).prop_map(|bs| {
+                bs.into_iter()
+                    .map(|(l, h)| (l as f64, h as f64))
+                    .collect::<Vec<_>>()
+            });
+            // Interior-ish point, parameterized on a coarse grid.
+            let point_t = proptest::collection::vec(0u32..=8, n);
+            let rows = proptest::collection::vec(
+                (
+                    proptest::collection::vec(coef(), n),
+                    cmp_strategy(),
+                    0i32..=2,
+                ),
+                m,
+            );
+            let objectives = proptest::collection::vec(
+                (sense_strategy(), proptest::collection::vec(coef(), n)),
+                k,
+            );
+            (bounds, point_t, rows, objectives, Just(duplicate_row))
+        })
+        .prop_map(|(bounds, point_t, raw_rows, objectives, duplicate_row)| {
+            let point: Vec<f64> = bounds
+                .iter()
+                .zip(&point_t)
+                .map(|(&(l, h), &t)| l + (t as f64 / 8.0) * (h - l))
+                .collect();
+            let rows = raw_rows
+                .into_iter()
+                .map(|(cs, cmp, margin)| {
+                    let activity: f64 = cs.iter().zip(&point).map(|(c, x)| c * x).sum();
+                    let rhs = match cmp {
+                        Cmp::Le => activity + margin as f64,
+                        Cmp::Ge => activity - margin as f64,
+                        Cmp::Eq => activity,
+                    };
+                    (cs, cmp, rhs)
+                })
+                .collect();
+            FeasibleSweep {
+                bounds,
+                point,
+                rows,
+                objectives,
+                duplicate_row,
+            }
+        })
+}
+
+fn build_sweep_model(s: &FeasibleSweep) -> (Model, Vec<itne_milp::VarId>) {
+    let mut m = Model::new();
+    let vars: Vec<_> = s.bounds.iter().map(|&(l, h)| m.add_var(l, h)).collect();
+    for (cs, cmp, rhs) in &s.rows {
+        let e = LinExpr::from_terms(vars.iter().copied().zip(cs.iter().copied()), 0.0);
+        m.add_constraint(e, *cmp, *rhs);
+    }
+    if s.duplicate_row {
+        let (cs, _, _) = &s.rows[0];
+        let e = LinExpr::from_terms(vars.iter().copied().zip(cs.iter().map(|&c| 2.0 * c)), 0.0);
+        // Pin the duplicated hyperplane at the witness point's activity so
+        // the skeleton stays feasible by construction.
+        let activity: f64 = cs.iter().zip(&s.point).map(|(c, x)| c * x).sum();
+        m.add_constraint(e, Cmp::Eq, 2.0 * activity);
+    }
+    (m, vars)
 }
 
 proptest! {
@@ -206,6 +302,80 @@ proptest! {
             (Err(SolveError::Infeasible), Some(b)) => prop_assert!(false,
                 "B&B says infeasible but enumeration found {b}"),
             (Err(e), _) => prop_assert!(false, "unexpected error: {e}"),
+        }
+    }
+
+    /// The tentpole property: a warm-started `BatchSolver` sweep over one
+    /// feasible skeleton agrees with an independent cold solve of every
+    /// objective, to solver tolerance — including after any fallback.
+    #[test]
+    fn warm_sweeps_match_independent_cold_solves(s in feasible_sweep()) {
+        let (mut model, vars) = build_sweep_model(&s);
+        let opts = SolveOptions::default();
+
+        let cold: Vec<Result<f64, SolveError>> = s.objectives.iter().map(|(sense, cs)| {
+            let mut fresh = model.clone();
+            fresh.set_objective(
+                *sense,
+                LinExpr::from_terms(vars.iter().copied().zip(cs.iter().copied()), 0.0),
+            );
+            fresh.solve_with(&opts).map(|sol| sol.objective)
+        }).collect();
+
+        let mut batch = BatchSolver::new(&mut model);
+        for ((sense, cs), cold_result) in s.objectives.iter().zip(&cold) {
+            let e = LinExpr::from_terms(vars.iter().copied().zip(cs.iter().copied()), 0.0);
+            match (batch.solve(*sense, e, &opts), cold_result) {
+                (Ok(w), Ok(c)) => prop_assert!(
+                    (w.objective - c).abs() < 1e-6,
+                    "warm {} vs cold {c} ({sense:?} over {cs:?})", w.objective),
+                (Err(_), Err(_)) => {}
+                (w, c) => prop_assert!(false,
+                    "paths disagree on solvability: warm {:?} vs cold {c:?}",
+                    w.map(|sol| sol.objective)),
+            }
+        }
+
+        // The skeleton is feasible by construction (witness point in-box and
+        // on the right side of every row), so nothing may report Infeasible.
+        for c in &cold {
+            prop_assert!(!matches!(c, Err(SolveError::Infeasible)),
+                "feasible-by-construction skeleton reported infeasible");
+        }
+        let st = batch.stats();
+        prop_assert_eq!(st.solves, s.objectives.len() as u64);
+        prop_assert_eq!(st.warm_hits + st.warm_misses + st.cold_solves, st.solves);
+    }
+
+    /// Basis snapshot/restore across *separate* solves
+    /// (`Model::solve_with_basis`) also agrees with cold solves; when no
+    /// snapshot is available (e.g. a frozen artificial from the duplicated
+    /// row) the chain silently degrades to cold solves and must stay exact.
+    #[test]
+    fn basis_snapshot_chains_match_cold_solves(s in feasible_sweep()) {
+        let (model, vars) = build_sweep_model(&s);
+        let opts = SolveOptions::default();
+        let mut chain: Option<itne_milp::Basis> = None;
+        for (sense, cs) in &s.objectives {
+            let mut m = model.clone();
+            m.set_objective(
+                *sense,
+                LinExpr::from_terms(vars.iter().copied().zip(cs.iter().copied()), 0.0),
+            );
+            let cold = m.solve_with(&opts);
+            match (m.solve_with_basis(&opts, chain.as_ref()), cold) {
+                (Ok((warm, next)), Ok(c)) => {
+                    prop_assert!(
+                        (warm.objective - c.objective).abs() < 1e-6,
+                        "restored {} vs cold {} ({sense:?} over {cs:?})",
+                        warm.objective, c.objective);
+                    chain = next;
+                }
+                (Err(_), Err(_)) => chain = None,
+                (w, c) => prop_assert!(false,
+                    "paths disagree on solvability: warm {:?} vs cold {:?}",
+                    w.map(|(sol, _)| sol.objective), c.map(|sol| sol.objective)),
+            }
         }
     }
 }

@@ -1,0 +1,189 @@
+//! Metamorphic properties of the certification engine: relations that must
+//! hold between runs whose configurations are ordered, without knowing any
+//! ground-truth value.
+//!
+//! * `ε̄` is monotonically non-increasing in the selective-refinement count
+//!   (every refined neuron replaces a relaxation by an exact encoding);
+//! * `ε̄` is monotonically non-increasing in the window size `W` (a deeper
+//!   sub-network loses less information at decomposition joints);
+//! * ITNE is never looser than BTNE under identical settings (the
+//!   interleaved distance variables only *add* coupling information);
+//! * every relation is checked with `threads: 1` and `threads: 4`, and the
+//!   two thread counts must agree exactly — the per-neuron parallelism (and
+//!   the per-worker warm-start batching underneath it) is deterministic.
+
+use itne::cert::{certify_global, CertifyOptions, EncodingKind};
+use itne::nn::train::{train, Adam, Loss, TrainConfig};
+use itne::nn::{initialize, Network, NetworkBuilder};
+
+const FIG1_DOM: [(f64, f64); 2] = [(-1.0, 1.0), (-1.0, 1.0)];
+const MPG_DOM: [(f64, f64); 7] = [(0.0, 1.0); 7];
+const TOL: f64 = 1e-9;
+
+fn fig1() -> Network {
+    NetworkBuilder::input(2)
+        .dense(&[&[1.0, 0.5], &[-0.5, 1.0]], &[0.0, 0.0], true)
+        .expect("static shapes")
+        .dense(&[&[1.0, -1.0]], &[0.0], true)
+        .expect("static shapes")
+        .build()
+}
+
+/// A small trained two-hidden-layer regressor (Table I row-1 scale).
+fn mpg_net() -> Network {
+    let data = itne::data::auto_mpg(150, 7);
+    let mut net = NetworkBuilder::input(7)
+        .dense_zeros(4, true)
+        .expect("shape")
+        .dense_zeros(4, true)
+        .expect("shape")
+        .dense_zeros(1, false)
+        .expect("shape")
+        .build();
+    initialize(&mut net, 31);
+    let mut opt = Adam::new(5e-3);
+    train(
+        &mut net,
+        &data,
+        &mut opt,
+        &TrainConfig {
+            epochs: 35,
+            batch_size: 32,
+            loss: Loss::Mse,
+            seed: 6,
+            verbose: false,
+        },
+    );
+    net
+}
+
+fn eps(net: &Network, domain: &[(f64, f64)], delta: f64, opts: &CertifyOptions) -> f64 {
+    certify_global(net, domain, delta, opts)
+        .expect("certification runs")
+        .max_epsilon()
+}
+
+/// Runs `make_opts` under both thread counts, asserts they agree exactly,
+/// and returns the (shared) certified bound.
+fn eps_both_thread_counts(
+    net: &Network,
+    domain: &[(f64, f64)],
+    delta: f64,
+    make_opts: impl Fn() -> CertifyOptions,
+    what: &str,
+) -> f64 {
+    let serial = eps(
+        net,
+        domain,
+        delta,
+        &CertifyOptions {
+            threads: 1,
+            ..make_opts()
+        },
+    );
+    let parallel = eps(
+        net,
+        domain,
+        delta,
+        &CertifyOptions {
+            threads: 4,
+            ..make_opts()
+        },
+    );
+    assert_eq!(
+        serial.to_bits(),
+        parallel.to_bits(),
+        "{what}: threads=1 gave {serial}, threads=4 gave {parallel}"
+    );
+    serial
+}
+
+#[test]
+fn epsilon_non_increasing_in_refine() {
+    for (name, net, domain, delta) in [
+        ("fig1", fig1(), &FIG1_DOM[..], 0.1),
+        ("mpg", mpg_net(), &MPG_DOM[..], 0.004),
+    ] {
+        let mut last = f64::INFINITY;
+        for refine in [0usize, 1, 2, 4] {
+            let e = eps_both_thread_counts(
+                &net,
+                domain,
+                delta,
+                || CertifyOptions {
+                    refine,
+                    ..Default::default()
+                },
+                &format!("{name} refine={refine}"),
+            );
+            assert!(
+                e <= last + TOL,
+                "{name}: ε̄ rose from {last} to {e} when refine increased to {refine}"
+            );
+            last = e;
+        }
+    }
+}
+
+#[test]
+fn epsilon_non_increasing_in_window() {
+    for (name, net, domain, delta) in [
+        ("fig1", fig1(), &FIG1_DOM[..], 0.1),
+        ("mpg", mpg_net(), &MPG_DOM[..], 0.004),
+    ] {
+        let mut last = f64::INFINITY;
+        for window in [1usize, 2, 3] {
+            let e = eps_both_thread_counts(
+                &net,
+                domain,
+                delta,
+                || CertifyOptions {
+                    window,
+                    ..Default::default()
+                },
+                &format!("{name} window={window}"),
+            );
+            assert!(
+                e <= last + TOL,
+                "{name}: ε̄ rose from {last} to {e} when window increased to {window}"
+            );
+            last = e;
+        }
+    }
+}
+
+#[test]
+fn itne_never_looser_than_btne() {
+    for (name, net, domain, delta) in [
+        ("fig1", fig1(), &FIG1_DOM[..], 0.1),
+        ("mpg", mpg_net(), &MPG_DOM[..], 0.004),
+    ] {
+        for window in [1usize, 2] {
+            let mk = |encoding| {
+                move || CertifyOptions {
+                    window,
+                    encoding,
+                    ..Default::default()
+                }
+            };
+            let itne = eps_both_thread_counts(
+                &net,
+                domain,
+                delta,
+                mk(EncodingKind::Itne),
+                &format!("{name} itne W={window}"),
+            );
+            let btne = eps_both_thread_counts(
+                &net,
+                domain,
+                delta,
+                mk(EncodingKind::Btne),
+                &format!("{name} btne W={window}"),
+            );
+            assert!(
+                itne <= btne + TOL,
+                "{name} W={window}: ITNE ε̄ {itne} looser than BTNE ε̄ {btne}"
+            );
+        }
+    }
+}
