@@ -3,7 +3,7 @@
 //! cold per objective vs warm-started through `BatchSolver`.
 
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
-use itne_milp::{BatchSolver, Cmp, LinExpr, Model, Sense, SolveOptions};
+use itne_milp::{BatchSolver, Cmp, Engine, LinExpr, Model, Sense, SolveOptions};
 use std::hint::black_box;
 
 /// Deterministic xorshift64 stream of values in `[-1, 1)`.
@@ -107,5 +107,61 @@ fn bench_sweep(c: &mut Criterion) {
     g.finish();
 }
 
-criterion_group!(benches, bench_lp, bench_sweep);
+/// A band-diagonal LP shaped like one conv-window over-approximation
+/// sub-problem: `n` rows each touching only `band` consecutive variables
+/// (plus the implicit slack), so the `[A | I]` skeleton is overwhelmingly
+/// sparse — the structure the revised simplex exploits.
+fn band_lp(n: usize, band: usize, seed: u64) -> (Model, Vec<itne_milp::VarId>) {
+    let mut next = rng(seed);
+    let mut m = Model::new();
+    let vars: Vec<_> = (0..n).map(|_| m.add_var(-1.0, 1.0)).collect();
+    for r in 0..n {
+        let lo = r.saturating_sub(band / 2);
+        let hi = (lo + band).min(n);
+        let e = LinExpr::from_terms(vars[lo..hi].iter().map(|&v| (v, next())), 0.0);
+        m.add_constraint(e, Cmp::Le, 0.5 + next().abs());
+    }
+    let obj = LinExpr::from_terms(vars.iter().map(|&v| (v, next())), 0.0);
+    m.set_objective(Sense::Maximize, obj);
+    (m, vars)
+}
+
+/// Dense tableau vs sparse revised simplex on conv-window-sized band
+/// skeletons: a cold solve plus a warm 8-objective sweep per iteration,
+/// which is exactly the work one `LpRelaxY`/`LpRelaxX` sub-problem does.
+fn bench_sparse(c: &mut Criterion) {
+    let mut g = c.benchmark_group("lp_sparse");
+    g.warm_up_time(std::time::Duration::from_millis(500));
+    g.measurement_time(std::time::Duration::from_secs(3));
+    g.sample_size(10);
+    for n in [100usize, 300, 600] {
+        let (skeleton, vars) = band_lp(n, 7, 42);
+        let objectives = random_objectives(n, 8, 99);
+        let mk_expr =
+            |cs: &[f64]| LinExpr::from_terms(vars.iter().copied().zip(cs.iter().copied()), 0.0);
+        for (label, engine) in [("dense", Engine::Dense), ("sparse", Engine::Sparse)] {
+            let opts = SolveOptions {
+                engine,
+                ..Default::default()
+            };
+            g.bench_with_input(BenchmarkId::new(label, n), &skeleton, |b, m| {
+                b.iter(|| {
+                    let mut model = m.clone();
+                    let mut batch = BatchSolver::new(&mut model);
+                    let mut acc = 0.0;
+                    for (sense, cs) in &objectives {
+                        acc += batch
+                            .solve(*sense, mk_expr(cs), &opts)
+                            .expect("solves")
+                            .objective;
+                    }
+                    black_box(acc)
+                })
+            });
+        }
+    }
+    g.finish();
+}
+
+criterion_group!(benches, bench_lp, bench_sweep, bench_sparse);
 criterion_main!(benches);

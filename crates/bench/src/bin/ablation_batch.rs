@@ -1,49 +1,114 @@
-//! Ablation: warm-started batched LP solving vs the cold per-objective path.
+//! Ablation: the batched-LP engine arms, head to head.
 //!
-//! Runs Algorithm 1 on the Table I networks twice — once with
-//! `SolveOptions::warm_start` off (every directed solve pays simplex phase 1
-//! from scratch) and once with the `BatchSolver` warm-start chain on — and
-//! reports wall-clock, pivot counts, warm-start hit rates, and the certified
-//! ε̄ of both paths. The epsilons must agree **bit for bit**: batching is a
-//! pure optimization (the golden regression tests lock the same property).
+//! Runs Algorithm 1 on the Table I networks three times —
+//!
+//! * **dense** — the PR 2 configuration: dense tableau engine, warm starts
+//!   on, with the original `warm_start_cell_limit = 2²⁰` gate (large conv
+//!   windows re-solve cold);
+//! * **cold** — the sparse revised simplex with `warm_start` off (every
+//!   directed solve pays simplex phase 1 from scratch);
+//! * **warm** — the sparse revised simplex with the `BatchSolver` warm-start
+//!   chain on (the current default);
+//!
+//! and reports wall-clock, pivot counts, warm-start hit rates,
+//! refactorization telemetry, and the certified ε̄ of all three paths. The
+//! epsilons must agree **bit for bit**: engine choice and batching are pure
+//! optimizations (the golden regression tests lock the same property).
 //!
 //! ```text
-//! cargo run --release -p itne_bench --bin ablation_batch [-- --full]
+//! cargo run --release -p itne_bench --bin ablation_batch \
+//!     [-- --full | --smoke] [-- --json <path>]
 //! ```
 //!
 //! `--full` extends the sweep to the larger FC nets and the conv net
-//! (several minutes); the default quick set matches CI budgets.
+//! (several minutes); the default quick set matches CI budgets; `--smoke`
+//! runs only the smallest Table I net (the CI perf-smoke step). `--json
+//! <path>` additionally writes the machine-readable per-net results
+//! (wall-times, pivots, warm hits/misses, refactorizations, ε̄ bits) to an
+//! explicit path so the perf trajectory is trackable across PRs.
 
 use itne_bench::nets::{auto_mpg_net, digits_net, BenchNet};
-use itne_bench::table::{fmt_duration, save_json, Table};
+use itne_bench::table::{fmt_duration, json_flag, save_json, save_json_at, Table};
 use itne_core::{certify_global, CertifyOptions, CertifyStats, GlobalReport};
+use itne_milp::Engine;
 use serde::Serialize;
 use std::time::Instant;
 
 #[derive(Serialize)]
 struct Row {
     net: String,
+    /// PR 2 baseline: dense engine, warm starts gated at 2²⁰ cells.
+    dense_s: f64,
+    /// Sparse engine, warm starts disabled.
     cold_s: f64,
+    /// Sparse engine, warm starts on (the default configuration).
     warm_s: f64,
-    speedup: f64,
+    /// Sparse-warm over the dense PR 2 baseline (the engine win).
+    speedup_vs_dense: f64,
+    /// Sparse-warm over sparse-cold (the warm-start win).
+    speedup_vs_cold: f64,
+    dense_pivots: u64,
     cold_pivots: u64,
     warm_pivots: u64,
     pivots_saved: u64,
+    dense_warm_hits: u64,
     warm_hits: u64,
     warm_misses: u64,
+    fallbacks_dense: u64,
     fallbacks_cold: u64,
     fallbacks_warm: u64,
+    refactorizations: u64,
+    eta_len: u64,
+    nnz: u64,
     eps_bits_equal: bool,
     eps: f64,
+    /// Exact bit pattern of the certified ε̄ (hex), for cross-PR tracking
+    /// without float-formatting ambiguity.
+    eps_bits: String,
 }
 
-fn run(bench: &BenchNet, warm: bool) -> (GlobalReport, f64) {
-    let mut opts = CertifyOptions {
-        window: 2,
-        refine: 0,
-        ..Default::default()
+#[derive(Copy, Clone)]
+enum Arm {
+    /// PR 2's configuration: dense tableau + the original cell-limit gate.
+    Dense,
+    /// Sparse engine, every solve cold.
+    SparseCold,
+    /// Sparse engine, warm-start chains on (the default).
+    SparseWarm,
+}
+
+fn run(bench: &BenchNet, arm: Arm) -> (GlobalReport, f64) {
+    let is_conv = bench.layers.starts_with("Conv");
+    let mut opts = if is_conv {
+        // Match table1's conv settings (single-threaded here so the timing
+        // isolates solver work).
+        CertifyOptions {
+            window: 3,
+            refine: 0,
+            ..Default::default()
+        }
+    } else {
+        CertifyOptions {
+            window: 2,
+            refine: 0,
+            ..Default::default()
+        }
     };
-    opts.solver.warm_start = warm;
+    match arm {
+        Arm::Dense => {
+            opts.solver.engine = Engine::Dense;
+            opts.solver.warm_start = true;
+            opts.solver.warm_start_cell_limit = 1 << 20;
+        }
+        Arm::SparseCold => {
+            opts.solver.engine = Engine::Sparse;
+            opts.solver.warm_start = false;
+        }
+        Arm::SparseWarm => {
+            opts.solver.engine = Engine::Sparse;
+            opts.solver.warm_start = true;
+        }
+    }
     // Small nets certify in well under a millisecond; report the best of a
     // few repetitions so the speedup column measures solver work, not timer
     // granularity and cache warmup.
@@ -65,30 +130,45 @@ fn run(bench: &BenchNet, warm: bool) -> (GlobalReport, f64) {
 
 fn describe(stats: &CertifyStats) -> String {
     format!(
-        "{} LPs, {} pivots, {} fallbacks",
-        stats.query.solves, stats.query.pivots, stats.query.fallbacks
+        "{} LPs, {} pivots, {} refactorizations (peak eta {}, max nnz {}), {} fallbacks",
+        stats.query.solves,
+        stats.query.pivots,
+        stats.query.refactorizations,
+        stats.query.eta_len,
+        stats.query.nnz,
+        stats.query.fallbacks
     )
 }
 
 fn main() {
-    let full = std::env::args().any(|a| a == "--full");
+    let args: Vec<String> = std::env::args().collect();
+    let full = args.iter().any(|a| a == "--full");
+    let smoke = args.iter().any(|a| a == "--smoke");
+    let json_path = json_flag(&args);
     let mut table = Table::new(
-        "Ablation: warm-started batched LP sweeps (cold vs warm)",
+        "Ablation: batched LP engines (dense PR2 baseline vs sparse cold vs sparse warm)",
         &[
             "net",
+            "dense",
             "cold",
             "warm",
-            "speedup",
+            "vs dense",
+            "vs cold",
             "warm hits",
             "misses",
             "pivots saved",
+            "refac",
             "fallbacks",
             "ε̄ equal",
         ],
     );
     let mut rows = Vec::new();
 
-    let mut benches = vec![auto_mpg_net(1, 4), auto_mpg_net(2, 6), auto_mpg_net(3, 8)];
+    let mut benches = if smoke {
+        vec![auto_mpg_net(1, 4)]
+    } else {
+        vec![auto_mpg_net(1, 4), auto_mpg_net(2, 6), auto_mpg_net(3, 8)]
+    };
     if full {
         benches.push(auto_mpg_net(4, 16));
         benches.push(auto_mpg_net(5, 32));
@@ -96,55 +176,87 @@ fn main() {
     }
 
     for bench in &benches {
-        let name = format!("mpg-id{} ({}n)", bench.id, bench.net.hidden_neurons());
-        eprintln!("-- {name}: cold ...");
-        let (cold, cold_s) = run(bench, false);
+        let kind = if bench.layers.starts_with("Conv") {
+            "conv"
+        } else {
+            "mpg"
+        };
+        let name = format!("{kind}-id{} ({}n)", bench.id, bench.net.hidden_neurons());
+        eprintln!("-- {name}: dense (PR2 baseline) ...");
+        let (dense, dense_s) = run(bench, Arm::Dense);
+        eprintln!("   dense: {} in {dense_s:.2}s", describe(&dense.stats));
+        eprintln!("-- {name}: sparse cold ...");
+        let (cold, cold_s) = run(bench, Arm::SparseCold);
         eprintln!("   cold: {} in {cold_s:.2}s", describe(&cold.stats));
-        eprintln!("-- {name}: warm ...");
-        let (warm, warm_s) = run(bench, true);
+        eprintln!("-- {name}: sparse warm ...");
+        let (warm, warm_s) = run(bench, Arm::SparseWarm);
         eprintln!("   warm: {} in {warm_s:.2}s", describe(&warm.stats));
 
         let bits =
             |r: &GlobalReport| -> Vec<u64> { r.epsilons.iter().map(|e| e.to_bits()).collect() };
-        let equal = bits(&cold) == bits(&warm);
+        let equal = bits(&cold) == bits(&warm) && bits(&dense) == bits(&warm);
         let row = Row {
             net: name.clone(),
+            dense_s,
             cold_s,
             warm_s,
-            speedup: cold_s / warm_s.max(1e-12),
+            speedup_vs_dense: dense_s / warm_s.max(1e-12),
+            speedup_vs_cold: cold_s / warm_s.max(1e-12),
+            dense_pivots: dense.stats.query.pivots,
             cold_pivots: cold.stats.query.pivots,
             warm_pivots: warm.stats.query.pivots,
             pivots_saved: warm.stats.query.pivots_saved,
+            dense_warm_hits: dense.stats.query.warm_hits,
             warm_hits: warm.stats.query.warm_hits,
             warm_misses: warm.stats.query.warm_misses,
+            fallbacks_dense: dense.stats.query.fallbacks,
             fallbacks_cold: cold.stats.query.fallbacks,
             fallbacks_warm: warm.stats.query.fallbacks,
+            refactorizations: warm.stats.query.refactorizations,
+            eta_len: warm.stats.query.eta_len,
+            nnz: warm.stats.query.nnz,
             eps_bits_equal: equal,
             eps: warm.max_epsilon(),
+            eps_bits: format!("{:#018x}", warm.max_epsilon().to_bits()),
         };
         table.row(&[
             row.net.clone(),
+            fmt_duration(std::time::Duration::from_secs_f64(row.dense_s)),
             fmt_duration(std::time::Duration::from_secs_f64(row.cold_s)),
             fmt_duration(std::time::Duration::from_secs_f64(row.warm_s)),
-            format!("{:.2}×", row.speedup),
+            format!("{:.2}×", row.speedup_vs_dense),
+            format!("{:.2}×", row.speedup_vs_cold),
             row.warm_hits.to_string(),
             row.warm_misses.to_string(),
             row.pivots_saved.to_string(),
-            format!("{}/{}", row.fallbacks_cold, row.fallbacks_warm),
+            row.refactorizations.to_string(),
+            format!(
+                "{}/{}/{}",
+                row.fallbacks_dense, row.fallbacks_cold, row.fallbacks_warm
+            ),
             if row.eps_bits_equal { "yes" } else { "NO" }.to_string(),
         ]);
         rows.push(row);
         table.print();
     }
     save_json("ablation_batch", &rows);
+    if let Some(path) = &json_path {
+        save_json_at(path, &rows);
+    }
 
     let diverged: Vec<&Row> = rows.iter().filter(|r| !r.eps_bits_equal).collect();
     if !diverged.is_empty() {
         for r in diverged {
-            eprintln!("DIVERGED: {} — warm and cold epsilons differ", r.net);
+            eprintln!("DIVERGED: {} — engine/warm epsilons differ", r.net);
         }
         std::process::exit(1);
     }
-    let gmean: f64 = rows.iter().map(|r| r.speedup.ln()).sum::<f64>() / rows.len() as f64;
-    println!("\ngeometric-mean speedup: {:.2}×", gmean.exp());
+    let gmean = |f: fn(&Row) -> f64| -> f64 {
+        (rows.iter().map(|r| f(r).ln()).sum::<f64>() / rows.len() as f64).exp()
+    };
+    println!(
+        "\ngeometric-mean speedup: {:.2}× vs dense PR2 baseline, {:.2}× vs sparse cold",
+        gmean(|r| r.speedup_vs_dense),
+        gmean(|r| r.speedup_vs_cold)
+    );
 }

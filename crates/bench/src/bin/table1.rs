@@ -8,8 +8,14 @@
 //! * `ε` / `ε̄` — exact / certified output-variation bounds.
 //!
 //! ```text
-//! cargo run --release -p itne-bench --bin table1 [-- --quick] [-- --budget <secs>]
+//! cargo run --release -p itne_bench --bin table1 \
+//!     [-- --quick] [-- --budget <secs>] [-- --json <path>]
 //! ```
+//!
+//! `--json <path>` writes the machine-readable rows (wall-times, pivot and
+//! warm-start counters, refactorizations, ε̄ values *and* their exact bit
+//! patterns) to an explicit path; `BENCH_table1.json` at the repo root is
+//! the committed snapshot that tracks the perf trajectory across PRs.
 //!
 //! Absolute numbers differ from the paper (pure-Rust simplex vs Gurobi,
 //! scaled datasets — see DESIGN.md); the *shape* is the reproduction target:
@@ -19,7 +25,7 @@
 
 use itne_attack::{dataset_under_approximation, PgdOptions};
 use itne_bench::nets::{table1_nets, BenchNet};
-use itne_bench::table::{fmt_duration, save_json, Table};
+use itne_bench::table::{fmt_duration, json_flag, save_json, save_json_at, Table};
 use itne_core::split::{split_global, SplitOptions};
 use itne_core::{certify_global, exact_global, CertifyOptions};
 use itne_milp::SolveOptions;
@@ -39,17 +45,25 @@ struct Row {
     eps_ours: f64,
     split_exact: bool,
     milp_exact: bool,
+    /// Exact bit pattern of ε̄ (hex), for cross-PR tracking without
+    /// float-formatting ambiguity.
+    eps_ours_bits: String,
     /// Queries that fell back to their IBP interval (degenerate/stalled LPs);
     /// a non-zero count means ε̄ is looser than the LP relaxation could give.
     fallbacks: u64,
+    pivots: u64,
     warm_hits: u64,
     warm_misses: u64,
     pivots_saved: u64,
+    refactorizations: u64,
+    eta_len: u64,
+    nnz: u64,
 }
 
 fn main() {
     let args: Vec<String> = std::env::args().collect();
     let quick = args.iter().any(|a| a == "--quick");
+    let json_path = json_flag(&args);
     let budget = args
         .iter()
         .position(|a| a == "--budget")
@@ -92,6 +106,9 @@ fn main() {
         table.print();
     }
     save_json("table1", &rows);
+    if let Some(path) = &json_path {
+        save_json_at(path, &rows);
+    }
 
     println!("\nshape checks:");
     let exact_rows: Vec<&Row> = rows.iter().filter(|r| r.eps_exact.is_some()).collect();
@@ -175,16 +192,30 @@ fn run_row(bench: &BenchNet, budget: Duration, quick: bool) -> Row {
     let ours = certify_global(net, domain, *delta, &opts).expect("certification runs");
     row.t_ours_s = t0.elapsed().as_secs_f64();
     row.eps_ours = ours.max_epsilon();
+    row.eps_ours_bits = format!("{:#018x}", ours.max_epsilon().to_bits());
     let q = ours.stats.query;
     row.fallbacks = q.fallbacks;
+    row.pivots = q.pivots;
     row.warm_hits = q.warm_hits;
     row.warm_misses = q.warm_misses;
     row.pivots_saved = q.pivots_saved;
+    row.refactorizations = q.refactorizations;
+    row.eta_len = q.eta_len;
+    row.nnz = q.nnz;
     // Surface the solver-health counters — a fallback means a sub-problem
     // kept its looser IBP range, which would otherwise be invisible here.
     eprintln!(
-        "   ours: {} LPs, {} pivots, {} IBP fallbacks, warm {}/{} hit/miss (~{} pivots saved)",
-        q.solves, q.pivots, q.fallbacks, q.warm_hits, q.warm_misses, q.pivots_saved
+        "   ours: {} LPs, {} pivots, {} IBP fallbacks, warm {}/{} hit/miss \
+         (~{} pivots saved), {} refactorizations, peak eta {}, max nnz {}",
+        q.solves,
+        q.pivots,
+        q.fallbacks,
+        q.warm_hits,
+        q.warm_misses,
+        q.pivots_saved,
+        q.refactorizations,
+        q.eta_len,
+        q.nnz
     );
 
     // --- Exact baselines (skip on conv nets, as the paper's do not scale). ---

@@ -93,17 +93,34 @@ pub fn fmt_duration(d: Duration) -> String {
 pub fn save_json<T: Serialize>(name: &str, value: &T) {
     let dir = artifact_dir().join("results");
     let _ = std::fs::create_dir_all(&dir);
-    let path = dir.join(format!("{name}.json"));
+    save_json_at(&dir.join(format!("{name}.json")), value);
+}
+
+/// Persists a serializable result at an explicit path (the machine-readable
+/// output behind every harness binary's `--json <path>` flag, so CI and the
+/// cross-PR perf trajectory can consume results without scraping tables).
+pub fn save_json_at<T: Serialize>(path: &std::path::Path, value: &T) {
+    if let Some(dir) = path.parent() {
+        let _ = std::fs::create_dir_all(dir);
+    }
     match serde_json::to_string_pretty(value) {
         Ok(s) => {
-            if let Err(e) = std::fs::write(&path, s) {
+            if let Err(e) = std::fs::write(path, s) {
                 eprintln!("warning: could not write {}: {e}", path.display());
             } else {
                 eprintln!("(results saved to {})", path.display());
             }
         }
-        Err(e) => eprintln!("warning: could not serialize {name}: {e}"),
+        Err(e) => eprintln!("warning: could not serialize {}: {e}", path.display()),
     }
+}
+
+/// Parses a `--json <path>` flag from a raw argument list.
+pub fn json_flag(args: &[String]) -> Option<std::path::PathBuf> {
+    args.iter()
+        .position(|a| a == "--json")
+        .and_then(|i| args.get(i + 1))
+        .map(std::path::PathBuf::from)
 }
 
 /// Writes a grayscale image (`values` in `[0,1]`, row-major) as a binary PGM

@@ -135,8 +135,10 @@ impl CertifyOptions {
 #[derive(Copy, Clone, Debug, Default)]
 pub struct CertifyStats {
     /// Accumulated query counters: LP solves, pivots, nodes, IBP fallbacks,
-    /// and the warm-start sweep telemetry (`warm_hits`, `warm_misses`,
-    /// `pivots_saved`) of the batched LP subsystem.
+    /// the warm-start sweep telemetry (`warm_hits`, `warm_misses`,
+    /// `pivots_saved`) of the batched LP subsystem, and the sparse-engine
+    /// factorization telemetry (`refactorizations`, peak `eta_len`, and the
+    /// worst-case matrix `nnz`).
     pub query: QueryStats,
     /// Sub-problems processed (one per neuron per pass).
     pub subproblems: u64,

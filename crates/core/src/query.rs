@@ -70,6 +70,14 @@ pub struct QueryStats {
     /// Estimated simplex pivots avoided by warm starts (see
     /// [`BatchStats::pivots_saved`]).
     pub pivots_saved: u64,
+    /// Total basis refactorizations across all solves (sparse-engine eta
+    /// rebuilds plus warm-restore factorizations).
+    pub refactorizations: u64,
+    /// Peak product-form eta-file length observed in any single solve.
+    pub eta_len: u64,
+    /// Structural non-zeros of the largest constraint matrix solved — the
+    /// sparsity the revised simplex exploits on that worst-case sub-problem.
+    pub nnz: u64,
 }
 
 impl QueryStats {
@@ -82,6 +90,9 @@ impl QueryStats {
         self.warm_hits += other.warm_hits;
         self.warm_misses += other.warm_misses;
         self.pivots_saved += other.pivots_saved;
+        self.refactorizations += other.refactorizations;
+        self.eta_len = self.eta_len.max(other.eta_len);
+        self.nnz = self.nnz.max(other.nnz);
     }
 
     /// Folds in the warm-start counters of one finished batch sweep. Solve
@@ -155,6 +166,9 @@ fn directed_bound(
         Ok(sol) => {
             stats.pivots += sol.stats.pivots;
             stats.nodes += sol.stats.nodes;
+            stats.refactorizations += sol.stats.refactorizations;
+            stats.eta_len = stats.eta_len.max(sol.stats.eta_len);
+            stats.nnz = stats.nnz.max(sol.stats.nnz);
             // A non-optimal MILP incumbent is *not* an outer bound; use the
             // search frontier's relaxation bound instead, which is.
             let v = match sol.status {

@@ -134,14 +134,28 @@ impl<'m> BatchSolver<'m> {
             return Ok(sol);
         }
 
-        // Dense-tableau economics: above the cell limit, reoptimizing the
-        // dense end-state costs more than a fresh sparse cold solve (see
-        // `SolveOptions::warm_start_cell_limit`). The resident tableau is
+        // Problem-size escape hatch (see `SolveOptions::warm_start_cell_limit`
+        // — effectively unlimited by default now that the sparse revised
+        // simplex makes warm pivots cost the same as cold ones; a finite
+        // limit reproduces the old dense-engine gating). The working set is
         // `[A | I_slack | I_art]`, i.e. up to n + 2m columns — one slack per
         // row plus at worst one artificial per row.
         let m = self.model.num_constraints() as u64;
         let cells = m.saturating_mul(2 * m + self.model.num_vars() as u64);
         let warm_allowed = opts.warm_start && cells <= opts.warm_start_cell_limit;
+
+        // A resident factorization belongs to the engine that ran the cold
+        // solve; if the caller switches `opts.engine` mid-sweep (e.g. for a
+        // differential run), answering from the old engine's resident would
+        // silently compare an engine against itself. Drop it and solve cold
+        // with the engine actually requested.
+        if self
+            .resident
+            .as_ref()
+            .is_some_and(|r| r.engine() != opts.engine)
+        {
+            self.resident = None;
+        }
 
         if warm_allowed {
             if let Some(resident) = &mut self.resident {
@@ -265,6 +279,55 @@ mod tests {
         assert_eq!(stats.solves, 5);
         assert_eq!(stats.cold_solves + stats.warm_hits + stats.warm_misses, 5);
         assert!(stats.warm_hits >= 4, "expected warm hits, got {stats:?}");
+    }
+
+    #[test]
+    fn dense_engine_sweep_still_warm_starts() {
+        // The dense resident tableau stays available behind
+        // `SolveOptions::engine` for differential testing; its sweep path
+        // must keep warm-starting and agreeing with cold solves.
+        let (mut m, x, y) = skeleton();
+        let opts = SolveOptions {
+            engine: crate::Engine::Dense,
+            ..Default::default()
+        };
+        let cold_hi = {
+            let mut fresh = m.clone();
+            fresh.set_objective(Sense::Maximize, 3.0 * x + 2.0 * y);
+            fresh.solve_with(&opts).expect("cold solves").objective
+        };
+        let mut batch = BatchSolver::new(&mut m);
+        let hi = batch
+            .solve(Sense::Maximize, 3.0 * x + 2.0 * y, &opts)
+            .unwrap();
+        let lo = batch
+            .solve(Sense::Minimize, 3.0 * x + 2.0 * y, &opts)
+            .unwrap();
+        assert!((hi.objective - cold_hi).abs() < 1e-9);
+        assert!(lo.objective.abs() < 1e-9);
+        assert_eq!(batch.stats().warm_hits, 1);
+    }
+
+    #[test]
+    fn engine_switch_mid_sweep_discards_resident() {
+        // Flipping `opts.engine` between solves must not answer from the
+        // previous engine's resident — the differential-testing use case
+        // depends on the requested engine actually running.
+        let (mut m, x, y) = skeleton();
+        let sparse = SolveOptions::default();
+        let dense = SolveOptions {
+            engine: crate::Engine::Dense,
+            ..Default::default()
+        };
+        let mut batch = BatchSolver::new(&mut m);
+        batch.solve(Sense::Maximize, x + y, &sparse).unwrap();
+        batch.solve(Sense::Minimize, x + y, &dense).unwrap();
+        let stats = batch.stats();
+        assert_eq!(stats.cold_solves, 2, "engine switch must re-solve cold");
+        assert_eq!(stats.warm_hits, 0);
+        // The switched engine's own resident chains from there.
+        batch.solve(Sense::Maximize, 1.0 * x, &dense).unwrap();
+        assert_eq!(batch.stats().warm_hits, 1);
     }
 
     #[test]

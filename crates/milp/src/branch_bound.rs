@@ -6,9 +6,12 @@
 //! [`Status::TimedOut`]) — the mechanism behind the paper's "exact methods
 //! cannot certify within 24h" rows of Table I.
 
+use std::sync::Arc;
+
 use crate::error::SolveError;
 use crate::model::{Model, Sense, VarType};
-use crate::options::SolveOptions;
+use crate::options::{Engine, SolveOptions};
+use crate::sparse::{self, SparseMatrix};
 use crate::{simplex, Solution, Stats, Status};
 
 struct Node {
@@ -51,9 +54,14 @@ pub(crate) fn solve_milp(model: &Model, opts: &SolveOptions) -> Result<Solution,
     }];
     let mut pivots = 0u64;
     let mut nodes = 0u64;
+    let mut refactorizations = 0u64;
+    let mut eta_len = 0u64;
     let mut timed_out = false;
     let mut node_limited = false;
     let mut scratch = base_bounds.clone();
+    // The constraint matrix is shared by every node; with the sparse engine,
+    // build its CSC form once for the whole tree instead of per relaxation.
+    let csc = (opts.engine == Engine::Sparse).then(|| Arc::new(SparseMatrix::from_model(model)));
 
     while let Some(node) = stack.pop() {
         if let Some(deadline) = opts.deadline {
@@ -78,12 +86,18 @@ pub(crate) fn solve_milp(model: &Model, opts: &SolveOptions) -> Result<Solution,
             scratch[c] = (cur.0.max(lo), cur.1.min(hi));
         }
 
-        let relax = match simplex::solve_lp_bounded(model, &scratch, opts) {
+        let relaxed = match &csc {
+            Some(mat) => sparse::solve_bounded(model, &scratch, opts, Some(mat.clone())),
+            None => simplex::solve_lp_bounded(model, &scratch, opts),
+        };
+        let relax = match relaxed {
             Ok(s) => s,
             Err(SolveError::Infeasible) => continue,
             Err(e) => return Err(e),
         };
         pivots += relax.stats.pivots;
+        refactorizations += relax.stats.refactorizations;
+        eta_len = eta_len.max(relax.stats.eta_len);
         if incumbent.is_some() && !better(relax.objective, best_obj) {
             continue; // relaxation can't beat incumbent
         }
@@ -169,6 +183,9 @@ pub(crate) fn solve_milp(model: &Model, opts: &SolveOptions) -> Result<Solution,
                     frontier
                 },
                 max_residual: model.violation(sol.values()),
+                nnz: model.rows.iter().map(|r| r.terms.len() as u64).sum(),
+                refactorizations,
+                eta_len,
             };
             sol.objective = {
                 // Recompute from the snapped integer point for exactness.

@@ -8,7 +8,11 @@
 //! * a **two-phase primal simplex** method with *bounded variables*
 //!   ([`Model::solve`] on continuous models). Box bounds are handled directly
 //!   in the ratio test instead of as explicit rows, which matters because the
-//!   certification encodings bound every variable;
+//!   certification encodings bound every variable. Two interchangeable
+//!   engines implement it: the default **sparse revised simplex** (CSC
+//!   storage, FTRAN/BTRAN through a product-form eta file, partial pricing,
+//!   periodic refactorization) and the original **dense tableau**, kept
+//!   behind [`SolveOptions::engine`] for differential testing;
 //! * a **branch-and-bound** search over integer (in practice binary ReLU
 //!   indicator) variables, with deadline and node-limit support
 //!   ([`Model::solve`] on mixed models);
@@ -41,11 +45,13 @@
 //!
 //! # Scope and numerics
 //!
-//! The solver targets the dense, well-scaled problems produced by neural
-//! network verification encodings (equalities defining pre-activations,
-//! triangle/distance ReLU relaxations, big-M indicator constraints). It uses a
-//! dense tableau, Dantzig pricing with a Bland anti-cycling fallback, and
-//! absolute tolerances tuned for coefficients in roughly `1e-6 ..= 1e6`.
+//! The solver targets the well-scaled, structurally sparse problems produced
+//! by neural network verification encodings (equalities defining
+//! pre-activations, triangle/distance ReLU relaxations, big-M indicator
+//! constraints — each over-approximation window yields a band-diagonal
+//! `[A | I]` skeleton). Both engines use Dantzig-style pricing with a Bland
+//! anti-cycling fallback and absolute tolerances tuned for coefficients in
+//! roughly `1e-6 ..= 1e6`.
 //! Solutions report their maximum constraint residual in [`Stats`] so callers
 //! can detect numerical trouble and fall back to interval bounds (which the
 //! certifier does, keeping its results sound).
@@ -59,12 +65,13 @@ mod linexpr;
 mod model;
 mod options;
 mod simplex;
+mod sparse;
 
 pub use batch::{BatchSolver, BatchStats};
 pub use error::SolveError;
 pub use linexpr::LinExpr;
 pub use model::{Cmp, Model, Sense, VarId, VarType};
-pub use options::{SolveOptions, Tolerances};
+pub use options::{Engine, SolveOptions, Tolerances};
 pub use simplex::Basis;
 
 use serde::{Deserialize, Serialize};
@@ -98,6 +105,16 @@ pub struct Stats {
     /// Maximum absolute row residual `|a·x - b|` of the returned point,
     /// measured against the *original* model data.
     pub max_residual: f64,
+    /// Structural non-zeros of the solved constraint matrix (the sparsity
+    /// the revised simplex exploits; `rows × cols` would be the dense cost).
+    pub nnz: u64,
+    /// Basis refactorizations performed (sparse engine: periodic eta-file
+    /// rebuilds plus warm-restore factorizations; dense engine: one per warm
+    /// restore).
+    pub refactorizations: u64,
+    /// Peak product-form eta-file length during the solve (sparse engine
+    /// only; `0` on the dense engine).
+    pub eta_len: u64,
 }
 
 /// The result of a solve: an objective value, a variable assignment, a

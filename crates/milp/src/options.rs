@@ -29,6 +29,26 @@ impl Default for Tolerances {
     }
 }
 
+/// Which simplex implementation runs LP solves (warm and cold).
+///
+/// Both engines implement the same two-phase bounded-variable method with
+/// identical tolerances and termination semantics; they differ only in how
+/// the basis inverse is represented, so swapping engines never changes
+/// which problems are solvable — only how fast pivots are.
+#[derive(Copy, Clone, Debug, Default, PartialEq, Eq)]
+pub enum Engine {
+    /// Sparse revised simplex: CSC constraint storage, FTRAN/BTRAN through a
+    /// product-form-of-inverse eta file, candidate-list partial pricing, and
+    /// periodic refactorization. The default — per-pivot cost scales with
+    /// matrix sparsity, so warm reoptimization pays off at every size.
+    #[default]
+    Sparse,
+    /// Dense tableau (the original engine): every pivot rewrites the full
+    /// `B⁻¹·[A | I | I]` tableau. Kept as a differential-testing reference
+    /// and numerical second opinion.
+    Dense,
+}
+
 /// Limits and behaviour switches for [`crate::Model::solve_with`].
 #[derive(Clone, Debug)]
 pub struct SolveOptions {
@@ -50,19 +70,28 @@ pub struct SolveOptions {
     /// warm-started results are a pure optimization (see the golden
     /// regression tests) and to bisect suspected solver issues.
     pub warm_start: bool,
-    /// Tableau-size ceiling (rows × worst-case columns, `m·(n + 2m)`) above
+    /// Problem-size ceiling (rows × worst-case columns, `m·(n + 2m)`) above
     /// which [`crate::BatchSolver`] re-solves cold even when `warm_start` is
-    /// on. A cold solve's early pivots touch only the rows where the
-    /// entering column is non-zero, which on a fresh sparse
-    /// `[A | I_slack | I_art]` tableau is few; a warm reoptimization always
-    /// starts from the previous solve's *fully dense* end state, so on very
-    /// large sub-problems each warm pivot costs several cold ones and warm
-    /// starting loses wall-clock despite winning the pivot count. `u64::MAX`
-    /// removes the limit. The default (2²⁰ cells ≈ an 8 MB tableau) keeps
-    /// warm starts on every fully-connected Table I sub-problem and gates
-    /// them off on the large conv-net windows where the inversion was
-    /// measured.
+    /// on. This gate existed for the dense engine, where a warm
+    /// reoptimization always starts from the previous solve's *fully dense*
+    /// tableau end state and loses wall-clock on very large sub-problems
+    /// despite winning the pivot count. The sparse revised simplex
+    /// ([`Engine::Sparse`], the default) has no dense end state — its pivots
+    /// cost the same warm or cold — so the default is now effectively
+    /// unlimited (`u64::MAX`). The knob remains as an escape hatch: set a
+    /// finite limit to reproduce the old gating (e.g. when forcing
+    /// [`Engine::Dense`] for differential runs).
     pub warm_start_cell_limit: u64,
+    /// Which simplex engine runs LP solves. See [`Engine`].
+    pub engine: Engine,
+    /// Sparse-engine refactorization cadence: rebuild the eta file after this
+    /// many pivots. `0` means "scale with model size" (`(m/2)` clamped to
+    /// `[64, 256]` — short cold solves finish before the budget and pay no
+    /// refactorization overhead; long resident sweeps refactorize often
+    /// enough to keep FTRAN/BTRAN short). The eta file is also refactorized
+    /// early whenever its fill-in outgrows a fixed multiple of the constraint
+    /// matrix, independent of this knob.
+    pub refactor_interval: u64,
 }
 
 impl Default for SolveOptions {
@@ -73,7 +102,9 @@ impl Default for SolveOptions {
             max_nodes: 20_000_000,
             deadline: None,
             warm_start: true,
-            warm_start_cell_limit: 1 << 20,
+            warm_start_cell_limit: u64::MAX,
+            engine: Engine::default(),
+            refactor_interval: 0,
         }
     }
 }

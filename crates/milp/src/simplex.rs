@@ -1,4 +1,8 @@
-//! Two-phase primal simplex with bounded variables on a dense tableau.
+//! Two-phase primal simplex with bounded variables on a dense tableau — the
+//! reference engine — plus the entry points that dispatch each solve to the
+//! engine selected by [`SolveOptions::engine`] (the sparse revised simplex in
+//! [`crate::sparse`] by default; this dense engine via [`Engine::Dense`],
+//! kept for differential testing and as a numerical second opinion).
 //!
 //! Box bounds are handled natively: non-basic variables rest at their lower or
 //! upper bound and the ratio test allows bound-to-bound flips, so bounds never
@@ -11,13 +15,14 @@
 
 use crate::error::SolveError;
 use crate::model::{Cmp, Model, Sense};
-use crate::options::SolveOptions;
+use crate::options::{Engine, SolveOptions};
+use crate::sparse;
 use crate::{Solution, Stats, Status};
 
 const INF: f64 = f64::INFINITY;
 
 #[derive(Copy, Clone, Debug, PartialEq, Eq)]
-enum ColState {
+pub(crate) enum ColState {
     Basic,
     AtLower,
     AtUpper,
@@ -39,13 +44,13 @@ enum ColState {
 #[derive(Clone, Debug)]
 pub struct Basis {
     /// Per-column resting state for the `n + m` structural + slack columns.
-    state: Vec<ColState>,
+    pub(crate) state: Vec<ColState>,
     /// Basic column of each row.
-    rows: Vec<usize>,
+    pub(crate) rows: Vec<usize>,
     /// Structural column count of the originating model.
-    n: usize,
+    pub(crate) n: usize,
     /// Row count of the originating model.
-    m: usize,
+    pub(crate) m: usize,
 }
 
 /// Outcome of a warm-started solve attempt (crate-internal: callers decide
@@ -69,12 +74,43 @@ pub(crate) enum WarmOutcome {
 /// Only valid while the originating model's constraint skeleton and bounds
 /// stay unchanged (the batch layer guarantees this by holding the model
 /// mutably for the sweep's whole lifetime).
-pub(crate) struct Resident {
+pub(crate) struct DenseResident {
     t: Tableau,
     /// Structural column count of the originating model.
     n: usize,
     /// The bounds the tableau was built with (for residual checks).
     var_bounds: Vec<(f64, f64)>,
+}
+
+/// Engine-dispatching resident handle: whichever engine ran the cold solve
+/// owns the live factorization for the rest of the sweep.
+pub(crate) enum Resident {
+    Dense(Box<DenseResident>),
+    Sparse(Box<sparse::SparseResident>),
+}
+
+impl Resident {
+    /// The engine that owns this resident factorization (the one that ran
+    /// the cold solve).
+    pub(crate) fn engine(&self) -> Engine {
+        match self {
+            Resident::Dense(_) => Engine::Dense,
+            Resident::Sparse(_) => Engine::Sparse,
+        }
+    }
+
+    /// Reoptimizes the resident factorization under `model`'s current
+    /// objective (phase 2 only).
+    pub(crate) fn resolve(
+        &mut self,
+        model: &Model,
+        opts: &SolveOptions,
+    ) -> Result<ResolveOutcome, SolveError> {
+        match self {
+            Resident::Dense(r) => r.resolve(model, opts),
+            Resident::Sparse(r) => r.resolve(model, opts),
+        }
+    }
 }
 
 /// Outcome of reoptimizing a [`Resident`] tableau under a new objective.
@@ -87,7 +123,7 @@ pub(crate) enum ResolveOutcome {
     Rejected { wasted_pivots: u64 },
 }
 
-impl Resident {
+impl DenseResident {
     /// Reoptimizes the resident tableau under `model`'s *current* objective
     /// (phase 2 only — the basis is already primal feasible).
     ///
@@ -418,7 +454,7 @@ impl Tableau {
 }
 
 /// Slack bounds implied by a row's comparison operator.
-fn slack_bounds(cmp: Cmp) -> (f64, f64) {
+pub(crate) fn slack_bounds(cmp: Cmp) -> (f64, f64) {
     match cmp {
         Cmp::Le => (0.0, INF),
         Cmp::Ge => (-INF, 0.0),
@@ -427,7 +463,7 @@ fn slack_bounds(cmp: Cmp) -> (f64, f64) {
 }
 
 /// Initial resting value for a non-basic column.
-fn initial_value(lo: f64, hi: f64) -> (f64, ColState) {
+pub(crate) fn initial_value(lo: f64, hi: f64) -> (f64, ColState) {
     if lo.is_finite() && hi.is_finite() {
         if lo.abs() <= hi.abs() {
             (lo, ColState::AtLower)
@@ -443,7 +479,8 @@ fn initial_value(lo: f64, hi: f64) -> (f64, ColState) {
     }
 }
 
-/// Solves a continuous model by two-phase simplex.
+/// Solves a continuous model with the engine selected by
+/// [`SolveOptions::engine`].
 pub(crate) fn solve_lp(model: &Model, opts: &SolveOptions) -> Result<Solution, SolveError> {
     let bounds: Vec<(f64, f64)> = model.cols.iter().map(|c| (c.lo, c.hi)).collect();
     solve_lp_bounded(model, &bounds, opts)
@@ -455,24 +492,33 @@ pub(crate) fn solve_lp_snapshot(
     model: &Model,
     opts: &SolveOptions,
 ) -> Result<(Solution, Option<Basis>), SolveError> {
+    if opts.engine == Engine::Sparse {
+        return sparse::solve_snapshot(model, opts);
+    }
     let bounds: Vec<(f64, f64)> = model.cols.iter().map(|c| (c.lo, c.hi)).collect();
     let (sol, t) = solve_lp_core(model, &bounds, opts)?;
     let snapshot = t.and_then(|t| t.snapshot(model.cols.len()));
     Ok((sol, snapshot))
 }
 
-/// [`solve_lp`] that also hands back the live factorized tableau for
+/// [`solve_lp`] that also hands back the live factorized engine state for
 /// in-place reoptimization under later objectives ([`Resident::resolve`]).
 pub(crate) fn solve_lp_resident(
     model: &Model,
     opts: &SolveOptions,
 ) -> Result<(Solution, Option<Resident>), SolveError> {
+    if opts.engine == Engine::Sparse {
+        let (sol, resident) = sparse::solve_resident(model, opts)?;
+        return Ok((sol, resident.map(|r| Resident::Sparse(Box::new(r)))));
+    }
     let bounds: Vec<(f64, f64)> = model.cols.iter().map(|c| (c.lo, c.hi)).collect();
     let (sol, t) = solve_lp_core(model, &bounds, opts)?;
-    let resident = t.map(|t| Resident {
-        t,
-        n: model.cols.len(),
-        var_bounds: bounds,
+    let resident = t.map(|t| {
+        Resident::Dense(Box::new(DenseResident {
+            t,
+            n: model.cols.len(),
+            var_bounds: bounds,
+        }))
     });
     Ok((sol, resident))
 }
@@ -484,6 +530,9 @@ pub(crate) fn solve_lp_bounded(
     var_bounds: &[(f64, f64)],
     opts: &SolveOptions,
 ) -> Result<Solution, SolveError> {
+    if opts.engine == Engine::Sparse {
+        return sparse::solve_bounded(model, var_bounds, opts, None);
+    }
     solve_lp_core(model, var_bounds, opts).map(|(sol, _)| sol)
 }
 
@@ -647,7 +696,20 @@ fn solve_lp_core(
 /// Reads the optimal point out of a terminated tableau, checking residuals.
 fn finish(model: &Model, var_bounds: &[(f64, f64)], t: &Tableau) -> Result<Solution, SolveError> {
     let n = model.cols.len();
-    let values: Vec<f64> = t.xval[..n].to_vec();
+    finish_values(model, var_bounds, t.xval[..n].to_vec(), t.pivots, 0, 0)
+}
+
+/// Builds a checked [`Solution`] from a terminated engine's structural
+/// values — shared by the dense and sparse engines so the residual gate and
+/// the stats layout stay identical.
+pub(crate) fn finish_values(
+    model: &Model,
+    var_bounds: &[(f64, f64)],
+    values: Vec<f64>,
+    pivots: u64,
+    refactorizations: u64,
+    eta_len: u64,
+) -> Result<Solution, SolveError> {
     let mut objective = model.obj_constant;
     for &(v, c) in &model.objective {
         objective += c * values[v];
@@ -662,10 +724,13 @@ fn finish(model: &Model, var_bounds: &[(f64, f64)], t: &Tableau) -> Result<Solut
         objective,
         status: Status::Optimal,
         stats: Stats {
-            pivots: t.pivots,
+            pivots,
             nodes: 0,
             best_bound: objective,
             max_residual,
+            nnz: model.rows.iter().map(|r| r.terms.len() as u64).sum(),
+            refactorizations,
+            eta_len,
         },
         values,
     })
@@ -686,6 +751,9 @@ pub(crate) fn solve_lp_warm(
     opts: &SolveOptions,
     warm: &Basis,
 ) -> Result<WarmOutcome, SolveError> {
+    if opts.engine == Engine::Sparse {
+        return sparse::solve_warm(model, opts, warm);
+    }
     let n = model.cols.len();
     let m = model.rows.len();
     let tol = opts.tolerances;
@@ -839,7 +907,9 @@ pub(crate) fn solve_lp_warm(
         Err(SolveError::Unbounded) => return Err(SolveError::Unbounded),
         Err(_) => return Ok(WarmOutcome::Rejected),
     }
-    match finish(model, &var_bounds, &t) {
+    // The restore's greedy elimination is one basis refactorization; report
+    // it so warm and cold work counters stay comparable across engines.
+    match finish_values(model, &var_bounds, t.xval[..n].to_vec(), t.pivots, 1, 0) {
         Ok(sol) => {
             let snapshot = t.snapshot(n);
             Ok(WarmOutcome::Solved(sol, snapshot))
@@ -877,7 +947,10 @@ fn drive_out_artificials(t: &mut Tableau) {
     }
 }
 
-fn solve_unconstrained(model: &Model, var_bounds: &[(f64, f64)]) -> Result<Solution, SolveError> {
+pub(crate) fn solve_unconstrained(
+    model: &Model,
+    var_bounds: &[(f64, f64)],
+) -> Result<Solution, SolveError> {
     let flip = matches!(model.sense, Some(Sense::Maximize));
     let n = model.cols.len();
     let mut cost = vec![0.0f64; n];
@@ -937,10 +1010,20 @@ fn residual(model: &Model, var_bounds: &[(f64, f64)], values: &[f64]) -> f64 {
 
 #[cfg(test)]
 mod tests {
-    use crate::{Cmp, Model, Sense, SolveError};
+    use crate::{Cmp, Engine, Model, Sense, Solution, SolveError, SolveOptions};
 
     fn assert_close(a: f64, b: f64) {
         assert!((a - b).abs() < 1e-6, "expected {b}, got {a}");
+    }
+
+    /// These are the dense engine's unit tests: the default engine is now
+    /// sparse, so pin the dense path explicitly (the sparse module carries
+    /// its own copies plus cross-engine agreement tests).
+    fn dense(m: &Model) -> Result<Solution, SolveError> {
+        m.solve_with(&SolveOptions {
+            engine: Engine::Dense,
+            ..Default::default()
+        })
     }
 
     #[test]
@@ -952,7 +1035,7 @@ mod tests {
         m.add_constraint(x + y, Cmp::Le, 6.0);
         m.add_constraint(2.0 * x + y, Cmp::Le, 9.0);
         m.set_objective(Sense::Maximize, 3.0 * x + 2.0 * y);
-        let s = m.solve().unwrap();
+        let s = dense(&m).unwrap();
         assert_close(s.objective, 15.0);
         assert_close(s.value(x), 3.0);
         assert_close(s.value(y), 3.0);
@@ -967,7 +1050,7 @@ mod tests {
         m.add_constraint(x + y, Cmp::Ge, 4.0);
         m.add_constraint(x, Cmp::Ge, 1.0);
         m.set_objective(Sense::Minimize, 2.0 * x + 3.0 * y);
-        let s = m.solve().unwrap();
+        let s = dense(&m).unwrap();
         // Cheapest: x as large as needed: x=4, y=0 → 8.
         assert_close(s.objective, 8.0);
         assert_close(s.value(x), 4.0);
@@ -982,7 +1065,7 @@ mod tests {
         m.add_constraint(x + 2.0 * y, Cmp::Eq, 3.0);
         m.add_constraint(x - y, Cmp::Eq, 0.0);
         m.set_objective(Sense::Minimize, x + y);
-        let s = m.solve().unwrap();
+        let s = dense(&m).unwrap();
         assert_close(s.value(x), 1.0);
         assert_close(s.value(y), 1.0);
     }
@@ -992,7 +1075,7 @@ mod tests {
         let mut m = Model::new();
         let x = m.add_var(0.0, 1.0);
         m.add_constraint(2.0 * x, Cmp::Ge, 3.0);
-        assert_eq!(m.solve().unwrap_err(), SolveError::Infeasible);
+        assert_eq!(dense(&m).unwrap_err(), SolveError::Infeasible);
     }
 
     #[test]
@@ -1002,7 +1085,7 @@ mod tests {
         let y = m.add_var(0.0, f64::INFINITY);
         m.add_constraint(x - y, Cmp::Le, 1.0);
         m.set_objective(Sense::Maximize, x + y);
-        assert_eq!(m.solve().unwrap_err(), SolveError::Unbounded);
+        assert_eq!(dense(&m).unwrap_err(), SolveError::Unbounded);
     }
 
     #[test]
@@ -1014,7 +1097,7 @@ mod tests {
         let y = m.add_var(-5.0, 5.0);
         m.add_constraint(x + y, Cmp::Le, -2.0);
         m.set_objective(Sense::Minimize, x);
-        let s = m.solve().unwrap();
+        let s = dense(&m).unwrap();
         assert_close(s.objective, -4.0);
     }
 
@@ -1026,7 +1109,7 @@ mod tests {
         let y = m.add_var(-1.0, 3.0);
         m.add_constraint(x + y, Cmp::Le, 100.0);
         m.set_objective(Sense::Maximize, x + y);
-        let s = m.solve().unwrap();
+        let s = dense(&m).unwrap();
         assert_close(s.objective, 5.0);
     }
 
@@ -1038,7 +1121,7 @@ mod tests {
         let y = m.add_var(f64::NEG_INFINITY, f64::INFINITY);
         m.add_constraint(y - 3.0 * x, Cmp::Eq, -1.0);
         m.set_objective(Sense::Maximize, 1.0 * y);
-        let s = m.solve().unwrap();
+        let s = dense(&m).unwrap();
         assert_close(s.objective, 2.0);
     }
 
@@ -1050,7 +1133,7 @@ mod tests {
         m.add_constraint(x + y, Cmp::Eq, 4.0);
         m.add_constraint(2.0 * x + 2.0 * y, Cmp::Eq, 8.0); // same hyperplane
         m.set_objective(Sense::Maximize, 1.0 * x);
-        let s = m.solve().unwrap();
+        let s = dense(&m).unwrap();
         assert_close(s.objective, 4.0);
     }
 
@@ -1065,7 +1148,7 @@ mod tests {
         m.add_constraint(x + 2.0 * y, Cmp::Le, 1.0);
         m.add_constraint(2.0 * x + y, Cmp::Le, 1.0);
         m.set_objective(Sense::Maximize, x + y);
-        let s = m.solve().unwrap();
+        let s = dense(&m).unwrap();
         assert_close(s.objective, 2.0 / 3.0);
     }
 
@@ -1075,7 +1158,7 @@ mod tests {
         let x = m.add_var(0.0, 1.0);
         m.add_constraint(1.0 * x, Cmp::Le, 0.5);
         m.set_objective(Sense::Maximize, 2.0 * x + 10.0);
-        let s = m.solve().unwrap();
+        let s = dense(&m).unwrap();
         assert_close(s.objective, 11.0);
     }
 
@@ -1086,7 +1169,7 @@ mod tests {
         let y = m.add_var(0.0, 10.0);
         m.add_constraint(x + y, Cmp::Le, 5.0);
         m.set_objective(Sense::Maximize, x + y);
-        let s = m.solve().unwrap();
+        let s = dense(&m).unwrap();
         assert_close(s.objective, 5.0);
         assert_close(s.value(x), 2.0);
     }
@@ -1097,7 +1180,7 @@ mod tests {
         let x = m.add_var(-3.0, 7.0);
         let y = m.add_var(-2.0, 2.0);
         m.set_objective(Sense::Maximize, x - 5.0 * y);
-        let s = m.solve().unwrap();
+        let s = dense(&m).unwrap();
         assert_close(s.objective, 7.0 + 10.0);
     }
 }

@@ -1,0 +1,1386 @@
+//! Sparse revised simplex: the default LP engine.
+//!
+//! Where the dense engine ([`crate::simplex`]) maintains the whole
+//! `B⁻¹·[A | I | I]` tableau explicitly — making every pivot O(m·n)
+//! regardless of how sparse the constraint matrix is — this engine keeps the
+//! problem data immutable and factorized:
+//!
+//! * the structural columns of `A` live in a [`SparseMatrix`] (compressed
+//!   sparse column form), built **once** per model and shared (`Arc`) across
+//!   branch-and-bound nodes and resident sweeps;
+//! * `B⁻¹` is never formed. It is represented as a **product-form-of-inverse
+//!   eta file**: each pivot appends one elementary eta matrix, and systems
+//!   with `B` are solved by running a vector through the file — forward for
+//!   FTRAN (`w = B⁻¹·a`, the entering column of the ratio test), backward for
+//!   BTRAN (`y = c_B·B⁻¹`, the dual prices behind reduced costs);
+//! * pricing is **candidate-list partial pricing**: a full O(ncols) scan runs
+//!   only to (re)fill a small candidate list, and ordinary iterations re-price
+//!   just the candidates. Bland's anti-cycling rule falls back to a full
+//!   first-eligible scan, exactly like the dense engine;
+//! * the eta file is **refactorized periodically** — after a pivot-count
+//!   budget or when its fill-in outgrows the matrix — not only at
+//!   basis-restore time. Refactorization also recomputes the basic values
+//!   from the original data, resetting accumulated round-off.
+//!
+//! Per-iteration cost is therefore one BTRAN + a handful of sparse dot
+//! products + one FTRAN + O(m) value updates, instead of an O(m·ncols) dense
+//! tableau sweep. On the band-diagonal `[A | I]` skeletons the ITNE encoding
+//! produces (each over-approximation window touches only a window of
+//! neurons), this is what makes warm reoptimization profitable at *every*
+//! problem size — the dense engine had to gate large conv windows cold via
+//! `SolveOptions::warm_start_cell_limit`.
+//!
+//! Semantics (two-phase method, bounded variables, bound flips, tolerances,
+//! ratio-test tie-breaking, Dantzig→Bland switching) deliberately mirror the
+//! dense engine; the proptests run every random skeleton through both and
+//! assert identical optima.
+
+use std::sync::Arc;
+
+use crate::error::SolveError;
+use crate::model::{Model, Sense};
+use crate::options::SolveOptions;
+use crate::simplex::{
+    finish_values, initial_value, slack_bounds, solve_unconstrained, Basis, ColState,
+    ResolveOutcome, WarmOutcome,
+};
+use crate::Solution;
+
+const INF: f64 = f64::INFINITY;
+
+/// Immutable compressed-sparse-column storage of the structural constraint
+/// matrix `A` (m rows × n structural columns). Built once per [`Model`];
+/// slack and artificial columns are implicit unit vectors and never stored.
+#[derive(Clone, Debug)]
+pub(crate) struct SparseMatrix {
+    nrows: usize,
+    col_ptr: Vec<usize>,
+    row_idx: Vec<usize>,
+    values: Vec<f64>,
+}
+
+impl SparseMatrix {
+    /// Builds the CSC form of `model`'s constraint rows. Entries within a
+    /// column are ordered by row index; exact zeros are dropped.
+    pub(crate) fn from_model(model: &Model) -> Self {
+        let n = model.cols.len();
+        let m = model.rows.len();
+        let mut col_ptr = vec![0usize; n + 1];
+        for row in &model.rows {
+            for &(v, c) in &row.terms {
+                if c != 0.0 {
+                    col_ptr[v + 1] += 1;
+                }
+            }
+        }
+        for j in 0..n {
+            col_ptr[j + 1] += col_ptr[j];
+        }
+        let nnz = col_ptr[n];
+        let mut row_idx = vec![0usize; nnz];
+        let mut values = vec![0.0f64; nnz];
+        let mut cursor = col_ptr.clone();
+        for (r, row) in model.rows.iter().enumerate() {
+            for &(v, c) in &row.terms {
+                if c != 0.0 {
+                    let k = cursor[v];
+                    row_idx[k] = r;
+                    values[k] = c;
+                    cursor[v] += 1;
+                }
+            }
+        }
+        SparseMatrix {
+            nrows: m,
+            col_ptr,
+            row_idx,
+            values,
+        }
+    }
+
+    fn col(&self, j: usize) -> impl Iterator<Item = (usize, f64)> + '_ {
+        let lo = self.col_ptr[j];
+        let hi = self.col_ptr[j + 1];
+        self.row_idx[lo..hi]
+            .iter()
+            .copied()
+            .zip(self.values[lo..hi].iter().copied())
+    }
+
+    fn col_nnz(&self, j: usize) -> usize {
+        self.col_ptr[j + 1] - self.col_ptr[j]
+    }
+
+    /// Structural non-zero count.
+    pub(crate) fn nnz(&self) -> usize {
+        self.values.len()
+    }
+}
+
+/// The product-form-of-inverse representation of `B⁻¹` as a sequence of
+/// elementary eta matrices: `B⁻¹ = E_k · … · E_1`. Each eta records the
+/// pivot row, the pivot element, and the off-pivot non-zeros of the FTRAN'd
+/// entering column; everything is stored in flat contiguous arrays so FTRAN
+/// and BTRAN stream linearly through memory (this is the engine's innermost
+/// loop — one of each per simplex iteration).
+#[derive(Clone, Debug)]
+struct EtaFile {
+    /// Pivot row of each eta.
+    rows: Vec<usize>,
+    /// Pivot element of each eta.
+    pivots: Vec<f64>,
+    /// CSR-style extents: eta `k`'s off-pivot entries are `ptr[k]..ptr[k+1]`.
+    ptr: Vec<usize>,
+    idx: Vec<usize>,
+    val: Vec<f64>,
+}
+
+impl EtaFile {
+    fn new() -> Self {
+        EtaFile {
+            rows: Vec::new(),
+            pivots: Vec::new(),
+            ptr: vec![0],
+            idx: Vec::new(),
+            val: Vec::new(),
+        }
+    }
+
+    fn clear(&mut self) {
+        self.rows.clear();
+        self.pivots.clear();
+        self.ptr.clear();
+        self.ptr.push(0);
+        self.idx.clear();
+        self.val.clear();
+    }
+
+    fn len(&self) -> usize {
+        self.rows.len()
+    }
+
+    /// Total stored entries (pivots + off-pivot fill), the fill-in measure
+    /// behind the refactorization trigger.
+    fn nnz(&self) -> usize {
+        self.rows.len() + self.idx.len()
+    }
+
+    /// Appends a fill-free eta with a single diagonal `pivot` at `row`
+    /// (seeds the `diag(±1)` starting basis in O(1), no scratch column).
+    fn push_unit(&mut self, row: usize, pivot: f64) {
+        self.rows.push(row);
+        self.pivots.push(pivot);
+        self.ptr.push(self.idx.len());
+    }
+
+    /// Appends the eta of a pivot at `row` on the FTRAN'd column `w`.
+    fn push_from_column(&mut self, row: usize, w: &[f64]) {
+        for (i, &v) in w.iter().enumerate() {
+            if i != row && v != 0.0 {
+                self.idx.push(i);
+                self.val.push(v);
+            }
+        }
+        self.rows.push(row);
+        self.pivots.push(w[row]);
+        self.ptr.push(self.idx.len());
+    }
+
+    /// `v ← B⁻¹·v` (apply etas first-to-last).
+    fn ftran(&self, v: &mut [f64]) {
+        for k in 0..self.rows.len() {
+            let t = v[self.rows[k]];
+            if t != 0.0 {
+                let t = t / self.pivots[k];
+                v[self.rows[k]] = t;
+                for e in self.ptr[k]..self.ptr[k + 1] {
+                    v[self.idx[e]] -= self.val[e] * t;
+                }
+            }
+        }
+    }
+
+    /// `yᵀ ← yᵀ·B⁻¹` (apply etas last-to-first).
+    fn btran(&self, y: &mut [f64]) {
+        for k in (0..self.rows.len()).rev() {
+            let mut s = y[self.rows[k]];
+            for e in self.ptr[k]..self.ptr[k + 1] {
+                s -= y[self.idx[e]] * self.val[e];
+            }
+            y[self.rows[k]] = s / self.pivots[k];
+        }
+    }
+}
+
+enum StepOutcome {
+    Optimal,
+    Unbounded,
+    Progress { degenerate: bool },
+}
+
+/// The revised-simplex working state. Column index space matches the dense
+/// engine: `[0, n)` structural, `[n, n+m)` slack, `[n+m, ncols)` artificial.
+struct Core {
+    mat: Arc<SparseMatrix>,
+    rhs: Vec<f64>,
+    lo: Vec<f64>,
+    hi: Vec<f64>,
+    xval: Vec<f64>,
+    state: Vec<ColState>,
+    /// Column occupying each basis row (`B⁻¹·A_basis[r] = e_r`).
+    basis: Vec<usize>,
+    etas: EtaFile,
+    /// `(row, sign)` of each artificial column, in column order.
+    arts: Vec<(usize, f64)>,
+    n: usize,
+    m: usize,
+    art_start: usize,
+    ncols: usize,
+    /// Costs of the current phase, length `ncols`.
+    costs: Vec<f64>,
+    /// FTRAN scratch (entering column in basis coordinates), length `m`.
+    w: Vec<f64>,
+    /// BTRAN scratch (dual prices), length `m`.
+    y: Vec<f64>,
+    /// Partial-pricing candidate list.
+    candidates: Vec<usize>,
+    pivots: u64,
+    refactorizations: u64,
+    eta_peak: usize,
+    pivots_since_refactor: u64,
+    refactor_every: u64,
+    eta_nnz_cap: usize,
+    feas_tol: f64,
+    opt_tol: f64,
+    pivot_tol: f64,
+}
+
+impl Core {
+    /// Scatters column `j` of `[A | I | ±I]` into the zeroed buffer `out`.
+    fn scatter_col(mat: &SparseMatrix, arts: &[(usize, f64)], n: usize, j: usize, out: &mut [f64]) {
+        let m = mat.nrows;
+        if j < n {
+            for (r, a) in mat.col(j) {
+                out[r] = a;
+            }
+        } else if j < n + m {
+            out[j - n] = 1.0;
+        } else {
+            let (r, s) = arts[j - n - m];
+            out[r] = s;
+        }
+    }
+
+    /// `w ← B⁻¹·A_q` (the entering column for ratio test and eta append).
+    fn compute_w(&mut self, q: usize) {
+        self.w.fill(0.0);
+        Self::scatter_col(&self.mat, &self.arts, self.n, q, &mut self.w);
+        self.etas.ftran(&mut self.w);
+    }
+
+    /// `y ← c_B·B⁻¹` (the dual prices the reduced costs are measured
+    /// against).
+    fn compute_y(&mut self) {
+        for r in 0..self.m {
+            self.y[r] = self.costs[self.basis[r]];
+        }
+        self.etas.btran(&mut self.y);
+    }
+
+    /// Reduced cost `d_j = c_j − y·A_j` via one sparse dot product.
+    fn reduced_cost(&self, j: usize) -> f64 {
+        let mut d = self.costs[j];
+        if j < self.n {
+            for (r, a) in self.mat.col(j) {
+                d -= self.y[r] * a;
+            }
+        } else if j < self.art_start {
+            d -= self.y[j - self.n];
+        } else {
+            let (r, s) = self.arts[j - self.art_start];
+            d -= s * self.y[r];
+        }
+        d
+    }
+
+    /// Entering direction and score of a non-basic column under reduced cost
+    /// `dj`, or `None` when the column cannot improve (fixed, basic, or
+    /// resting on the profitable side).
+    fn direction(&self, j: usize, dj: f64) -> Option<(f64, f64)> {
+        match self.state[j] {
+            ColState::Basic => None,
+            ColState::AtLower => {
+                if self.lo[j] == self.hi[j] {
+                    None
+                } else {
+                    Some((1.0, -dj))
+                }
+            }
+            ColState::AtUpper => {
+                if self.lo[j] == self.hi[j] {
+                    None
+                } else {
+                    Some((-1.0, dj))
+                }
+            }
+            ColState::Free => {
+                if dj < 0.0 {
+                    Some((1.0, -dj))
+                } else {
+                    Some((-1.0, dj))
+                }
+            }
+        }
+    }
+
+    /// Candidate-list cap: a small slice of the column space, enough to keep
+    /// Dantzig-quality entering choices without a full scan per iteration.
+    fn candidate_cap(limit: usize) -> usize {
+        (limit / 8).clamp(8, 64)
+    }
+
+    /// Chooses an entering column, returning `(col, direction)`. Expects
+    /// `self.y` to be current.
+    ///
+    /// Non-Bland mode prices the candidate list first and falls back to a
+    /// full scan (which also refills the list) only when every candidate has
+    /// gone stale. Bland mode always runs the full first-eligible scan its
+    /// anti-cycling guarantee requires.
+    fn price(&mut self, bland: bool, phase2: bool) -> Option<(usize, f64)> {
+        let limit = if phase2 { self.art_start } else { self.ncols };
+        if bland {
+            for j in 0..limit {
+                if self.state[j] == ColState::Basic {
+                    continue;
+                }
+                let dj = self.reduced_cost(j);
+                if let Some((dir, score)) = self.direction(j, dj) {
+                    if score > self.opt_tol {
+                        return Some((j, dir));
+                    }
+                }
+            }
+            return None;
+        }
+
+        // Minor iteration: re-price only the candidates, dropping columns
+        // that entered the basis in place (no allocation on the hot path;
+        // swap_remove keeps the pass deterministic run-to-run).
+        let mut best: Option<(usize, f64, f64)> = None;
+        let mut i = 0;
+        while i < self.candidates.len() {
+            let j = self.candidates[i];
+            if j >= limit || self.state[j] == ColState::Basic {
+                self.candidates.swap_remove(i);
+                continue;
+            }
+            let dj = self.reduced_cost(j);
+            if let Some((dir, score)) = self.direction(j, dj) {
+                if score > self.opt_tol {
+                    match best {
+                        Some((_, _, s)) if s >= score => {}
+                        _ => best = Some((j, dir, score)),
+                    }
+                }
+            }
+            i += 1;
+        }
+        if let Some((j, dir, _)) = best {
+            return Some((j, dir));
+        }
+
+        // Major iteration: full scan, refill the candidate list with the
+        // highest-scoring eligible columns (deterministic order).
+        let mut scored: Vec<(usize, f64, f64)> = Vec::new();
+        for j in 0..limit {
+            if self.state[j] == ColState::Basic {
+                continue;
+            }
+            let dj = self.reduced_cost(j);
+            if let Some((dir, score)) = self.direction(j, dj) {
+                if score > self.opt_tol {
+                    scored.push((j, dir, score));
+                }
+            }
+        }
+        if scored.is_empty() {
+            self.candidates.clear();
+            return None;
+        }
+        scored.sort_by(|a, b| {
+            b.2.partial_cmp(&a.2)
+                .unwrap_or(std::cmp::Ordering::Equal)
+                .then(a.0.cmp(&b.0))
+        });
+        scored.truncate(Self::candidate_cap(limit));
+        self.candidates = scored.iter().map(|&(j, _, _)| j).collect();
+        let (j, dir, _) = scored[0];
+        Some((j, dir))
+    }
+
+    /// One simplex iteration: price, FTRAN, ratio test, then bound-flip or
+    /// pivot. The ratio-test semantics (tolerances, largest-pivot
+    /// tie-breaking, bound-to-bound flips) mirror the dense engine exactly.
+    fn step(&mut self, bland: bool, phase2: bool) -> StepOutcome {
+        self.compute_y();
+        let Some((q, dir)) = self.price(bland, phase2) else {
+            return StepOutcome::Optimal;
+        };
+        self.compute_w(q);
+
+        let mut limit = if self.lo[q].is_finite() && self.hi[q].is_finite() {
+            self.hi[q] - self.lo[q]
+        } else {
+            INF
+        };
+        let mut leave: Option<(usize, bool)> = None;
+        let mut leave_piv = 0.0f64;
+        for r in 0..self.m {
+            let a = self.w[r] * dir;
+            let b = self.basis[r];
+            let (room, to_lower) = if a > self.pivot_tol {
+                (self.xval[b] - self.lo[b], true)
+            } else if a < -self.pivot_tol {
+                (self.hi[b] - self.xval[b], false)
+            } else {
+                continue;
+            };
+            if !room.is_finite() {
+                continue;
+            }
+            let ratio = room.max(0.0) / a.abs();
+            let a_mag = a.abs();
+            if ratio < limit - 1e-12 || (ratio < limit + 1e-12 && a_mag > leave_piv) {
+                limit = ratio.min(limit);
+                leave = Some((r, to_lower));
+                leave_piv = a_mag;
+            }
+        }
+
+        if limit.is_infinite() {
+            return StepOutcome::Unbounded;
+        }
+
+        let step = dir * limit;
+        match leave {
+            None => {
+                for r in 0..self.m {
+                    let a = self.w[r];
+                    if a != 0.0 {
+                        let b = self.basis[r];
+                        self.xval[b] -= step * a;
+                    }
+                }
+                self.state[q] = if dir > 0.0 {
+                    ColState::AtUpper
+                } else {
+                    ColState::AtLower
+                };
+                self.xval[q] = if dir > 0.0 { self.hi[q] } else { self.lo[q] };
+                StepOutcome::Progress { degenerate: false }
+            }
+            Some((r, to_lower)) => {
+                for i in 0..self.m {
+                    let a = self.w[i];
+                    if a != 0.0 {
+                        let b = self.basis[i];
+                        self.xval[b] -= step * a;
+                    }
+                }
+                self.xval[q] += step;
+                let leaving = self.basis[r];
+                // Snap the leaving variable exactly to its bound to stop
+                // feasibility drift from accumulating.
+                self.xval[leaving] = if to_lower {
+                    self.lo[leaving]
+                } else {
+                    self.hi[leaving]
+                };
+                self.state[leaving] = if to_lower {
+                    ColState::AtLower
+                } else {
+                    ColState::AtUpper
+                };
+                self.apply_pivot(r, q);
+                StepOutcome::Progress {
+                    degenerate: limit <= 1e-10,
+                }
+            }
+        }
+    }
+
+    /// Appends the eta of a pivot at row `r` with entering column `q`
+    /// (expects `self.w = B⁻¹·A_q`) and updates the heading and counters.
+    fn apply_pivot(&mut self, r: usize, q: usize) {
+        debug_assert!(self.w[r].abs() > 0.0, "zero pivot");
+        self.etas.push_from_column(r, &self.w);
+        self.eta_peak = self.eta_peak.max(self.etas.len());
+        self.state[q] = ColState::Basic;
+        self.basis[r] = q;
+        self.pivots += 1;
+        self.pivots_since_refactor += 1;
+    }
+
+    fn should_refactorize(&self) -> bool {
+        self.pivots_since_refactor >= self.refactor_every || self.etas.nnz() > self.eta_nnz_cap
+    }
+
+    /// Rebuilds the eta file from the original data for the current basic
+    /// column set, then recomputes the basic values exactly. Returns `false`
+    /// when the basis is singular with respect to the matrix or the
+    /// recomputed point is primal infeasible beyond tolerance (warm restores
+    /// reject; mid-solve callers treat it as a numerical failure).
+    ///
+    /// Unit (slack/artificial) columns are eliminated first — they pivot with
+    /// no fill — then structural columns by ascending non-zero count; within
+    /// each column the pivot row is the largest remaining magnitude, ties to
+    /// the lowest row. The row↔column pairing may change; only the column
+    /// *set* is meaningful, and the heading is rebuilt to match.
+    fn refactorize(&mut self) -> bool {
+        let m = self.m;
+        self.etas.clear();
+        let mut unit: Vec<usize> = self
+            .basis
+            .iter()
+            .copied()
+            .filter(|&j| j >= self.n)
+            .collect();
+        unit.sort_unstable();
+        let mut structural: Vec<usize> =
+            self.basis.iter().copied().filter(|&j| j < self.n).collect();
+        structural.sort_by_key(|&j| (self.mat.col_nnz(j), j));
+
+        let mut eliminated = vec![false; m];
+        let mut new_basis = vec![usize::MAX; m];
+        for &j in unit.iter().chain(structural.iter()) {
+            self.w.fill(0.0);
+            Self::scatter_col(&self.mat, &self.arts, self.n, j, &mut self.w);
+            self.etas.ftran(&mut self.w);
+            let mut best: Option<(usize, f64)> = None;
+            for (r, &done) in eliminated.iter().enumerate() {
+                if done {
+                    continue;
+                }
+                let a = self.w[r].abs();
+                if best.is_none_or(|(_, mag)| a > mag) {
+                    best = Some((r, a));
+                }
+            }
+            let Some((r, mag)) = best else { return false };
+            if mag <= self.pivot_tol {
+                return false;
+            }
+            self.etas.push_from_column(r, &self.w);
+            eliminated[r] = true;
+            new_basis[r] = j;
+        }
+        self.basis = new_basis;
+        self.eta_peak = self.eta_peak.max(self.etas.len());
+        self.refactorizations += 1;
+        self.pivots_since_refactor = 0;
+        self.recompute_basic_values()
+    }
+
+    /// `x_B ← B⁻¹·(b − N·x_N)` from the original data, clamping round-off
+    /// within the feasibility tolerance. Returns `false` on a violation
+    /// beyond tolerance.
+    fn recompute_basic_values(&mut self) -> bool {
+        self.w.fill(0.0);
+        self.w[..self.m].copy_from_slice(&self.rhs);
+        for j in 0..self.ncols {
+            if self.state[j] == ColState::Basic {
+                continue;
+            }
+            let x = self.xval[j];
+            if x == 0.0 {
+                continue;
+            }
+            if j < self.n {
+                for (r, a) in self.mat.col(j) {
+                    self.w[r] -= a * x;
+                }
+            } else if j < self.art_start {
+                self.w[j - self.n] -= x;
+            } else {
+                let (r, s) = self.arts[j - self.art_start];
+                self.w[r] -= s * x;
+            }
+        }
+        self.etas.ftran(&mut self.w);
+        for r in 0..self.m {
+            let b = self.basis[r];
+            let v = self.w[r];
+            if v < self.lo[b] - self.feas_tol || v > self.hi[b] + self.feas_tol {
+                return false;
+            }
+            self.xval[b] = v.clamp(self.lo[b], self.hi[b]);
+        }
+        true
+    }
+
+    /// Runs the simplex loop for one phase until optimality, refactorizing
+    /// the eta file whenever the trigger fires.
+    fn optimize(&mut self, phase2: bool, cap: u64) -> Result<(), SolveError> {
+        let mut degen_streak = 0u32;
+        let mut bland = false;
+        loop {
+            if self.pivots >= cap {
+                return Err(SolveError::IterationLimit);
+            }
+            if self.should_refactorize() && !self.refactorize() {
+                return Err(SolveError::Numerical(
+                    "basis became singular or infeasible at refactorization".into(),
+                ));
+            }
+            match self.step(bland, phase2) {
+                StepOutcome::Optimal => return Ok(()),
+                StepOutcome::Unbounded => {
+                    return if phase2 {
+                        Err(SolveError::Unbounded)
+                    } else {
+                        Err(SolveError::Numerical("phase-1 objective unbounded".into()))
+                    };
+                }
+                StepOutcome::Progress { degenerate } => {
+                    if degenerate {
+                        degen_streak += 1;
+                        if degen_streak > 50 {
+                            bland = true;
+                        }
+                    } else {
+                        degen_streak = 0;
+                        bland = false;
+                    }
+                }
+            }
+        }
+    }
+
+    /// Pivots basic artificial variables (all at value 0) out of the basis;
+    /// rows that admit no replacement keep their frozen artificial, exactly
+    /// like the dense engine.
+    fn drive_out_artificials(&mut self) {
+        for r in 0..self.m {
+            if self.basis[r] < self.art_start {
+                continue;
+            }
+            // ρ = e_r·B⁻¹, so ρ·A_j is the tableau entry (r, j).
+            self.y.fill(0.0);
+            self.y[r] = 1.0;
+            self.etas.btran(&mut self.y);
+            let mut best: Option<(usize, f64)> = None;
+            for j in 0..self.art_start {
+                if self.state[j] == ColState::Basic || self.lo[j] == self.hi[j] {
+                    continue;
+                }
+                let a = self.reduced_cost_entry(j).abs();
+                if a > self.pivot_tol && best.is_none_or(|(_, b)| a > b) {
+                    best = Some((j, a));
+                }
+            }
+            if let Some((j, _)) = best {
+                self.compute_w(j);
+                if self.w[r].abs() <= self.pivot_tol {
+                    continue; // round-off disagreement; keep the frozen artificial
+                }
+                let leaving = self.basis[r];
+                self.state[leaving] = ColState::AtLower;
+                self.xval[leaving] = 0.0;
+                self.apply_pivot(r, j);
+            }
+        }
+    }
+
+    /// `ρ·A_j` where `ρ` currently sits in `self.y` (drive-out helper).
+    fn reduced_cost_entry(&self, j: usize) -> f64 {
+        if j < self.n {
+            let mut a = 0.0;
+            for (r, v) in self.mat.col(j) {
+                a += self.y[r] * v;
+            }
+            a
+        } else {
+            self.y[j - self.n]
+        }
+    }
+
+    fn set_phase1_costs(&mut self) {
+        self.costs.fill(0.0);
+        for c in self.costs.iter_mut().skip(self.art_start) {
+            *c = 1.0;
+        }
+    }
+
+    fn set_phase2_costs(&mut self, model: &Model) {
+        self.costs.fill(0.0);
+        let flip = matches!(model.sense, Some(Sense::Maximize));
+        for &(v, c) in &model.objective {
+            self.costs[v] += if flip { -c } else { c };
+        }
+        self.candidates.clear();
+    }
+
+    fn freeze_artificials(&mut self) {
+        for j in self.art_start..self.ncols {
+            self.lo[j] = 0.0;
+            self.hi[j] = 0.0;
+            self.xval[j] = 0.0;
+        }
+    }
+
+    fn finish(&self, model: &Model, var_bounds: &[(f64, f64)]) -> Result<Solution, SolveError> {
+        finish_values(
+            model,
+            var_bounds,
+            self.xval[..self.n].to_vec(),
+            self.pivots,
+            self.refactorizations,
+            self.eta_peak as u64,
+        )
+    }
+
+    /// Extracts a reusable [`Basis`] snapshot, or `None` when an artificial
+    /// column is still basic (redundant row).
+    fn snapshot(&self) -> Option<Basis> {
+        if self.basis.iter().any(|&b| b >= self.art_start) {
+            return None;
+        }
+        Some(Basis {
+            state: self.state[..self.art_start].to_vec(),
+            rows: self.basis.clone(),
+            n: self.n,
+            m: self.m,
+        })
+    }
+}
+
+/// Auto refactorization cadence: small LPs usually terminate before the
+/// budget (no mid-solve refactorization overhead at all); large ones
+/// refactorize often enough to keep BTRAN/FTRAN short and round-off fresh.
+fn refactor_budget(opts: &SolveOptions, m: usize) -> u64 {
+    if opts.refactor_interval > 0 {
+        opts.refactor_interval
+    } else {
+        ((m as u64) / 2).clamp(64, 256)
+    }
+}
+
+/// Builds the initial working state (columns, resting values, slack-or-
+/// artificial starting basis) for `model` under `var_bounds`. The arithmetic
+/// mirrors the dense engine's setup except that rows are never negated:
+/// an artificial covering a negative residual gets a `−1` coefficient,
+/// represented as a seed eta so the starting `B⁻¹` stays exact.
+fn build_core(
+    model: &Model,
+    var_bounds: &[(f64, f64)],
+    opts: &SolveOptions,
+    mat: Arc<SparseMatrix>,
+) -> (Core, f64) {
+    let n = model.cols.len();
+    let m = model.rows.len();
+    let tol = opts.tolerances;
+
+    let mut lo = Vec::with_capacity(n + 2 * m);
+    let mut hi = Vec::with_capacity(n + 2 * m);
+    let mut xval = Vec::with_capacity(n + 2 * m);
+    let mut state = Vec::with_capacity(n + 2 * m);
+    for &(l, h) in var_bounds {
+        let (v, s) = initial_value(l, h);
+        lo.push(l);
+        hi.push(h);
+        xval.push(v);
+        state.push(s);
+    }
+    for row in &model.rows {
+        let (l, h) = slack_bounds(row.cmp);
+        lo.push(l);
+        hi.push(h);
+        xval.push(0.0); // placeholder; set below
+        state.push(ColState::AtLower); // placeholder
+    }
+
+    let mut basis = Vec::with_capacity(m);
+    let mut arts: Vec<(usize, f64)> = Vec::new();
+    let mut art_values: Vec<f64> = Vec::new();
+    let mut art_sum = 0.0;
+    for (r, row) in model.rows.iter().enumerate() {
+        let activity: f64 = row.terms.iter().map(|&(v, c)| c * xval[v]).sum();
+        let v = row.rhs - activity; // required slack value
+        let sc = n + r;
+        if v >= lo[sc] && v <= hi[sc] {
+            xval[sc] = v;
+            state[sc] = ColState::Basic;
+            basis.push(sc);
+        } else {
+            let sv = v.clamp(lo[sc], hi[sc]);
+            xval[sc] = sv;
+            state[sc] = if sv == lo[sc] {
+                ColState::AtLower
+            } else {
+                ColState::AtUpper
+            };
+            let resid = v - sv;
+            arts.push((r, resid.signum()));
+            art_values.push(resid.abs());
+            art_sum += resid.abs();
+            basis.push(usize::MAX); // fixed up below
+        }
+    }
+
+    let art_start = n + m;
+    let ncols = art_start + arts.len();
+    let mut etas = EtaFile::new();
+    for (k, &(r, sign)) in arts.iter().enumerate() {
+        lo.push(0.0);
+        hi.push(INF);
+        xval.push(art_values[k]);
+        state.push(ColState::Basic);
+        basis[r] = art_start + k;
+        // Starting basis B = diag(±1): a −1 artificial is inverted by one
+        // entry-free seed eta, keeping B⁻¹ exact from the first iteration.
+        if sign < 0.0 {
+            etas.push_unit(r, -1.0);
+        }
+    }
+
+    let rhs: Vec<f64> = model.rows.iter().map(|row| row.rhs).collect();
+    let eta_nnz_cap = 8 * (mat.nnz() + m) + 512;
+    let core = Core {
+        mat,
+        rhs,
+        lo,
+        hi,
+        xval,
+        state,
+        basis,
+        etas,
+        arts,
+        n,
+        m,
+        art_start,
+        ncols,
+        costs: vec![0.0; ncols],
+        w: vec![0.0; m],
+        y: vec![0.0; m],
+        candidates: Vec::new(),
+        pivots: 0,
+        refactorizations: 0,
+        eta_peak: 0,
+        pivots_since_refactor: 0,
+        refactor_every: refactor_budget(opts, m),
+        eta_nnz_cap,
+        feas_tol: tol.feasibility,
+        opt_tol: tol.optimality,
+        pivot_tol: tol.pivot,
+    };
+    (core, art_sum)
+}
+
+/// Cold two-phase solve, returning the terminated [`Core`] for snapshotting
+/// or resident reuse.
+fn solve_core(
+    model: &Model,
+    var_bounds: &[(f64, f64)],
+    opts: &SolveOptions,
+    mat: Option<Arc<SparseMatrix>>,
+) -> Result<(Solution, Option<Core>), SolveError> {
+    let n = model.cols.len();
+    let m = model.rows.len();
+    debug_assert_eq!(var_bounds.len(), n);
+
+    for &(lo, hi) in var_bounds {
+        if lo > hi {
+            return Err(SolveError::Infeasible);
+        }
+    }
+    if m == 0 {
+        return solve_unconstrained(model, var_bounds).map(|s| (s, None));
+    }
+
+    let mat = mat.unwrap_or_else(|| Arc::new(SparseMatrix::from_model(model)));
+    let (mut core, art_sum) = build_core(model, var_bounds, opts, mat);
+    let cap = opts.pivot_cap(m, core.ncols);
+
+    if art_sum > 0.0 {
+        core.set_phase1_costs();
+        core.optimize(false, cap)?;
+        let remaining: f64 = (core.art_start..core.ncols).map(|j| core.xval[j]).sum();
+        if remaining > core.feas_tol.max(1e-7) {
+            return Err(SolveError::Infeasible);
+        }
+        core.drive_out_artificials();
+    }
+    core.freeze_artificials();
+
+    core.set_phase2_costs(model);
+    core.optimize(true, cap)?;
+
+    let sol = match core.finish(model, var_bounds) {
+        Ok(sol) => sol,
+        Err(_) => {
+            // One repair attempt: refactorizing recomputes the basic values
+            // from the original data; if the residual still fails after a
+            // fresh reoptimization, the failure is genuine.
+            if !core.refactorize() {
+                return Err(SolveError::Numerical(
+                    "basis became singular or infeasible at refactorization".into(),
+                ));
+            }
+            core.optimize(true, cap)?;
+            core.finish(model, var_bounds)?
+        }
+    };
+    Ok((sol, Some(core)))
+}
+
+/// Sparse counterpart of [`crate::simplex`]'s cold LP entry point.
+pub(crate) fn solve_bounded(
+    model: &Model,
+    var_bounds: &[(f64, f64)],
+    opts: &SolveOptions,
+    mat: Option<Arc<SparseMatrix>>,
+) -> Result<Solution, SolveError> {
+    solve_core(model, var_bounds, opts, mat).map(|(sol, _)| sol)
+}
+
+/// Cold solve that also extracts a [`Basis`] snapshot.
+pub(crate) fn solve_snapshot(
+    model: &Model,
+    opts: &SolveOptions,
+) -> Result<(Solution, Option<Basis>), SolveError> {
+    let bounds: Vec<(f64, f64)> = model.cols.iter().map(|c| (c.lo, c.hi)).collect();
+    let (sol, core) = solve_core(model, &bounds, opts, None)?;
+    Ok((sol, core.and_then(|c| c.snapshot())))
+}
+
+/// A live factorized sparse engine kept resident between the solves of one
+/// objective sweep — the sparse counterpart of the dense resident tableau,
+/// minus the dense tableau: reoptimizing in place costs one reduced-cost
+/// pass plus the phase-2 pivots, at revised-simplex per-pivot prices.
+pub(crate) struct SparseResident {
+    core: Core,
+    var_bounds: Vec<(f64, f64)>,
+}
+
+impl SparseResident {
+    /// Reoptimizes under `model`'s current objective (phase 2 only).
+    pub(crate) fn resolve(
+        &mut self,
+        model: &Model,
+        opts: &SolveOptions,
+    ) -> Result<ResolveOutcome, SolveError> {
+        let c = &mut self.core;
+        if model.cols.len() != c.n || model.rows.len() != c.m {
+            return Ok(ResolveOutcome::Rejected { wasted_pivots: 0 });
+        }
+        c.set_phase2_costs(model);
+        c.pivots = 0; // per-solve counters
+        c.refactorizations = 0;
+        c.eta_peak = c.etas.len();
+        match c.optimize(true, opts.pivot_cap(c.m, c.ncols)) {
+            Ok(()) => {}
+            Err(SolveError::Unbounded) => return Err(SolveError::Unbounded),
+            Err(_) => {
+                return Ok(ResolveOutcome::Rejected {
+                    wasted_pivots: c.pivots,
+                })
+            }
+        }
+        match c.finish(model, &self.var_bounds) {
+            Ok(sol) => Ok(ResolveOutcome::Solved(sol)),
+            Err(_) => Ok(ResolveOutcome::Rejected {
+                wasted_pivots: c.pivots,
+            }),
+        }
+    }
+}
+
+/// Cold solve that hands back the live engine for in-place reoptimization.
+pub(crate) fn solve_resident(
+    model: &Model,
+    opts: &SolveOptions,
+) -> Result<(Solution, Option<SparseResident>), SolveError> {
+    let bounds: Vec<(f64, f64)> = model.cols.iter().map(|c| (c.lo, c.hi)).collect();
+    let (sol, core) = solve_core(model, &bounds, opts, None)?;
+    let resident = core.map(|core| SparseResident {
+        core,
+        var_bounds: bounds,
+    });
+    Ok((sol, resident))
+}
+
+/// Warm-started solve from a [`Basis`] snapshot: refactorize the recorded
+/// column set against the original matrix and reoptimize phase 2. Anything
+/// recoverable reports [`WarmOutcome::Rejected`] so the caller can fall back
+/// cold, matching the dense engine's contract.
+pub(crate) fn solve_warm(
+    model: &Model,
+    opts: &SolveOptions,
+    warm: &Basis,
+) -> Result<WarmOutcome, SolveError> {
+    let n = model.cols.len();
+    let m = model.rows.len();
+    let tol = opts.tolerances;
+    if warm.n != n || warm.m != m || m == 0 || warm.state.len() != n + m || warm.rows.len() != m {
+        return Ok(WarmOutcome::Rejected);
+    }
+    let var_bounds: Vec<(f64, f64)> = model.cols.iter().map(|c| (c.lo, c.hi)).collect();
+    for &(lo, hi) in &var_bounds {
+        if lo > hi {
+            return Err(SolveError::Infeasible);
+        }
+    }
+
+    let ncols = n + m;
+    let mut lo = Vec::with_capacity(ncols);
+    let mut hi = Vec::with_capacity(ncols);
+    for &(l, h) in &var_bounds {
+        lo.push(l);
+        hi.push(h);
+    }
+    for row in &model.rows {
+        let (l, h) = slack_bounds(row.cmp);
+        lo.push(l);
+        hi.push(h);
+    }
+
+    // Non-basic columns rest exactly at their recorded bound; a recorded
+    // state that no longer matches a finite bound means the snapshot belongs
+    // to a different model.
+    let state = warm.state.clone();
+    let mut xval = vec![0.0f64; ncols];
+    for j in 0..ncols {
+        match state[j] {
+            ColState::Basic => {}
+            ColState::AtLower => {
+                if !lo[j].is_finite() {
+                    return Ok(WarmOutcome::Rejected);
+                }
+                xval[j] = lo[j];
+            }
+            ColState::AtUpper => {
+                if !hi[j].is_finite() {
+                    return Ok(WarmOutcome::Rejected);
+                }
+                xval[j] = hi[j];
+            }
+            ColState::Free => xval[j] = 0.0,
+        }
+    }
+    if warm
+        .rows
+        .iter()
+        .any(|&b| b >= ncols || state[b] != ColState::Basic)
+    {
+        return Ok(WarmOutcome::Rejected);
+    }
+
+    let mat = Arc::new(SparseMatrix::from_model(model));
+    let eta_nnz_cap = 8 * (mat.nnz() + m) + 512;
+    let mut core = Core {
+        mat,
+        rhs: model.rows.iter().map(|row| row.rhs).collect(),
+        lo,
+        hi,
+        xval,
+        state,
+        basis: warm.rows.clone(),
+        etas: EtaFile::new(),
+        arts: Vec::new(),
+        n,
+        m,
+        art_start: ncols,
+        ncols,
+        costs: vec![0.0; ncols],
+        w: vec![0.0; m],
+        y: vec![0.0; m],
+        candidates: Vec::new(),
+        pivots: 0,
+        refactorizations: 0,
+        eta_peak: 0,
+        pivots_since_refactor: 0,
+        refactor_every: refactor_budget(opts, m),
+        eta_nnz_cap,
+        feas_tol: tol.feasibility,
+        opt_tol: tol.optimality,
+        pivot_tol: tol.pivot,
+    };
+
+    // Refactorize the recorded column set; a singular set or a restored
+    // point that is no longer primal feasible means the snapshot is stale.
+    if !core.refactorize() {
+        return Ok(WarmOutcome::Rejected);
+    }
+    core.pivots = 0;
+    core.refactorizations = 1; // the restore itself
+
+    core.set_phase2_costs(model);
+    match core.optimize(true, opts.pivot_cap(m, ncols)) {
+        Ok(()) => {}
+        Err(SolveError::Unbounded) => return Err(SolveError::Unbounded),
+        Err(_) => return Ok(WarmOutcome::Rejected),
+    }
+    match core.finish(model, &var_bounds) {
+        Ok(sol) => {
+            let snapshot = core.snapshot();
+            Ok(WarmOutcome::Solved(sol, snapshot))
+        }
+        Err(_) => Ok(WarmOutcome::Rejected),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use crate::{BatchSolver, Cmp, Engine, LinExpr, Model, Sense, SolveError, SolveOptions};
+
+    fn opts() -> SolveOptions {
+        SolveOptions {
+            engine: Engine::Sparse,
+            ..Default::default()
+        }
+    }
+
+    fn assert_close(a: f64, b: f64) {
+        assert!((a - b).abs() < 1e-6, "expected {b}, got {a}");
+    }
+
+    /// Deterministic xorshift64 stream of values in `[-1, 1)`.
+    fn rng(seed: u64) -> impl FnMut() -> f64 {
+        let mut state = seed | 1;
+        move || {
+            state ^= state << 13;
+            state ^= state >> 7;
+            state ^= state << 17;
+            ((state >> 11) as f64 / (1u64 << 53) as f64) * 2.0 - 1.0
+        }
+    }
+
+    /// A band-diagonal LP shaped like one ITNE over-approximation window:
+    /// each row touches only `band` consecutive variables plus its slack.
+    fn band_lp(n: usize, band: usize, seed: u64) -> (Model, Vec<crate::VarId>) {
+        let mut next = rng(seed);
+        let mut m = Model::new();
+        let vars: Vec<_> = (0..n).map(|_| m.add_var(-1.0, 1.0)).collect();
+        for r in 0..n {
+            let lo = r.saturating_sub(band / 2);
+            let hi = (lo + band).min(n);
+            let e = LinExpr::from_terms(vars[lo..hi].iter().map(|&v| (v, next())), 0.0);
+            m.add_constraint(e, Cmp::Le, 0.5 + next().abs());
+        }
+        let obj = LinExpr::from_terms(vars.iter().map(|&v| (v, next())), 0.0);
+        m.set_objective(Sense::Maximize, obj);
+        (m, vars)
+    }
+
+    #[test]
+    fn textbook_problems_match_dense_engine() {
+        // The dense engine's unit suite distilled into an engine-agreement
+        // check: every model solves to the same objective on both engines.
+        let build: Vec<fn() -> Model> = vec![
+            || {
+                let mut m = Model::new();
+                let x = m.add_var(0.0, 10.0);
+                let y = m.add_var(0.0, 10.0);
+                m.add_constraint(x + y, Cmp::Le, 6.0);
+                m.add_constraint(2.0 * x + y, Cmp::Le, 9.0);
+                m.set_objective(Sense::Maximize, 3.0 * x + 2.0 * y);
+                m
+            },
+            || {
+                let mut m = Model::new();
+                let x = m.add_var(0.0, 100.0);
+                let y = m.add_var(0.0, 10.0);
+                m.add_constraint(x + y, Cmp::Ge, 4.0);
+                m.add_constraint(x, Cmp::Ge, 1.0);
+                m.set_objective(Sense::Minimize, 2.0 * x + 3.0 * y);
+                m
+            },
+            || {
+                let mut m = Model::new();
+                let x = m.add_var(-10.0, 10.0);
+                let y = m.add_var(-10.0, 10.0);
+                m.add_constraint(x + 2.0 * y, Cmp::Eq, 3.0);
+                m.add_constraint(x - y, Cmp::Eq, 0.0);
+                m.set_objective(Sense::Minimize, x + y);
+                m
+            },
+            || {
+                // Free variable in an equality plus an objective constant.
+                let mut m = Model::new();
+                let x = m.add_var(0.0, 1.0);
+                let y = m.add_var(f64::NEG_INFINITY, f64::INFINITY);
+                m.add_constraint(y - 3.0 * x, Cmp::Eq, -1.0);
+                m.set_objective(Sense::Maximize, 1.0 * y + 10.0);
+                m
+            },
+            || {
+                // Redundant equality rows: a frozen artificial survives.
+                let mut m = Model::new();
+                let x = m.add_var(0.0, 5.0);
+                let y = m.add_var(0.0, 5.0);
+                m.add_constraint(x + y, Cmp::Eq, 4.0);
+                m.add_constraint(2.0 * x + 2.0 * y, Cmp::Eq, 8.0);
+                m.set_objective(Sense::Maximize, 1.0 * x);
+                m
+            },
+            || {
+                // Degenerate vertex (several constraints meet near a point).
+                let mut m = Model::new();
+                let x = m.add_var(0.0, 10.0);
+                let y = m.add_var(0.0, 10.0);
+                m.add_constraint(x + y, Cmp::Le, 1.0);
+                m.add_constraint(x + 2.0 * y, Cmp::Le, 1.0);
+                m.add_constraint(2.0 * x + y, Cmp::Le, 1.0);
+                m.set_objective(Sense::Maximize, x + y);
+                m
+            },
+        ];
+        for (i, mk) in build.iter().enumerate() {
+            let m = mk();
+            let sparse = m
+                .solve_with(&opts())
+                .unwrap_or_else(|e| panic!("case {i} sparse: {e}"));
+            let dense = m
+                .solve_with(&SolveOptions {
+                    engine: Engine::Dense,
+                    ..Default::default()
+                })
+                .unwrap_or_else(|e| panic!("case {i} dense: {e}"));
+            assert!(
+                (sparse.objective - dense.objective).abs() < 1e-6,
+                "case {i}: sparse {} vs dense {}",
+                sparse.objective,
+                dense.objective
+            );
+        }
+    }
+
+    #[test]
+    fn infeasible_and_unbounded_detected() {
+        let mut m = Model::new();
+        let x = m.add_var(0.0, 1.0);
+        m.add_constraint(2.0 * x, Cmp::Ge, 3.0);
+        m.set_objective(Sense::Maximize, 1.0 * x);
+        assert_eq!(m.solve_with(&opts()).unwrap_err(), SolveError::Infeasible);
+
+        let mut m = Model::new();
+        let x = m.add_var(0.0, f64::INFINITY);
+        let y = m.add_var(0.0, f64::INFINITY);
+        m.add_constraint(x - y, Cmp::Le, 1.0);
+        m.set_objective(Sense::Maximize, x + y);
+        assert_eq!(m.solve_with(&opts()).unwrap_err(), SolveError::Unbounded);
+    }
+
+    /// The eta-file refactorization-equivalence property: rebuilding the
+    /// factorization after *every* pivot (`refactor_interval = 1`) must
+    /// reach the same optimum as the lazy default — refactorization is a
+    /// representation change, never a semantic one.
+    #[test]
+    fn refactorization_is_equivalence_preserving() {
+        let (m, _) = band_lp(40, 5, 0xE7A);
+        let lazy = m.solve_with(&opts()).expect("lazy solves");
+        let eager = m
+            .solve_with(&SolveOptions {
+                refactor_interval: 1,
+                ..opts()
+            })
+            .expect("eager solves");
+        assert_close(eager.objective, lazy.objective);
+        assert!(
+            eager.stats.refactorizations > 0,
+            "interval 1 never refactorized: {:?}",
+            eager.stats
+        );
+        assert!(
+            lazy.stats.refactorizations < eager.stats.refactorizations,
+            "lazy path refactorized as often as eager: {:?} vs {:?}",
+            lazy.stats,
+            eager.stats
+        );
+        // Values agree too, not just objectives.
+        for (a, b) in eager.values().iter().zip(lazy.values()) {
+            assert!((a - b).abs() < 1e-6, "values diverged: {a} vs {b}");
+        }
+    }
+
+    /// Same property across a warm-started sweep: per-pivot refactorization
+    /// inside resident reoptimization changes nothing observable.
+    #[test]
+    fn refactorization_equivalence_across_warm_sweeps() {
+        let objectives: Vec<(Sense, Vec<f64>)> = {
+            let mut next = rng(77);
+            (0..6)
+                .map(|i| {
+                    let sense = if i % 2 == 0 {
+                        Sense::Minimize
+                    } else {
+                        Sense::Maximize
+                    };
+                    (sense, (0..30).map(|_| next()).collect())
+                })
+                .collect()
+        };
+        let run = |interval: u64| -> Vec<f64> {
+            let (mut m, vars) = band_lp(30, 4, 0xBEE);
+            let o = SolveOptions {
+                refactor_interval: interval,
+                ..opts()
+            };
+            let mut batch = BatchSolver::new(&mut m);
+            objectives
+                .iter()
+                .map(|(sense, cs)| {
+                    let e = LinExpr::from_terms(vars.iter().copied().zip(cs.iter().copied()), 0.0);
+                    batch.solve(*sense, e, &o).expect("solves").objective
+                })
+                .collect()
+        };
+        let lazy = run(0);
+        let eager = run(1);
+        for (a, b) in eager.iter().zip(&lazy) {
+            assert!((a - b).abs() < 1e-6, "sweep diverged: {a} vs {b}");
+        }
+    }
+
+    #[test]
+    fn sweep_warm_starts_and_reports_engine_stats() {
+        let (mut m, vars) = band_lp(60, 5, 0x5EED);
+        let nnz_expected = {
+            let mat = super::SparseMatrix::from_model(&m);
+            mat.nnz() as u64
+        };
+        let o = opts();
+        let mut batch = BatchSolver::new(&mut m);
+        let mut last = None;
+        for k in 0..8 {
+            let e = LinExpr::from_terms(vars.iter().map(|&v| (v, 1.0 + k as f64 * 0.1)), 0.0);
+            let sense = if k % 2 == 0 {
+                Sense::Maximize
+            } else {
+                Sense::Minimize
+            };
+            last = Some(batch.solve(sense, e, &o).expect("solves"));
+        }
+        let stats = batch.stats();
+        assert!(stats.warm_hits >= 6, "expected warm hits, got {stats:?}");
+        let sol = last.expect("at least one solve");
+        assert_eq!(sol.stats.nnz, nnz_expected, "nnz not reported");
+        assert!(sol.stats.eta_len > 0, "eta length not reported");
+    }
+
+    #[test]
+    fn large_band_problem_solves_within_pivot_budget() {
+        // A conv-window-sized skeleton: 220 rows, bandwidth 7. The dense
+        // engine pays O(m·ncols) per pivot here; the sparse engine must
+        // still agree with it exactly.
+        let (m, _) = band_lp(220, 7, 0xC06);
+        let sparse = m.solve_with(&opts()).expect("sparse solves");
+        let dense = m
+            .solve_with(&SolveOptions {
+                engine: Engine::Dense,
+                ..Default::default()
+            })
+            .expect("dense solves");
+        assert_close(sparse.objective, dense.objective);
+    }
+}

@@ -9,8 +9,15 @@
 //!   solves on every objective of randomly generated *feasible* skeletons —
 //!   including when a restore is rejected and falls back to a cold solve.
 
-use itne_milp::{BatchSolver, Cmp, LinExpr, Model, Sense, SolveError, SolveOptions};
+use itne_milp::{BatchSolver, Cmp, Engine, LinExpr, Model, Sense, SolveError, SolveOptions};
 use proptest::prelude::*;
+
+fn engine_opts(engine: Engine) -> SolveOptions {
+    SolveOptions {
+        engine,
+        ..Default::default()
+    }
+}
 
 #[derive(Debug, Clone)]
 struct RandomLp {
@@ -345,6 +352,58 @@ proptest! {
         let st = batch.stats();
         prop_assert_eq!(st.solves, s.objectives.len() as u64);
         prop_assert_eq!(st.warm_hits + st.warm_misses + st.cold_solves, st.solves);
+    }
+
+    /// Differential property of the engine rewrite: the dense tableau and
+    /// the sparse revised simplex (PFI eta file, partial pricing, periodic
+    /// refactorization) must agree on every random skeleton — same optimum
+    /// to solver tolerance, and the same verdict on solvability.
+    #[test]
+    fn dense_and_sparse_engines_agree(lp in random_lp()) {
+        let (model, _) = build(&lp);
+        let dense = model.solve_with(&engine_opts(Engine::Dense));
+        let sparse = model.solve_with(&engine_opts(Engine::Sparse));
+        match (&dense, &sparse) {
+            (Ok(d), Ok(s)) => prop_assert!(
+                (d.objective - s.objective).abs() < 1e-6,
+                "dense {} vs sparse {}", d.objective, s.objective),
+            (Err(SolveError::Infeasible), Err(SolveError::Infeasible)) => {}
+            _ => prop_assert!(false,
+                "engines disagree on solvability: dense {:?} vs sparse {:?}",
+                dense.as_ref().map(|s| s.objective),
+                sparse.as_ref().map(|s| s.objective)),
+        }
+    }
+
+    /// The same differential property through the warm-started sweep path:
+    /// a sparse-engine `BatchSolver` sweep (resident reoptimization, eta
+    /// refactorizations and all) matches a dense-engine sweep objective by
+    /// objective on every feasible skeleton.
+    #[test]
+    fn sparse_and_dense_warm_sweeps_agree(s in feasible_sweep()) {
+        let run = |engine: Engine| -> Vec<Result<f64, SolveError>> {
+            let (mut model, vars) = build_sweep_model(&s);
+            let opts = engine_opts(engine);
+            let mut batch = BatchSolver::new(&mut model);
+            s.objectives.iter().map(|(sense, cs)| {
+                let e = LinExpr::from_terms(
+                    vars.iter().copied().zip(cs.iter().copied()), 0.0);
+                batch.solve(*sense, e, &opts).map(|sol| sol.objective)
+            }).collect()
+        };
+        let sparse = run(Engine::Sparse);
+        let dense = run(Engine::Dense);
+        for (i, (sp, de)) in sparse.iter().zip(&dense).enumerate() {
+            match (sp, de) {
+                (Ok(a), Ok(b)) => prop_assert!(
+                    (a - b).abs() < 1e-6,
+                    "objective {i}: sparse {a} vs dense {b}"),
+                (Err(_), Err(_)) => {}
+                _ => prop_assert!(false,
+                    "objective {i}: engines disagree on solvability \
+                     (sparse {sp:?} vs dense {de:?})"),
+            }
+        }
     }
 
     /// Basis snapshot/restore across *separate* solves
