@@ -9,7 +9,6 @@
 use itne_bench::nets::auto_mpg_net;
 use itne_bench::table::{fmt_duration, save_json, Table};
 use itne_core::{certify_global, exact_global, CertifyOptions};
-use itne_milp::SolveOptions;
 use serde::Serialize;
 use std::time::{Duration, Instant};
 
@@ -29,7 +28,7 @@ fn main() {
         &bench.net,
         &bench.domain,
         bench.delta,
-        SolveOptions::with_budget(Duration::from_secs(600)),
+        itne_core::deadline::solver_with_budget(Duration::from_secs(600)),
     )
     .expect("exact is tractable at this size");
     let e = exact.max_epsilon();

@@ -28,7 +28,6 @@ use itne_bench::nets::{table1_nets, BenchNet};
 use itne_bench::table::{fmt_duration, json_flag, save_json, save_json_at, Table};
 use itne_core::split::{split_global, SplitOptions};
 use itne_core::{certify_global, exact_global, CertifyOptions};
-use itne_milp::SolveOptions;
 use serde::Serialize;
 use std::time::{Duration, Instant};
 
@@ -222,7 +221,7 @@ fn run_row(bench: &BenchNet, budget: Duration, quick: bool) -> Row {
     if !is_conv {
         let t0 = Instant::now();
         let milp = exact_global(net, domain, *delta, {
-            let mut s = SolveOptions::with_budget(budget);
+            let mut s = itne_core::deadline::solver_with_budget(budget);
             s.max_pivots = u64::MAX / 4; // budget governs, not pivot caps
             s
         })

@@ -123,10 +123,13 @@ impl CertifyOptions {
 
     fn solver_options(&self) -> SolveOptions {
         let mut s = self.solver.clone();
-        s.deadline = match (s.deadline, self.deadline) {
-            (Some(a), Some(b)) => Some(a.min(b)),
-            (a, b) => a.or(b),
-        };
+        if let Some(d) = self.deadline {
+            let at_deadline = crate::deadline::stop_at(d);
+            s.stop = Some(match s.stop.take() {
+                Some(prior) => prior.or(at_deadline),
+                None => at_deadline,
+            });
+        }
         s
     }
 }
@@ -208,8 +211,11 @@ pub fn certify_global_affine(
         .iter()
         .map(|&(lo, hi)| Interval::new(lo, hi))
         .collect();
+    #[allow(clippy::disallowed_methods)]
+    // lint:allow(wall-clock): telemetry only — wall time never feeds certified bounds
     let t0 = Instant::now();
     let (bounds, mut stats) = propagate(aff, &domain, delta, opts);
+    // lint:allow(wall-clock): telemetry only — wall time never feeds certified bounds
     stats.wall = t0.elapsed();
     Ok(GlobalReport {
         epsilons: bounds.epsilons(),
@@ -647,7 +653,7 @@ mod tests {
     fn expired_deadline_returns_ibp() {
         let net = fig1_network();
         let opts = CertifyOptions {
-            deadline: Some(Instant::now() - std::time::Duration::from_secs(1)),
+            deadline: Some(crate::deadline::already_expired()),
             ..Default::default()
         };
         let r = certify_global(&net, &DOM, 0.1, &opts).unwrap();

@@ -18,10 +18,9 @@
 
 use crate::bounds::TwinBounds;
 use crate::interval::{distance_relaxation_bounds, Interval};
-use crate::refine::select_refined;
+use crate::refine::{select_refined, RefinedSet};
 use crate::subnet::SubNetwork;
 use itne_milp::{Cmp, LinExpr, Model, VarId};
-use std::collections::HashSet;
 
 /// Slack added to variable bounds and big-M constants so that LP tolerances
 /// never cut off true optima.
@@ -172,8 +171,8 @@ pub fn encode_subnet_with(
     let mut vars: Vec<Vec<NeuronVars>> = Vec::with_capacity(w + 1);
     let mut enc = Counters::default();
 
-    let refined: HashSet<(usize, usize)> = match opts.relax {
-        Relaxation::Exact => HashSet::new(), // everything is exact anyway
+    let refined: RefinedSet = match opts.relax {
+        Relaxation::Exact => RefinedSet::new(), // everything is exact anyway
         Relaxation::Lpr => select_refined(sub, bounds, target, opts),
     };
 

@@ -16,7 +16,8 @@ use itne_nn::{AffineNetwork, Network};
 /// Computes the exact `(δ, ε)` bound per output by solving Eq. 1 as a MILP
 /// over the whole twin network (window = depth, exact ReLUs, ITNE variables).
 ///
-/// With a deadline in `solver`, the result degrades gracefully: expired
+/// With a stop signal in `solver` (see [`crate::deadline`]), the result
+/// degrades gracefully: expired
 /// queries keep their sound over-approximation from the search frontier or
 /// IBP, so the returned bounds are still valid — check
 /// `report.stats.query.fallbacks` and the solve counters to detect timeouts.

@@ -45,6 +45,7 @@
 
 pub mod algorithm;
 pub mod bounds;
+pub mod deadline;
 pub mod encode;
 mod error;
 pub mod example;

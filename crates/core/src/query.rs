@@ -17,7 +17,7 @@
 
 use crate::encode::EncodedSubNet;
 use crate::interval::Interval;
-use itne_milp::{BatchSolver, BatchStats, LinExpr, Sense, SolveOptions, Status};
+use itne_milp::{BatchSolver, BatchStats, LinExpr, Sense, SolveOptions, Status, StopWhen};
 
 /// Slack added to LP optima before use as bounds, absorbing solver
 /// tolerances.
@@ -61,7 +61,7 @@ pub struct QueryStats {
     /// Total branch-and-bound nodes.
     pub nodes: u64,
     /// Queries that fell back to the caller's interval (solver failure or
-    /// early-out on deadline).
+    /// early-out on a fired stop signal).
     pub fallbacks: u64,
     /// Solves completed from a warm-started simplex basis (phase 1 skipped).
     pub warm_hits: u64,
@@ -155,11 +155,9 @@ fn directed_bound(
     solver: &SolveOptions,
     stats: &mut QueryStats,
 ) -> f64 {
-    if let Some(deadline) = solver.deadline {
-        if std::time::Instant::now() >= deadline {
-            stats.fallbacks += 1;
-            return fallback_bound;
-        }
+    if solver.stop.as_ref().is_some_and(StopWhen::should_stop) {
+        stats.fallbacks += 1;
+        return fallback_bound;
     }
     stats.solves += 1;
     match batch.solve(sense, expr, solver) {
@@ -384,7 +382,7 @@ mod tests {
         };
         let mut enc = encode_subnet(&sub, &bounds, TargetKind::PreActivation, &opts);
         let solver = SolveOptions {
-            deadline: Some(std::time::Instant::now() - std::time::Duration::from_secs(1)),
+            stop: Some(crate::deadline::stop_at(crate::deadline::already_expired())),
             ..Default::default()
         };
         let mut stats = QueryStats::default();

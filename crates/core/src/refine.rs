@@ -12,7 +12,52 @@ use crate::bounds::TwinBounds;
 use crate::encode::{EncodeOptions, EncodingKind, TargetKind};
 use crate::interval::Interval;
 use crate::subnet::SubNetwork;
-use std::collections::HashSet;
+
+/// A deterministically ordered set of refined `(affine layer, neuron)`
+/// pairs.
+///
+/// Lint rule `hash-iter` bans iterable hash containers in the deterministic
+/// crates: a `HashSet` here would only stay sound by the convention that
+/// nobody ever iterates it. This set is a sorted `Vec` probed by binary
+/// search instead, so membership is O(log n) and any future iteration (or
+/// `Debug` rendering in a failing test) is reproducible by construction.
+#[derive(Clone, Debug, Default, PartialEq, Eq)]
+pub struct RefinedSet {
+    pairs: Vec<(usize, usize)>,
+}
+
+impl RefinedSet {
+    /// The empty set.
+    pub fn new() -> Self {
+        RefinedSet::default()
+    }
+
+    fn from_pairs(mut pairs: Vec<(usize, usize)>) -> Self {
+        pairs.sort_unstable();
+        pairs.dedup();
+        RefinedSet { pairs }
+    }
+
+    /// Whether `pair` is refined.
+    pub fn contains(&self, pair: &(usize, usize)) -> bool {
+        self.pairs.binary_search(pair).is_ok()
+    }
+
+    /// Number of refined neurons.
+    pub fn len(&self) -> usize {
+        self.pairs.len()
+    }
+
+    /// Whether no neuron is refined.
+    pub fn is_empty(&self) -> bool {
+        self.pairs.is_empty()
+    }
+
+    /// The pairs in ascending `(layer, neuron)` order.
+    pub fn as_slice(&self) -> &[(usize, usize)] {
+        &self.pairs
+    }
+}
 
 /// Worst-case inaccuracy of the triangle relaxation over `y ∈ [lo, hi]`
 /// (0 when the ReLU is stable).
@@ -76,9 +121,9 @@ pub fn select_refined(
     bounds: &TwinBounds,
     target: TargetKind,
     opts: &EncodeOptions,
-) -> HashSet<(usize, usize)> {
+) -> RefinedSet {
     if opts.refine == 0 {
-        return HashSet::new();
+        return RefinedSet::new();
     }
     let w = sub.window();
     let mut scored: Vec<(f64, usize, usize)> = Vec::new();
@@ -97,11 +142,13 @@ pub fn select_refined(
         }
     }
     scored.sort_by(|a, b| b.0.total_cmp(&a.0).then(a.1.cmp(&b.1)).then(a.2.cmp(&b.2)));
-    scored
-        .into_iter()
-        .take(opts.refine)
-        .map(|(_, l, j)| (l, j))
-        .collect()
+    RefinedSet::from_pairs(
+        scored
+            .into_iter()
+            .take(opts.refine)
+            .map(|(_, l, j)| (l, j))
+            .collect(),
+    )
 }
 
 #[cfg(test)]

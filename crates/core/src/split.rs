@@ -14,7 +14,7 @@
 use crate::error::CertifyError;
 use crate::ibp::ibp_twin;
 use crate::interval::Interval;
-use itne_milp::{Cmp, Model, Sense, SolveOptions, VarId};
+use itne_milp::{Cmp, Model, Sense, SolveOptions, StopWhen, VarId};
 use itne_nn::{AffineNetwork, Network};
 use std::time::Instant;
 
@@ -39,7 +39,8 @@ pub struct SplitOptions {
     pub solver: SolveOptions,
     /// Node budget across all objectives.
     pub max_nodes: u64,
-    /// Wall-clock deadline.
+    /// Wall-clock deadline, polled through the audited
+    /// [`crate::deadline::stop_at`] site.
     pub deadline: Option<Instant>,
 }
 
@@ -156,6 +157,7 @@ fn split_search(
         Sense::Minimize => -1.0,
     };
     // Work in "maximize sign·Δ" form throughout.
+    let stop = opts.deadline.map(crate::deadline::stop_at);
     let mut incumbent = f64::NEG_INFINITY;
     let mut stack = vec![Node {
         ya: base.to_vec(),
@@ -168,7 +170,7 @@ fn split_search(
         if node.bound <= incumbent + 1e-9 {
             continue;
         }
-        if report.nodes >= opts.max_nodes || opts.deadline.is_some_and(|d| Instant::now() >= d) {
+        if report.nodes >= opts.max_nodes || stop.as_ref().is_some_and(StopWhen::should_stop) {
             // Unexplored frontier: its bounds stay valid upper bounds.
             incumbent = incumbent.max(node.bound);
             for n in &stack {

@@ -1,0 +1,200 @@
+//! `itne-lint` — determinism and soundness static analysis for the ITNE
+//! workspace.
+//!
+//! The certified ε̄ bounds this repo produces are only trustworthy if they
+//! are *bit-identical* across pivot paths, engines, and thread counts. That
+//! property is easy to lose to innocuous-looking Rust: iterating a
+//! `HashMap`, a `partial_cmp` sort, a stray `Instant::now()` steering a
+//! branch-and-bound. Rustc and clippy cannot see those invariants, so this
+//! crate enforces them with a hand-rolled, token-level pass:
+//!
+//! | rule            | invariant |
+//! |-----------------|-----------|
+//! | `hash-iter`     | no hash-order iteration in deterministic crates |
+//! | `float-cmp`     | `total_cmp` for ordering; no `==` on computed floats |
+//! | `wall-clock`    | clock reads only at audited `itne_core::deadline` sites; never in `itne_milp` |
+//! | `platform-fp`   | no fused/transcendental intrinsics in the LP kernel |
+//! | `forbid-unsafe` | every crate root carries `#![forbid(unsafe_code)]` |
+//! | `snap-audit`    | bound reporting routes through `snap_outward` |
+//! | `allow-syntax`  | escape hatches carry a written reason |
+//!
+//! The escape hatch is `// lint:allow(<rule>): <reason>` on the offending
+//! line or the line above. A bare allow without a reason is itself a
+//! violation (`allow-syntax`) and does **not** suppress.
+
+#![forbid(unsafe_code)]
+
+pub mod rules;
+pub mod source;
+
+use source::SourceFile;
+use std::fs;
+use std::io;
+use std::path::{Path, PathBuf};
+
+/// Where a file sits in the workspace — determines which rules apply.
+#[derive(Clone, Debug)]
+pub struct FileContext {
+    /// Crate short name: the path component after `crates/` (e.g. `milp`),
+    /// or `"root"` for top-level `src/`.
+    pub crate_name: String,
+    /// File name, e.g. `query.rs`.
+    pub file_name: String,
+    /// Under `tests/`, `benches/`, or `examples/` — relaxed scope.
+    pub is_test_file: bool,
+    /// `src/lib.rs` or `src/main.rs` — must carry `#![forbid(unsafe_code)]`.
+    pub is_crate_root: bool,
+}
+
+/// One `path:line: [rule] message` finding.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct Diagnostic {
+    pub path: String,
+    pub line: usize,
+    pub rule: &'static str,
+    pub message: String,
+}
+
+impl std::fmt::Display for Diagnostic {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(
+            f,
+            "{}:{}: [{}] {}",
+            self.path, self.line, self.rule, self.message
+        )
+    }
+}
+
+/// Lints one source text. `display_path` is used verbatim in diagnostics.
+pub fn lint_source(ctx: &FileContext, display_path: &str, source: &str) -> Vec<Diagnostic> {
+    let file = SourceFile::parse(source);
+    let mut raw = Vec::new();
+    rules::run_all(ctx, display_path, &file, &mut raw);
+    // `wall-clock` in the solver crate is absolute — no escape hatch. The
+    // solver must stay a pure function of its inputs plus the caller's
+    // `StopWhen`; an annotated clock read there is still a clock read.
+    let milp = ctx.crate_name == "milp";
+    raw.retain(|d| {
+        d.rule == "allow-syntax"
+            || (milp && d.rule == "wall-clock")
+            || !file.allowed(d.rule, d.line)
+    });
+    raw.sort_by(|a, b| (a.line, a.rule).cmp(&(b.line, b.rule)));
+    // One report per (line, rule): several sub-checks can flag the same
+    // expression.
+    raw.dedup_by(|a, b| a.line == b.line && a.rule == b.rule);
+    raw
+}
+
+/// Walks `roots`, linting every `.rs` file. Skips `target`, `vendor`,
+/// `fixtures`, and dot-directories.
+pub fn lint_paths(roots: &[PathBuf]) -> io::Result<Vec<Diagnostic>> {
+    let mut files = Vec::new();
+    for root in roots {
+        collect_rs(root, &mut files)?;
+    }
+    files.sort();
+    let mut diags = Vec::new();
+    for path in &files {
+        let source = fs::read_to_string(path)?;
+        let ctx = context_for(path);
+        let display = path.to_string_lossy();
+        diags.extend(lint_source(&ctx, &display, &source));
+    }
+    Ok(diags)
+}
+
+fn collect_rs(path: &Path, out: &mut Vec<PathBuf>) -> io::Result<()> {
+    if path.is_file() {
+        if path.extension().is_some_and(|e| e == "rs") {
+            out.push(path.to_path_buf());
+        }
+        return Ok(());
+    }
+    for entry in fs::read_dir(path)? {
+        let entry = entry?;
+        let p = entry.path();
+        let name = entry.file_name();
+        let name = name.to_string_lossy();
+        if p.is_dir() {
+            if matches!(name.as_ref(), "target" | "vendor" | "fixtures") || name.starts_with('.') {
+                continue;
+            }
+            collect_rs(&p, out)?;
+        } else if name.ends_with(".rs") {
+            out.push(p);
+        }
+    }
+    Ok(())
+}
+
+/// Derives the [`FileContext`] from a path like `crates/core/src/query.rs`.
+pub fn context_for(path: &Path) -> FileContext {
+    let comps: Vec<String> = path
+        .components()
+        .map(|c| c.as_os_str().to_string_lossy().into_owned())
+        .collect();
+    let crate_name = comps
+        .iter()
+        .position(|c| c == "crates")
+        .and_then(|i| comps.get(i + 1))
+        .cloned()
+        .unwrap_or_else(|| "root".to_string());
+    let file_name = comps.last().cloned().unwrap_or_default();
+    let is_test_file = comps
+        .iter()
+        .any(|c| matches!(c.as_str(), "tests" | "benches" | "examples"));
+    let n = comps.len();
+    let is_crate_root =
+        n >= 2 && comps[n - 2] == "src" && (file_name == "lib.rs" || file_name == "main.rs");
+    FileContext {
+        crate_name,
+        file_name,
+        is_test_file,
+        is_crate_root,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn context_derivation() {
+        let ctx = context_for(Path::new("crates/core/src/query.rs"));
+        assert_eq!(ctx.crate_name, "core");
+        assert_eq!(ctx.file_name, "query.rs");
+        assert!(!ctx.is_test_file);
+        assert!(!ctx.is_crate_root);
+
+        let ctx = context_for(Path::new("crates/milp/src/lib.rs"));
+        assert!(ctx.is_crate_root);
+
+        let ctx = context_for(Path::new("crates/milp/tests/golden.rs"));
+        assert!(ctx.is_test_file);
+
+        let ctx = context_for(Path::new("src/lib.rs"));
+        assert_eq!(ctx.crate_name, "root");
+        assert!(ctx.is_crate_root);
+    }
+
+    #[test]
+    fn reasoned_allow_suppresses_adjacent_line() {
+        let ctx = context_for(Path::new("crates/core/src/telemetry.rs"));
+        let src = "#![forbid(unsafe_code)]\n\
+                   // lint:allow(wall-clock): telemetry only\n\
+                   let t0 = std::time::Instant::now();\n";
+        let diags = lint_source(&ctx, "t.rs", src);
+        assert!(diags.is_empty(), "{diags:?}");
+    }
+
+    #[test]
+    fn bare_allow_does_not_suppress() {
+        let ctx = context_for(Path::new("crates/core/src/telemetry.rs"));
+        let src = "// lint:allow(wall-clock)\nlet t0 = std::time::Instant::now();\n";
+        let diags = lint_source(&ctx, "t.rs", src);
+        let rules: Vec<&str> = diags.iter().map(|d| d.rule).collect();
+        assert!(rules.contains(&"allow-syntax"), "{diags:?}");
+        assert!(rules.contains(&"wall-clock"), "{diags:?}");
+    }
+}

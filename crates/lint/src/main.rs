@@ -1,0 +1,35 @@
+//! CLI driver: `itne-lint [PATH ...]` (default `crates`).
+//!
+//! Prints `path:line: [rule] message` for every violation and exits 1 if
+//! any were found. CI runs this alongside clippy; the two overlap on the
+//! clippy-expressible subset (see `clippy.toml`) but only this pass knows
+//! about test regions, the `snap_outward` audit, and reasoned allows.
+
+#![forbid(unsafe_code)]
+
+use std::path::PathBuf;
+use std::process::ExitCode;
+
+fn main() -> ExitCode {
+    let mut roots: Vec<PathBuf> = std::env::args().skip(1).map(PathBuf::from).collect();
+    if roots.is_empty() {
+        roots.push(PathBuf::from("crates"));
+    }
+    let diags = match itne_lint::lint_paths(&roots) {
+        Ok(d) => d,
+        Err(e) => {
+            eprintln!("itne-lint: {e}");
+            return ExitCode::FAILURE;
+        }
+    };
+    for d in &diags {
+        println!("{d}");
+    }
+    if diags.is_empty() {
+        eprintln!("itne-lint: clean");
+        ExitCode::SUCCESS
+    } else {
+        eprintln!("itne-lint: {} violation(s)", diags.len());
+        ExitCode::FAILURE
+    }
+}

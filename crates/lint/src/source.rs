@@ -1,0 +1,457 @@
+//! Source preprocessing: comment/string stripping, a line-faithful token
+//! stream, `#[cfg(test)]` region detection, and `lint:allow` directive
+//! parsing.
+//!
+//! The rules operate on *stripped* source — string literals and comments are
+//! blanked out (newlines preserved) — so a banned identifier mentioned in a
+//! doc comment or inside a diagnostic message never fires. Allow directives
+//! are parsed from genuine `//` line comments (the stripper records where
+//! each begins) and must *start* the comment — a mid-sentence mention in a
+//! doc comment, or the pattern inside a string literal, is not a directive.
+
+/// One lexical token of the stripped source.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct Token {
+    /// 1-based source line.
+    pub line: usize,
+    pub kind: TokKind,
+    pub text: String,
+}
+
+#[derive(Copy, Clone, Debug, PartialEq, Eq)]
+pub enum TokKind {
+    Ident,
+    Num,
+    Punct,
+}
+
+/// A parsed `// lint:allow(<rule>): <reason>` directive.
+#[derive(Clone, Debug)]
+pub struct Allow {
+    /// 1-based line the directive appears on. It suppresses matching
+    /// diagnostics on this line and the next.
+    pub line: usize,
+    pub rule: String,
+    pub has_reason: bool,
+}
+
+/// A preprocessed source file ready for rule checks.
+pub struct SourceFile {
+    /// Code-only lines (strings and comments blanked).
+    pub stripped: Vec<String>,
+    /// Token stream over the stripped source.
+    pub tokens: Vec<Token>,
+    /// Per-line flag (index 0 = line 1): inside a `#[cfg(test)]` region.
+    pub test_lines: Vec<bool>,
+    /// All allow directives, in source order.
+    pub allows: Vec<Allow>,
+}
+
+impl SourceFile {
+    pub fn parse(source: &str) -> SourceFile {
+        let (stripped_text, comments) = strip(source);
+        let stripped: Vec<String> = stripped_text.lines().map(str::to_owned).collect();
+        let tokens = tokenize(&stripped);
+        let test_lines = test_regions(&tokens, stripped.len());
+        let allows = parse_allows(&comments);
+        SourceFile {
+            stripped,
+            tokens,
+            test_lines,
+            allows,
+        }
+    }
+
+    /// Whether 1-based `line` lies inside a `#[cfg(test)]` region.
+    pub fn in_test_region(&self, line: usize) -> bool {
+        self.test_lines
+            .get(line.saturating_sub(1))
+            .copied()
+            .unwrap_or(false)
+    }
+
+    /// Whether an allow directive for `rule` (with a reason) covers `line`.
+    pub fn allowed(&self, rule: &str, line: usize) -> bool {
+        self.allows
+            .iter()
+            .any(|a| a.has_reason && a.rule == rule && (a.line == line || a.line + 1 == line))
+    }
+}
+
+/// Blanks comments, string/char literals, and raw strings; preserves line
+/// structure. Rust block comments nest; lifetimes (`'a`) are distinguished
+/// from char literals by lookahead. Also returns every `//` line comment as
+/// `(line, text-after-the-slashes)` so directives can be parsed from real
+/// comments only.
+fn strip(source: &str) -> (String, Vec<(usize, String)>) {
+    #[derive(PartialEq)]
+    enum State {
+        Code,
+        Line,
+        Block(u32),
+        Str,
+        RawStr(usize),
+        Char,
+    }
+    let chars: Vec<char> = source.chars().collect();
+    let mut out = String::with_capacity(source.len());
+    let mut comments: Vec<(usize, String)> = Vec::new();
+    let mut state = State::Code;
+    let mut i = 0;
+    let mut line_no = 1usize;
+    let mut prev_code: char = ' ';
+    while i < chars.len() {
+        let c = chars[i];
+        if c == '\n' {
+            line_no += 1;
+        }
+        let next = chars.get(i + 1).copied();
+        match state {
+            State::Code => match c {
+                '/' if next == Some('/') => {
+                    state = State::Line;
+                    comments.push((line_no, String::new()));
+                    out.push(' ');
+                    out.push(' ');
+                    i += 1;
+                }
+                '/' if next == Some('*') => {
+                    state = State::Block(1);
+                    out.push(' ');
+                    out.push(' ');
+                    i += 1;
+                }
+                '"' => {
+                    state = State::Str;
+                    out.push(' ');
+                }
+                'r' | 'b' if !prev_code.is_alphanumeric() && prev_code != '_' => {
+                    // r"..", r#".."#, b"..", br#".."# — find the quote run.
+                    let mut j = i + 1;
+                    if c == 'b' && chars.get(j) == Some(&'r') {
+                        j += 1;
+                    }
+                    let mut hashes = 0;
+                    while chars.get(j) == Some(&'#') {
+                        hashes += 1;
+                        j += 1;
+                    }
+                    if chars.get(j) == Some(&'"') && (c == 'r' || j > i + 1) {
+                        for _ in i..=j {
+                            out.push(' ');
+                        }
+                        i = j;
+                        state = State::RawStr(hashes);
+                    } else {
+                        out.push(c);
+                        prev_code = c;
+                    }
+                }
+                '\'' => {
+                    // Char literal iff it closes shortly or starts an escape;
+                    // otherwise it is a lifetime.
+                    let is_char = next == Some('\\')
+                        || (chars.get(i + 2) == Some(&'\'') && next != Some('\''));
+                    if is_char {
+                        state = State::Char;
+                    }
+                    out.push(' ');
+                }
+                _ => {
+                    out.push(c);
+                    if !c.is_whitespace() {
+                        prev_code = c;
+                    }
+                }
+            },
+            State::Line => {
+                if c == '\n' {
+                    state = State::Code;
+                    out.push('\n');
+                } else {
+                    if let Some((_, text)) = comments.last_mut() {
+                        text.push(c);
+                    }
+                    out.push(' ');
+                }
+            }
+            State::Block(depth) => {
+                if c == '\n' {
+                    out.push('\n');
+                } else if c == '*' && next == Some('/') {
+                    out.push(' ');
+                    out.push(' ');
+                    i += 1;
+                    state = if depth == 1 {
+                        State::Code
+                    } else {
+                        State::Block(depth - 1)
+                    };
+                } else if c == '/' && next == Some('*') {
+                    out.push(' ');
+                    out.push(' ');
+                    i += 1;
+                    state = State::Block(depth + 1);
+                } else {
+                    out.push(' ');
+                }
+            }
+            State::Str => {
+                if c == '\n' {
+                    out.push('\n');
+                } else if c == '\\' {
+                    out.push(' ');
+                    if next.is_some() && next != Some('\n') {
+                        out.push(' ');
+                        i += 1;
+                    }
+                } else {
+                    out.push(' ');
+                    if c == '"' {
+                        state = State::Code;
+                    }
+                }
+            }
+            State::RawStr(hashes) => {
+                if c == '\n' {
+                    out.push('\n');
+                } else if c == '"' && (i + 1..=i + hashes).all(|k| chars.get(k) == Some(&'#')) {
+                    for _ in 0..=hashes {
+                        out.push(' ');
+                    }
+                    i += hashes;
+                    state = State::Code;
+                } else {
+                    out.push(' ');
+                }
+            }
+            State::Char => {
+                if c == '\\' {
+                    out.push(' ');
+                    if next.is_some() && next != Some('\n') {
+                        out.push(' ');
+                        i += 1;
+                    }
+                } else {
+                    out.push(if c == '\n' { '\n' } else { ' ' });
+                    if c == '\'' {
+                        state = State::Code;
+                    }
+                }
+            }
+        }
+        i += 1;
+    }
+    (out, comments)
+}
+
+/// Multi-char punctuation joined into one token (only the pairs rules need).
+const JOINED: [&str; 7] = ["::", "->", "=>", "==", "!=", "<=", ">="];
+
+fn tokenize(stripped: &[String]) -> Vec<Token> {
+    let mut tokens = Vec::new();
+    for (idx, line) in stripped.iter().enumerate() {
+        let chars: Vec<char> = line.chars().collect();
+        let mut i = 0;
+        while i < chars.len() {
+            let c = chars[i];
+            if c.is_whitespace() {
+                i += 1;
+            } else if c.is_alphabetic() || c == '_' {
+                let start = i;
+                while i < chars.len() && (chars[i].is_alphanumeric() || chars[i] == '_') {
+                    i += 1;
+                }
+                tokens.push(Token {
+                    line: idx + 1,
+                    kind: TokKind::Ident,
+                    text: chars[start..i].iter().collect(),
+                });
+            } else if c.is_ascii_digit() {
+                let start = i;
+                i += 1;
+                while i < chars.len() {
+                    let d = chars[i];
+                    if d.is_alphanumeric() || d == '_' {
+                        // Exponent sign: 1e-3, 2.5E+7.
+                        if (d == 'e' || d == 'E')
+                            && matches!(chars.get(i + 1), Some('+') | Some('-'))
+                            && chars.get(i + 2).is_some_and(char::is_ascii_digit)
+                        {
+                            i += 2;
+                        }
+                        i += 1;
+                    } else if d == '.' && chars.get(i + 1).is_some_and(char::is_ascii_digit) {
+                        i += 1; // fractional part, not a range or tuple access
+                    } else {
+                        break;
+                    }
+                }
+                tokens.push(Token {
+                    line: idx + 1,
+                    kind: TokKind::Num,
+                    text: chars[start..i].iter().collect(),
+                });
+            } else {
+                let pair: String = chars[i..(i + 2).min(chars.len())].iter().collect();
+                if JOINED.contains(&pair.as_str()) {
+                    tokens.push(Token {
+                        line: idx + 1,
+                        kind: TokKind::Punct,
+                        text: pair,
+                    });
+                    i += 2;
+                } else {
+                    tokens.push(Token {
+                        line: idx + 1,
+                        kind: TokKind::Punct,
+                        text: c.to_string(),
+                    });
+                    i += 1;
+                }
+            }
+        }
+    }
+    tokens
+}
+
+/// Marks the lines belonging to `#[cfg(test)]` items (normally the trailing
+/// `mod tests { .. }` block).
+fn test_regions(tokens: &[Token], n_lines: usize) -> Vec<bool> {
+    let mut test = vec![false; n_lines];
+    let is = |t: Option<&Token>, kind: TokKind, text: &str| {
+        t.is_some_and(|t| t.kind == kind && t.text == text)
+    };
+    let mut i = 0;
+    while i < tokens.len() {
+        let attr = is(tokens.get(i), TokKind::Punct, "#")
+            && is(tokens.get(i + 1), TokKind::Punct, "[")
+            && is(tokens.get(i + 2), TokKind::Ident, "cfg")
+            && is(tokens.get(i + 3), TokKind::Punct, "(")
+            && is(tokens.get(i + 4), TokKind::Ident, "test")
+            && is(tokens.get(i + 5), TokKind::Punct, ")")
+            && is(tokens.get(i + 6), TokKind::Punct, "]");
+        if !attr {
+            i += 1;
+            continue;
+        }
+        let start_line = tokens[i].line;
+        let mut j = i + 7;
+        let mut end_line = start_line;
+        // The guarded item: brace-delimited (mod/fn) or `;`-terminated (use).
+        while let Some(t) = tokens.get(j) {
+            if t.kind == TokKind::Punct && t.text == ";" {
+                end_line = t.line;
+                break;
+            }
+            if t.kind == TokKind::Punct && t.text == "{" {
+                let mut depth = 1;
+                while depth > 0 {
+                    j += 1;
+                    match tokens.get(j) {
+                        Some(t) if t.kind == TokKind::Punct && t.text == "{" => depth += 1,
+                        Some(t) if t.kind == TokKind::Punct && t.text == "}" => {
+                            depth -= 1;
+                            end_line = t.line;
+                        }
+                        Some(_) => {}
+                        None => depth = 0,
+                    }
+                }
+                break;
+            }
+            j += 1;
+        }
+        for l in start_line..=end_line.min(n_lines) {
+            test[l - 1] = true;
+        }
+        i = j.max(i + 7);
+    }
+    test
+}
+
+/// A directive must *begin* the comment (after doc markers `/`/`!`), so a
+/// prose mention like "use `lint:allow(rule)`" in documentation never parses
+/// as one.
+fn parse_allows(comments: &[(usize, String)]) -> Vec<Allow> {
+    let mut allows = Vec::new();
+    for (line, text) in comments {
+        let body = text.trim_start_matches(['/', '!']).trim_start();
+        let Some(rest) = body.strip_prefix("lint:allow(") else {
+            continue;
+        };
+        let Some(close) = rest.find(')') else {
+            continue;
+        };
+        let rule = rest[..close].trim().to_string();
+        let has_reason = rest[close + 1..]
+            .trim_start()
+            .strip_prefix(':')
+            .is_some_and(|r| !r.trim().is_empty());
+        allows.push(Allow {
+            line: *line,
+            rule,
+            has_reason,
+        });
+    }
+    allows
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn strings_and_comments_are_blanked() {
+        let src = "let a = \"HashSet\"; // HashSet\n/* HashSet */ let b = 1;";
+        let f = SourceFile::parse(src);
+        assert!(
+            !f.stripped.iter().any(|l| l.contains("HashSet")),
+            "{:?}",
+            f.stripped
+        );
+        assert!(f.tokens.iter().any(|t| t.text == "b"));
+    }
+
+    #[test]
+    fn raw_strings_and_lifetimes_survive() {
+        let src = "fn f<'a>(x: &'a str) -> bool { x == r#\"Instant::now\"# }";
+        let f = SourceFile::parse(src);
+        assert!(!f.stripped[0].contains("Instant"));
+        assert!(f.tokens.iter().any(|t| t.text == "a")); // lifetime ident kept
+    }
+
+    #[test]
+    fn float_literal_lexing() {
+        let f = SourceFile::parse("x == 2.5e-3; y == 1..3; z.0.cmp(&w.0)");
+        let nums: Vec<&str> = f
+            .tokens
+            .iter()
+            .filter(|t| t.kind == TokKind::Num)
+            .map(|t| t.text.as_str())
+            .collect();
+        assert_eq!(nums, ["2.5e-3", "1", "3", "0", "0"]);
+    }
+
+    #[test]
+    fn cfg_test_region_detection() {
+        let src = "fn a() {}\n#[cfg(test)]\nmod tests {\n    fn b() {}\n}\nfn c() {}";
+        let f = SourceFile::parse(src);
+        assert!(!f.in_test_region(1));
+        assert!(f.in_test_region(2));
+        assert!(f.in_test_region(4));
+        assert!(f.in_test_region(5));
+        assert!(!f.in_test_region(6));
+    }
+
+    #[test]
+    fn allow_directives_parse() {
+        let src =
+            "// lint:allow(wall-clock): telemetry only\nlet t = 1;\n// lint:allow(hash-iter)\n";
+        let f = SourceFile::parse(src);
+        assert!(f.allowed("wall-clock", 1));
+        assert!(f.allowed("wall-clock", 2));
+        assert!(!f.allowed("wall-clock", 3));
+        assert!(!f.allowed("hash-iter", 3), "bare allow must not suppress");
+    }
+}

@@ -1,0 +1,10 @@
+//@ crate=core file=misc.rs
+// lint:allow(made-up-rule): not a rule this linter knows //~ allow-syntax
+fn a() -> usize {
+    1
+}
+
+// lint:allow(float-cmp) //~ allow-syntax
+fn b(x: f64) -> bool {
+    x == 0.25 //~ float-cmp
+}

@@ -1,0 +1,28 @@
+//@ crate=milp file=clean.rs
+//! A deterministic-crate file that exercises near-miss patterns without
+//! violating any rule: the linter must stay quiet here.
+use std::collections::{BTreeMap, HashSet};
+
+fn membership(set: &mut HashSet<usize>, tree: &BTreeMap<usize, f64>) -> f64 {
+    set.insert(3);
+    let mut total = 0.0;
+    for (_, v) in tree.iter() {
+        total += v;
+    }
+    if total == 0.0 {
+        return 0.0;
+    }
+    total
+}
+
+fn order(xs: &mut [f64]) {
+    xs.sort_by(|a, b| a.total_cmp(b));
+}
+
+fn exact_zero_sparsity(col: &[f64]) -> usize {
+    // "Instant::now() in a string is not a clock read, HashMap in a doc
+    // comment is not an iteration" — stripped before rules run.
+    let msg = "Instant::now() HashMap.iter() x.mul_add partial_cmp";
+    drop(msg);
+    col.iter().filter(|&&v| v != 0.0).count()
+}

@@ -1,0 +1,33 @@
+//@ crate=core file=ordering.rs
+fn pick(xs: &mut Vec<(usize, f64)>) {
+    xs.sort_by(|a, b| a.1.partial_cmp(&b.1).unwrap()); //~ float-cmp
+    xs.sort_by(|a, b| a.1.total_cmp(&b.1));
+}
+
+fn classify(x: f64) -> bool {
+    if x == 0.0 {
+        return true; // exact-zero sparsity checks are deterministic
+    }
+    if x != -0.0 {
+        return false;
+    }
+    x == 0.5 //~ float-cmp
+}
+
+fn negated(x: f64) -> bool {
+    x == -1.5 //~ float-cmp
+}
+
+fn integers(n: usize) -> bool {
+    n == 3 // integer equality is fine
+}
+
+#[cfg(test)]
+mod tests {
+    #[test]
+    fn golden() {
+        assert!(super::classify(0.5) == false);
+        let eps = 0.125;
+        assert!(eps == 0.125); // tests may bit-lock exact values
+    }
+}

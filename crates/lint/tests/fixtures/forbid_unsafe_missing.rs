@@ -1,0 +1,4 @@
+//@ crate=attack file=lib.rs root=true //~ forbid-unsafe
+pub fn f() -> usize {
+    1
+}

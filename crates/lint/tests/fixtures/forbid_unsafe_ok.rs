@@ -1,0 +1,6 @@
+//@ crate=attack file=lib.rs root=true
+#![forbid(unsafe_code)]
+
+pub fn f() -> usize {
+    1
+}

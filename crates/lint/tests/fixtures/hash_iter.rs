@@ -1,0 +1,47 @@
+//@ crate=milp file=basis.rs
+use std::collections::{HashMap, HashSet};
+
+struct Basis {
+    live: HashSet<usize>,
+}
+
+fn lookups(set: &HashSet<(usize, usize)>) -> bool {
+    set.contains(&(0, 1)) && !set.is_empty()
+}
+
+fn mutate(set: &mut HashSet<usize>) {
+    set.insert(3);
+    set.remove(&4);
+}
+
+fn sum(map: &HashMap<usize, f64>) -> f64 {
+    let mut total = 0.0;
+    for (_, v) in map.iter() { //~ hash-iter
+        total += v;
+    }
+    total
+}
+
+fn loop_direct(set: &HashSet<usize>) {
+    for x in set { //~ hash-iter
+        drop(x);
+    }
+}
+
+fn gather(xs: &[usize]) {
+    let picked = xs.iter().copied().collect::<HashSet<usize>>(); //~ hash-iter
+    drop(picked);
+}
+
+fn typed_binding(xs: &[usize]) {
+    let picked: HashSet<usize> = xs.iter().copied().collect(); //~ hash-iter
+    drop(picked);
+}
+
+fn leak(xs: &[usize]) -> HashSet<usize> { //~ hash-iter
+    let mut out = HashSet::new();
+    for &x in xs {
+        out.insert(x);
+    }
+    out
+}

@@ -1,0 +1,21 @@
+//@ crate=milp file=kernel.rs
+fn dot(a: &[f64], b: &[f64]) -> f64 {
+    let mut acc = 0.0;
+    for i in 0..a.len() {
+        acc = a[i].mul_add(b[i], acc); //~ platform-fp
+    }
+    acc
+}
+
+fn scale(x: f64) -> f64 {
+    x.exp() //~ platform-fp
+}
+
+fn angle(x: f64) -> f64 {
+    x.to_degrees() //~ platform-fp
+}
+
+fn exact_ops(x: f64) -> f64 {
+    // sqrt, powi, abs, and plain arithmetic are IEEE-754-exact
+    x.sqrt() + x.powi(2) + x.abs() - x / 2.0
+}

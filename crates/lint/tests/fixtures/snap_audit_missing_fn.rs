@@ -1,0 +1,6 @@
+//@ crate=core file=query.rs //~ snap-audit
+const SOUND_SLACK: f64 = 1e-7;
+
+fn report(v: f64) -> f64 {
+    v + SOUND_SLACK
+}

@@ -1,0 +1,26 @@
+//@ crate=core file=query.rs
+const SOUND_SLACK: f64 = 1e-7;
+
+pub fn snap_outward(v: f64, upper: bool) -> f64 {
+    if upper {
+        v
+    } else {
+        -v
+    }
+}
+
+fn unsnapped(v: f64) -> f64 {
+    v + SOUND_SLACK //~ snap-audit
+}
+
+fn snapped(v: f64) -> f64 {
+    snap_outward(v + SOUND_SLACK, true)
+}
+
+#[cfg(test)]
+mod tests {
+    #[test]
+    fn tests_may_build_raw_slack() {
+        let _ = 1.0 + super::SOUND_SLACK;
+    }
+}

@@ -1,0 +1,32 @@
+//@ crate=core file=timing.rs
+use std::time::{Instant, SystemTime};
+
+fn unannotated() {
+    let t0 = Instant::now(); //~ wall-clock
+    let _ = t0;
+}
+
+fn system_clock() {
+    let _ = SystemTime::now(); //~ wall-clock
+}
+
+fn annotated() {
+    // lint:allow(wall-clock): deadline anchor — converted to a StopWhen at once
+    let t0 = Instant::now();
+    let _ = t0;
+}
+
+fn trailing_annotation() {
+    let t0 = Instant::now(); // lint:allow(wall-clock): telemetry only
+    let _ = t0;
+}
+
+#[cfg(test)]
+mod tests {
+    use std::time::Instant;
+
+    #[test]
+    fn tests_may_time_things() {
+        let _ = Instant::now();
+    }
+}

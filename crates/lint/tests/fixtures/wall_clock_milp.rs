@@ -1,0 +1,23 @@
+//@ crate=milp file=solver.rs
+use std::time::Instant;
+
+fn solve() {
+    let t0 = Instant::now(); //~ wall-clock
+    let _ = t0.elapsed(); //~ wall-clock
+}
+
+fn sneaky() {
+    // lint:allow(wall-clock): the solver is special, honest
+    let t1 = Instant::now(); //~ wall-clock
+    let _ = t1;
+}
+
+#[cfg(test)]
+mod tests {
+    use std::time::Instant;
+
+    #[test]
+    fn even_tests_may_not() {
+        let _ = Instant::now(); //~ wall-clock
+    }
+}

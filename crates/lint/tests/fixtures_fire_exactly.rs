@@ -1,0 +1,132 @@
+//! Fixture harness: every file under `tests/fixtures/` declares its own
+//! context on line 1 (`//@ crate=milp file=kernel.rs [test=true] [root=true]`)
+//! and marks each line expected to fire with a trailing `//~ rule-id`
+//! comment (several ids may follow one marker). The harness asserts the
+//! emitted (line, rule) multiset matches the markers *exactly* — a rule
+//! firing anywhere unmarked, or failing to fire where marked, fails.
+
+#![forbid(unsafe_code)]
+
+use itne_lint::{lint_source, FileContext};
+use std::collections::BTreeMap;
+use std::fs;
+use std::path::PathBuf;
+
+fn parse_header(line: &str, fixture: &str) -> FileContext {
+    let header = line
+        .strip_prefix("//@")
+        .unwrap_or_else(|| panic!("{fixture}: line 1 must start with `//@`"));
+    let header = header.split("//~").next().unwrap_or(header);
+    let mut ctx = FileContext {
+        crate_name: String::new(),
+        file_name: String::new(),
+        is_test_file: false,
+        is_crate_root: false,
+    };
+    for kv in header.split_whitespace() {
+        let (k, v) = kv
+            .split_once('=')
+            .unwrap_or_else(|| panic!("{fixture}: bad header entry `{kv}`"));
+        match k {
+            "crate" => ctx.crate_name = v.to_string(),
+            "file" => ctx.file_name = v.to_string(),
+            "test" => ctx.is_test_file = v == "true",
+            "root" => ctx.is_crate_root = v == "true",
+            _ => panic!("{fixture}: unknown header key `{k}`"),
+        }
+    }
+    assert!(
+        !ctx.crate_name.is_empty() && !ctx.file_name.is_empty(),
+        "{fixture}: header must set crate= and file="
+    );
+    ctx
+}
+
+/// (line, rule) → count, so double-fires are caught too.
+fn expected_markers(source: &str) -> BTreeMap<(usize, String), usize> {
+    let mut out = BTreeMap::new();
+    for (idx, line) in source.lines().enumerate() {
+        let Some(pos) = line.find("//~") else {
+            continue;
+        };
+        for rule in line[pos + 3..].split_whitespace() {
+            *out.entry((idx + 1, rule.to_string())).or_insert(0) += 1;
+        }
+    }
+    out
+}
+
+#[test]
+fn fixtures_fire_exactly_where_marked() {
+    let dir = PathBuf::from(env!("CARGO_MANIFEST_DIR")).join("tests/fixtures");
+    let mut names: Vec<PathBuf> = fs::read_dir(&dir)
+        .expect("fixtures directory exists")
+        .map(|e| e.expect("readable entry").path())
+        .filter(|p| p.extension().is_some_and(|e| e == "rs"))
+        .collect();
+    names.sort();
+    assert!(names.len() >= 10, "fixture corpus went missing: {names:?}");
+
+    let mut failures = Vec::new();
+    for path in &names {
+        let fixture = path
+            .file_name()
+            .expect("file name")
+            .to_string_lossy()
+            .into_owned();
+        let source = fs::read_to_string(path).expect("readable fixture");
+        let header = source.lines().next().unwrap_or_default();
+        let ctx = parse_header(header, &fixture);
+
+        let expected = expected_markers(&source);
+        let mut actual: BTreeMap<(usize, String), usize> = BTreeMap::new();
+        for d in lint_source(&ctx, &fixture, &source) {
+            *actual.entry((d.line, d.rule.to_string())).or_insert(0) += 1;
+        }
+
+        for (key, n) in &expected {
+            if actual.get(key).copied().unwrap_or(0) != *n {
+                failures.push(format!(
+                    "{fixture}:{}: expected [{}] ×{n}, got ×{}",
+                    key.0,
+                    key.1,
+                    actual.get(key).copied().unwrap_or(0)
+                ));
+            }
+        }
+        for (key, n) in &actual {
+            if !expected.contains_key(key) {
+                failures.push(format!("{fixture}:{}: UNEXPECTED [{}] ×{n}", key.0, key.1));
+            }
+        }
+    }
+    assert!(
+        failures.is_empty(),
+        "fixture mismatches:\n  {}",
+        failures.join("\n  ")
+    );
+}
+
+#[test]
+fn clean_fixture_is_actually_exercised() {
+    // Guard against the corpus silently degenerating: at least one fixture
+    // must expect zero diagnostics and at least one must expect several.
+    let dir = PathBuf::from(env!("CARGO_MANIFEST_DIR")).join("tests/fixtures");
+    let mut zero = 0;
+    let mut multi = 0;
+    for entry in fs::read_dir(&dir).expect("fixtures directory exists") {
+        let path = entry.expect("readable entry").path();
+        if path.extension().is_none_or(|e| e != "rs") {
+            continue;
+        }
+        let source = fs::read_to_string(&path).expect("readable fixture");
+        let n: usize = expected_markers(&source).values().sum();
+        if n == 0 {
+            zero += 1;
+        } else if n >= 3 {
+            multi += 1;
+        }
+    }
+    assert!(zero >= 2, "want known-clean fixtures");
+    assert!(multi >= 3, "want fixtures with several expected violations");
+}

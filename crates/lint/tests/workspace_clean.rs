@@ -1,0 +1,25 @@
+//! The workspace itself must be lint-clean — this makes determinism
+//! hygiene part of tier-1 `cargo test`, not just a CI side job.
+
+#![forbid(unsafe_code)]
+
+use std::path::PathBuf;
+
+#[test]
+fn workspace_is_lint_clean() {
+    let root = PathBuf::from(env!("CARGO_MANIFEST_DIR"))
+        .join("../..")
+        .canonicalize()
+        .expect("workspace root resolves");
+    let diags = itne_lint::lint_paths(&[root.join("crates"), root.join("src")])
+        .expect("workspace sources readable");
+    assert!(
+        diags.is_empty(),
+        "determinism lint violations in the workspace:\n  {}",
+        diags
+            .iter()
+            .map(ToString::to_string)
+            .collect::<Vec<_>>()
+            .join("\n  ")
+    );
+}

@@ -2,15 +2,17 @@
 //!
 //! Depth-first search branching on the most fractional integer variable.
 //! Nodes carry only bound overrides, so the constraint matrix is shared.
-//! Supports wall-clock deadlines (returning the incumbent with
+//! Supports cooperative cancellation ([`crate::StopWhen`], typically a
+//! caller-built wall-clock deadline, returning the incumbent with
 //! [`Status::TimedOut`]) — the mechanism behind the paper's "exact methods
-//! cannot certify within 24h" rows of Table I.
+//! cannot certify within 24h" rows of Table I. The solver never reads the
+//! clock itself (determinism lint rule `wall-clock`).
 
 use std::sync::Arc;
 
 use crate::error::SolveError;
 use crate::model::{Model, Sense, VarType};
-use crate::options::{Engine, SolveOptions};
+use crate::options::{Engine, SolveOptions, StopWhen};
 use crate::sparse::{self, SparseMatrix};
 use crate::{simplex, Solution, Stats, Status};
 
@@ -64,11 +66,9 @@ pub(crate) fn solve_milp(model: &Model, opts: &SolveOptions) -> Result<Solution,
     let csc = (opts.engine == Engine::Sparse).then(|| Arc::new(SparseMatrix::from_model(model)));
 
     while let Some(node) = stack.pop() {
-        if let Some(deadline) = opts.deadline {
-            if std::time::Instant::now() >= deadline {
-                timed_out = true;
-                break;
-            }
+        if opts.stop.as_ref().is_some_and(StopWhen::should_stop) {
+            timed_out = true;
+            break;
         }
         if nodes >= opts.max_nodes {
             node_limited = true;
@@ -282,8 +282,9 @@ mod tests {
     }
 
     #[test]
-    fn deadline_yields_timeout_error_or_incumbent() {
-        // A deliberately hard little MILP with an immediate deadline: we either
+    fn fired_stop_signal_yields_timeout_error_or_incumbent() {
+        // A deliberately hard little MILP with an already-firing stop signal
+        // (the deterministic equivalent of an expired deadline): we either
         // get TimedOut with an incumbent or a Timeout error — never a panic.
         let mut m = Model::new();
         let xs: Vec<_> = (0..18).map(|_| m.add_binary()).collect();
@@ -294,7 +295,7 @@ mod tests {
         m.add_constraint(w.clone(), Cmp::Le, 31.0);
         m.set_objective(Sense::Maximize, w);
         let opts = crate::SolveOptions {
-            deadline: Some(std::time::Instant::now()),
+            stop: Some(crate::StopWhen::immediately()),
             ..Default::default()
         };
         match m.solve_with(&opts) {

@@ -14,7 +14,8 @@
 //!   periodic refactorization) and the original **dense tableau**, kept
 //!   behind [`SolveOptions::engine`] for differential testing;
 //! * a **branch-and-bound** search over integer (in practice binary ReLU
-//!   indicator) variables, with deadline and node-limit support
+//!   indicator) variables, with cooperative cancellation ([`StopWhen`],
+//!   typically a caller-built deadline) and node-limit support
 //!   ([`Model::solve`] on mixed models);
 //! * **warm-started objective sweeps**: a solve's final simplex [`Basis`] can
 //!   be snapshotted and re-injected as the starting basis of the next solve
@@ -71,7 +72,7 @@ pub use batch::{BatchSolver, BatchStats};
 pub use error::SolveError;
 pub use linexpr::LinExpr;
 pub use model::{Cmp, Model, Sense, VarId, VarType};
-pub use options::{Engine, SolveOptions, Tolerances};
+pub use options::{Engine, SolveOptions, StopWhen, Tolerances};
 pub use simplex::Basis;
 
 use serde::{Deserialize, Serialize};
@@ -85,8 +86,9 @@ use serde::{Deserialize, Serialize};
 pub enum Status {
     /// Proven optimal (within tolerances).
     Optimal,
-    /// A deadline expired; the reported solution is feasible but possibly
-    /// sub-optimal. [`Stats::best_bound`] brackets the true optimum.
+    /// The caller's stop signal fired (typically an expired deadline); the
+    /// reported solution is feasible but possibly sub-optimal.
+    /// [`Stats::best_bound`] brackets the true optimum.
     TimedOut,
     /// The branch-and-bound node limit was hit before the tree was exhausted.
     NodeLimit,

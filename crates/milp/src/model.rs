@@ -173,7 +173,7 @@ impl Model {
         self.solve_with(&SolveOptions::default())
     }
 
-    /// Solves with explicit options (tolerances, limits, deadline).
+    /// Solves with explicit options (tolerances, limits, stop signal).
     ///
     /// # Errors
     ///

@@ -1,6 +1,7 @@
-//! Solver configuration: tolerances, limits, deadlines.
+//! Solver configuration: tolerances, limits, stop signals.
 
-use std::time::Instant;
+use std::fmt;
+use std::sync::Arc;
 
 /// Absolute numerical tolerances used throughout the solver.
 #[derive(Copy, Clone, Debug, PartialEq)]
@@ -49,6 +50,52 @@ pub enum Engine {
     Dense,
 }
 
+/// A caller-supplied cooperative interrupt.
+///
+/// Branch-and-bound polls it between nodes and gives up with
+/// [`crate::Status::TimedOut`] (or [`crate::SolveError::Timeout`] when no
+/// incumbent exists) once it fires. The solver itself never reads the wall
+/// clock — determinism lint rule `wall-clock` bans `Instant::now` in this
+/// crate — so time-based cancellation is built by the *caller* from its own
+/// audited clock site (see `itne_core::deadline::stop_at`). Keeping the
+/// clock out of the kernel means a solve is a pure function of its inputs
+/// and the stop signal, which is what the bit-exactness invariants rest on.
+#[derive(Clone)]
+pub struct StopWhen(Arc<dyn Fn() -> bool + Send + Sync>);
+
+impl StopWhen {
+    /// Wraps an arbitrary predicate. The predicate must be cheap — it runs
+    /// once per branch-and-bound node — and should be monotone (once true,
+    /// stay true), matching deadline semantics.
+    pub fn new(f: impl Fn() -> bool + Send + Sync + 'static) -> Self {
+        StopWhen(Arc::new(f))
+    }
+
+    /// A signal that is already firing: every poll requests cancellation.
+    /// This is the deterministic stand-in for "an expired deadline" in tests.
+    pub fn immediately() -> Self {
+        StopWhen::new(|| true)
+    }
+
+    /// Combines two signals: stop as soon as either fires (the successor of
+    /// the old "earlier of two deadlines" merge).
+    #[must_use]
+    pub fn or(self, other: StopWhen) -> Self {
+        StopWhen::new(move || self.should_stop() || other.should_stop())
+    }
+
+    /// Polls the signal.
+    pub fn should_stop(&self) -> bool {
+        (self.0)()
+    }
+}
+
+impl fmt::Debug for StopWhen {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str("StopWhen(..)")
+    }
+}
+
 /// Limits and behaviour switches for [`crate::Model::solve_with`].
 #[derive(Clone, Debug)]
 pub struct SolveOptions {
@@ -60,10 +107,11 @@ pub struct SolveOptions {
     /// Maximum branch-and-bound nodes before giving up with
     /// [`crate::Status::NodeLimit`].
     pub max_nodes: u64,
-    /// Wall-clock deadline. When it passes, branch-and-bound returns the
-    /// incumbent with [`crate::Status::TimedOut`] (or
+    /// Cooperative stop signal (typically a wall-clock deadline built by the
+    /// caller — see [`StopWhen`]). When it fires, branch-and-bound returns
+    /// the incumbent with [`crate::Status::TimedOut`] (or
     /// [`crate::SolveError::Timeout`] if none exists).
-    pub deadline: Option<Instant>,
+    pub stop: Option<StopWhen>,
     /// Allow [`crate::BatchSolver`] (and [`crate::Model::solve_with_basis`])
     /// to reuse the basis of an earlier solve instead of running phase 1
     /// from scratch. Disabling forces every solve cold — useful to prove
@@ -100,7 +148,7 @@ impl Default for SolveOptions {
             tolerances: Tolerances::default(),
             max_pivots: 0,
             max_nodes: 20_000_000,
-            deadline: None,
+            stop: None,
             warm_start: true,
             warm_start_cell_limit: u64::MAX,
             engine: Engine::default(),
@@ -110,14 +158,6 @@ impl Default for SolveOptions {
 }
 
 impl SolveOptions {
-    /// Options with a wall-clock budget measured from now.
-    pub fn with_budget(budget: std::time::Duration) -> Self {
-        SolveOptions {
-            deadline: Some(Instant::now() + budget),
-            ..Self::default()
-        }
-    }
-
     pub(crate) fn pivot_cap(&self, rows: usize, cols: usize) -> u64 {
         if self.max_pivots > 0 {
             self.max_pivots

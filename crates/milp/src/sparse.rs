@@ -407,11 +407,10 @@ impl Core {
             self.candidates.clear();
             return None;
         }
-        scored.sort_by(|a, b| {
-            b.2.partial_cmp(&a.2)
-                .unwrap_or(std::cmp::Ordering::Equal)
-                .then(a.0.cmp(&b.0))
-        });
+        // total_cmp, not partial_cmp: a NaN score must not silently collapse
+        // the ordering and steer pivot choice (lint rule float-cmp). Scores
+        // here are positive and finite, for which the two orders coincide.
+        scored.sort_by(|a, b| b.2.total_cmp(&a.2).then(a.0.cmp(&b.0)));
         scored.truncate(Self::candidate_cap(limit));
         self.candidates = scored.iter().map(|&(j, _, _)| j).collect();
         let (j, dir, _) = scored[0];

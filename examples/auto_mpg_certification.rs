@@ -15,7 +15,6 @@
 use itne::attack::{dataset_under_approximation, PgdOptions};
 use itne::cert::{certify_global, exact_global, CertifyOptions};
 use itne::data::auto_mpg;
-use itne::milp::SolveOptions;
 use itne::nn::train::{train, Adam, Loss, TrainConfig};
 use itne::nn::{initialize, NetworkBuilder};
 use std::time::Duration;
@@ -65,7 +64,7 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         &net,
         &domain,
         delta,
-        SolveOptions::with_budget(Duration::from_secs(300)),
+        itne::cert::deadline::solver_with_budget(Duration::from_secs(300)),
     )?;
     println!(
         "Exact MILP:                ε  = {:.5}   ({:?})",
