@@ -60,6 +60,15 @@ struct Row {
     refactorizations: u64,
     eta_len: u64,
     nnz: u64,
+    /// Whether exact-rational certificate checking was enabled for this run
+    /// (the `ITNE_CHECK_CERTS` environment variable / `check_certificates`).
+    check_certificates: bool,
+    /// Certified LP bounds validated in exact arithmetic, summed over the
+    /// three arms.
+    certs_checked: u64,
+    /// Certificate checks that failed, summed over the three arms. Any
+    /// nonzero count fails the run.
+    cert_failures: u64,
     eps_bits_equal: bool,
     eps: f64,
     /// Exact bit pattern of the certified ε̄ (hex), for cross-PR tracking
@@ -215,6 +224,13 @@ fn main() {
             refactorizations: warm.stats.query.refactorizations,
             eta_len: warm.stats.query.eta_len,
             nnz: warm.stats.query.nnz,
+            check_certificates: itne_core::query::default_check_certificates(),
+            certs_checked: dense.stats.query.certs_checked
+                + cold.stats.query.certs_checked
+                + warm.stats.query.certs_checked,
+            cert_failures: dense.stats.query.cert_failures
+                + cold.stats.query.cert_failures
+                + warm.stats.query.cert_failures,
             eps_bits_equal: equal,
             eps: warm.max_epsilon(),
             eps_bits: format!("{:#018x}", warm.max_epsilon().to_bits()),
@@ -249,6 +265,11 @@ fn main() {
         for r in diverged {
             eprintln!("DIVERGED: {} — engine/warm epsilons differ", r.net);
         }
+        std::process::exit(1);
+    }
+    let cert_failures: u64 = rows.iter().map(|r| r.cert_failures).sum();
+    if cert_failures > 0 {
+        eprintln!("CERT FAILURES: {cert_failures} dual certificates did not validate");
         std::process::exit(1);
     }
     let gmean = |f: fn(&Row) -> f64| -> f64 {

@@ -50,6 +50,14 @@ struct Row {
     /// Queries that fell back to their IBP interval (degenerate/stalled LPs);
     /// a non-zero count means ε̄ is looser than the LP relaxation could give.
     fallbacks: u64,
+    /// Whether exact-rational certificate checking was enabled for this run
+    /// (the `ITNE_CHECK_CERTS` environment variable / `check_certificates`).
+    check_certificates: bool,
+    /// Certified LP bounds validated in exact arithmetic.
+    certs_checked: u64,
+    /// Certificate checks that failed (the bound fell back to IBP). Must be
+    /// zero on the golden nets — the golden suite asserts it.
+    cert_failures: u64,
     pivots: u64,
     warm_hits: u64,
     warm_misses: u64,
@@ -194,6 +202,9 @@ fn run_row(bench: &BenchNet, budget: Duration, quick: bool) -> Row {
     row.eps_ours_bits = format!("{:#018x}", ours.max_epsilon().to_bits());
     let q = ours.stats.query;
     row.fallbacks = q.fallbacks;
+    row.check_certificates = opts.check_certificates;
+    row.certs_checked = q.certs_checked;
+    row.cert_failures = q.cert_failures;
     row.pivots = q.pivots;
     row.warm_hits = q.warm_hits;
     row.warm_misses = q.warm_misses;
@@ -205,7 +216,8 @@ fn run_row(bench: &BenchNet, budget: Duration, quick: bool) -> Row {
     // kept its looser IBP range, which would otherwise be invisible here.
     eprintln!(
         "   ours: {} LPs, {} pivots, {} IBP fallbacks, warm {}/{} hit/miss \
-         (~{} pivots saved), {} refactorizations, peak eta {}, max nnz {}",
+         (~{} pivots saved), {} refactorizations, peak eta {}, max nnz {}, \
+         certs {}/{} checked/failed",
         q.solves,
         q.pivots,
         q.fallbacks,
@@ -214,7 +226,9 @@ fn run_row(bench: &BenchNet, budget: Duration, quick: bool) -> Row {
         q.pivots_saved,
         q.refactorizations,
         q.eta_len,
-        q.nnz
+        q.nnz,
+        q.certs_checked,
+        q.cert_failures
     );
 
     // --- Exact baselines (skip on conv nets, as the paper's do not scale). ---

@@ -1,0 +1,389 @@
+//! Exact dyadic-rational arithmetic on arbitrary-precision integers.
+//!
+//! Every finite `f64` is a dyadic rational `±m · 2^e`, and the three
+//! operations the certificate checker needs — addition, multiplication, and
+//! comparison — are *closed* over dyadic rationals, so no denominators other
+//! than powers of two ever appear and no division is required. A [`Dyadic`]
+//! stores the magnitude as little-endian 64-bit limbs plus a binary
+//! exponent; all arithmetic is exact, with no rounding anywhere.
+//!
+//! The representation is kept canonical (no high zero limbs, an odd lowest
+//! limb, `+0` for zero), so structural equality coincides with numerical
+//! equality and `Eq`/`Ord` are the true ordering of the represented values.
+
+use std::cmp::Ordering;
+
+/// An exact dyadic rational `(-1)^neg · mag · 2^exp`.
+///
+/// `mag` is little-endian base-2⁶⁴; the canonical form has no trailing
+/// high zero limb and an odd `mag[0]` (zero is `{neg: false, mag: [], exp: 0}`).
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct Dyadic {
+    neg: bool,
+    mag: Vec<u64>,
+    exp: i64,
+}
+
+impl Dyadic {
+    /// Exact zero.
+    pub fn zero() -> Self {
+        Dyadic {
+            neg: false,
+            mag: Vec::new(),
+            exp: 0,
+        }
+    }
+
+    /// Converts a *finite* `f64` exactly; `None` for NaN or ±∞.
+    pub fn from_f64(v: f64) -> Option<Self> {
+        if !v.is_finite() {
+            return None;
+        }
+        if v == 0.0 {
+            return Some(Self::zero());
+        }
+        let bits = v.to_bits();
+        let neg = bits >> 63 == 1;
+        let biased = ((bits >> 52) & 0x7ff) as i64;
+        let frac = bits & ((1u64 << 52) - 1);
+        let (mant, exp) = if biased == 0 {
+            // Subnormal: value = frac · 2⁻¹⁰⁷⁴.
+            (frac, -1074)
+        } else {
+            (frac | (1u64 << 52), biased - 1075)
+        };
+        Some(normalize(neg, vec![mant], exp))
+    }
+
+    /// Converts an integer exactly (convenience for tests and constants).
+    pub fn from_i64(v: i64) -> Self {
+        let neg = v < 0;
+        let mag = v.unsigned_abs();
+        normalize(neg, vec![mag], 0)
+    }
+
+    /// `-1`, `0`, or `1`.
+    pub fn sign(&self) -> i32 {
+        if self.mag.is_empty() {
+            0
+        } else if self.neg {
+            -1
+        } else {
+            1
+        }
+    }
+
+    /// Whether the value is exactly zero.
+    pub fn is_zero(&self) -> bool {
+        self.mag.is_empty()
+    }
+
+    /// Exact negation.
+    pub fn negated(&self) -> Self {
+        if self.is_zero() {
+            Self::zero()
+        } else {
+            Dyadic {
+                neg: !self.neg,
+                mag: self.mag.clone(),
+                exp: self.exp,
+            }
+        }
+    }
+
+    /// Exact sum.
+    pub fn add(&self, other: &Dyadic) -> Dyadic {
+        if self.is_zero() {
+            return other.clone();
+        }
+        if other.is_zero() {
+            return self.clone();
+        }
+        let exp = self.exp.min(other.exp);
+        let a = shl(&self.mag, (self.exp - exp) as u64);
+        let b = shl(&other.mag, (other.exp - exp) as u64);
+        let (neg, mag) = if self.neg == other.neg {
+            (self.neg, add_mag(&a, &b))
+        } else {
+            match cmp_mag(&a, &b) {
+                Ordering::Greater => (self.neg, sub_mag(&a, &b)),
+                Ordering::Less => (other.neg, sub_mag(&b, &a)),
+                Ordering::Equal => (false, Vec::new()),
+            }
+        };
+        normalize(neg, mag, exp)
+    }
+
+    /// Exact difference.
+    pub fn sub(&self, other: &Dyadic) -> Dyadic {
+        self.add(&other.negated())
+    }
+
+    /// Exact product.
+    pub fn mul(&self, other: &Dyadic) -> Dyadic {
+        if self.is_zero() || other.is_zero() {
+            return Self::zero();
+        }
+        normalize(
+            self.neg != other.neg,
+            mul_mag(&self.mag, &other.mag),
+            self.exp + other.exp,
+        )
+    }
+}
+
+impl Ord for Dyadic {
+    fn cmp(&self, other: &Self) -> Ordering {
+        let (sa, sb) = (self.sign(), other.sign());
+        if sa != sb {
+            return sa.cmp(&sb);
+        }
+        if sa == 0 {
+            return Ordering::Equal;
+        }
+        let mag_ord = cmp_abs(self, other);
+        if self.neg {
+            mag_ord.reverse()
+        } else {
+            mag_ord
+        }
+    }
+}
+
+impl PartialOrd for Dyadic {
+    fn partial_cmp(&self, other: &Self) -> Option<Ordering> {
+        Some(self.cmp(other))
+    }
+}
+
+/// Compares `|a|` against `|b|` (both non-zero).
+fn cmp_abs(a: &Dyadic, b: &Dyadic) -> Ordering {
+    // The exponent of the most significant bit decides unless equal.
+    let msb = |d: &Dyadic| {
+        let top = *d.mag.last().expect("non-zero");
+        d.exp + d.mag.len() as i64 * 64 - i64::from(top.leading_zeros())
+    };
+    match msb(a).cmp(&msb(b)) {
+        Ordering::Equal => {}
+        ord => return ord,
+    }
+    let exp = a.exp.min(b.exp);
+    let am = shl(&a.mag, (a.exp - exp) as u64);
+    let bm = shl(&b.mag, (b.exp - exp) as u64);
+    cmp_mag(&am, &bm)
+}
+
+/// Canonicalizes: strips high zero limbs, shifts out trailing zero bits into
+/// the exponent, and maps zero to the unique `+0 · 2⁰`.
+fn normalize(neg: bool, mut mag: Vec<u64>, mut exp: i64) -> Dyadic {
+    while mag.last() == Some(&0) {
+        mag.pop();
+    }
+    if mag.is_empty() {
+        return Dyadic::zero();
+    }
+    let zero_limbs = mag.iter().take_while(|&&w| w == 0).count();
+    if zero_limbs > 0 {
+        mag.drain(..zero_limbs);
+        exp += 64 * zero_limbs as i64;
+    }
+    let tz = mag[0].trailing_zeros();
+    if tz > 0 {
+        mag = shr_small(&mag, tz);
+        exp += i64::from(tz);
+    }
+    Dyadic { neg, mag, exp }
+}
+
+/// Left-shifts a limb vector by `bits` (any amount), stripping high zeros.
+fn shl(mag: &[u64], bits: u64) -> Vec<u64> {
+    if mag.is_empty() {
+        return Vec::new();
+    }
+    if bits == 0 {
+        return mag.to_vec();
+    }
+    let limb_shift = (bits / 64) as usize;
+    let bit_shift = (bits % 64) as u32;
+    let mut out = vec![0u64; limb_shift + mag.len() + 1];
+    for (i, &w) in mag.iter().enumerate() {
+        out[limb_shift + i] |= w << bit_shift;
+        if bit_shift > 0 {
+            out[limb_shift + i + 1] |= w >> (64 - bit_shift);
+        }
+    }
+    while out.last() == Some(&0) {
+        out.pop();
+    }
+    out
+}
+
+/// Right-shifts by fewer than 64 bits (shifted-out bits must be zero).
+fn shr_small(mag: &[u64], bits: u32) -> Vec<u64> {
+    if bits == 0 {
+        return mag.to_vec();
+    }
+    let mut out = vec![0u64; mag.len()];
+    for i in 0..mag.len() {
+        out[i] = mag[i] >> bits;
+        if i + 1 < mag.len() {
+            out[i] |= mag[i + 1] << (64 - bits);
+        }
+    }
+    while out.last() == Some(&0) {
+        out.pop();
+    }
+    out
+}
+
+fn cmp_mag(a: &[u64], b: &[u64]) -> Ordering {
+    match a.len().cmp(&b.len()) {
+        Ordering::Equal => {}
+        ord => return ord,
+    }
+    for (x, y) in a.iter().rev().zip(b.iter().rev()) {
+        match x.cmp(y) {
+            Ordering::Equal => {}
+            ord => return ord,
+        }
+    }
+    Ordering::Equal
+}
+
+fn add_mag(a: &[u64], b: &[u64]) -> Vec<u64> {
+    let (long, short) = if a.len() >= b.len() { (a, b) } else { (b, a) };
+    let mut out = Vec::with_capacity(long.len() + 1);
+    let mut carry = 0u64;
+    for (i, &w) in long.iter().enumerate() {
+        let s = short.get(i).copied().unwrap_or(0);
+        let (x, c1) = w.overflowing_add(s);
+        let (x, c2) = x.overflowing_add(carry);
+        out.push(x);
+        carry = u64::from(c1) + u64::from(c2);
+    }
+    if carry > 0 {
+        out.push(carry);
+    }
+    out
+}
+
+/// `a - b`; requires `a ≥ b`.
+fn sub_mag(a: &[u64], b: &[u64]) -> Vec<u64> {
+    let mut out = Vec::with_capacity(a.len());
+    let mut borrow = 0u64;
+    for (i, &w) in a.iter().enumerate() {
+        let s = b.get(i).copied().unwrap_or(0);
+        let (x, b1) = w.overflowing_sub(s);
+        let (x, b2) = x.overflowing_sub(borrow);
+        out.push(x);
+        borrow = u64::from(b1) + u64::from(b2);
+    }
+    debug_assert_eq!(borrow, 0, "sub_mag requires a >= b");
+    while out.last() == Some(&0) {
+        out.pop();
+    }
+    out
+}
+
+/// Schoolbook multiplication through `u128` partial products.
+fn mul_mag(a: &[u64], b: &[u64]) -> Vec<u64> {
+    if a.is_empty() || b.is_empty() {
+        return Vec::new();
+    }
+    let mut out = vec![0u64; a.len() + b.len()];
+    for (i, &ai) in a.iter().enumerate() {
+        let mut carry = 0u128;
+        for (j, &bj) in b.iter().enumerate() {
+            let cur = u128::from(out[i + j]) + u128::from(ai) * u128::from(bj) + carry;
+            out[i + j] = cur as u64;
+            carry = cur >> 64;
+        }
+        let mut k = i + b.len();
+        while carry > 0 {
+            let cur = u128::from(out[k]) + carry;
+            out[k] = cur as u64;
+            carry = cur >> 64;
+            k += 1;
+        }
+    }
+    while out.last() == Some(&0) {
+        out.pop();
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn d(v: f64) -> Dyadic {
+        Dyadic::from_f64(v).expect("finite")
+    }
+
+    #[test]
+    fn non_finite_rejected() {
+        assert!(Dyadic::from_f64(f64::NAN).is_none());
+        assert!(Dyadic::from_f64(f64::INFINITY).is_none());
+        assert!(Dyadic::from_f64(f64::NEG_INFINITY).is_none());
+        assert_eq!(d(0.0), Dyadic::zero());
+        assert_eq!(d(-0.0), Dyadic::zero());
+    }
+
+    #[test]
+    fn exactness_of_binary_fractions() {
+        // 0.1 and 0.2 are *not* exact tenths; their exact f64 sum exceeds
+        // the f64 nearest to 0.3. Exact arithmetic must see that.
+        let sum = d(0.1).add(&d(0.2));
+        assert_eq!(sum.cmp(&d(0.3)), Ordering::Greater);
+        // Powers of two are exact and arithmetic on them round-trips.
+        assert_eq!(d(0.5).add(&d(0.25)), d(0.75));
+        assert_eq!(d(1.5).mul(&d(2.5)), d(3.75));
+        assert_eq!(d(-3.0).mul(&d(4.0)), d(-12.0));
+    }
+
+    #[test]
+    fn wide_exponent_alignment() {
+        // 1e300 + 1e-300 is strictly greater than 1e300 in exact arithmetic
+        // even though f64 addition would round it away.
+        let big = d(1e300);
+        let tiny = d(1e-300);
+        let sum = big.add(&tiny);
+        assert_eq!(sum.cmp(&big), Ordering::Greater);
+        assert_eq!(sum.sub(&tiny), big);
+        assert_eq!(sum.sub(&big), tiny);
+    }
+
+    #[test]
+    fn subnormals_are_exact() {
+        let eps = d(f64::MIN_POSITIVE * f64::EPSILON); // smallest subnormal
+        assert_eq!(eps.sign(), 1);
+        assert_eq!(eps.add(&eps), eps.mul(&Dyadic::from_i64(2)));
+        assert_eq!(eps.sub(&eps), Dyadic::zero());
+    }
+
+    #[test]
+    fn ordering_and_signs() {
+        assert!(d(-1.0) < d(-0.5));
+        assert!(d(-0.5) < Dyadic::zero());
+        assert!(Dyadic::zero() < d(1e-12));
+        assert!(d(2.0) < d(3.0));
+        assert_eq!(d(7.25).negated().sign(), -1);
+        assert_eq!(d(7.25).negated().add(&d(7.25)), Dyadic::zero());
+    }
+
+    #[test]
+    fn multi_limb_carries() {
+        // (2^64 - 1)^2 = 2^128 - 2^65 + 1 exercises limb carries.
+        let big = Dyadic {
+            neg: false,
+            mag: vec![u64::MAX],
+            exp: 0,
+        };
+        let sq = big.mul(&big);
+        let expect = normalize(false, vec![1, u64::MAX - 1], 0);
+        assert_eq!(sq, expect);
+        // Addition chain vs multiplication by an integer.
+        let three = Dyadic::from_i64(3);
+        assert_eq!(big.add(&big).add(&big), big.mul(&three));
+    }
+}

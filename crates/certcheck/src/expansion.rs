@@ -1,0 +1,282 @@
+//! Exact floating-point expansion arithmetic (Shewchuk-style).
+//!
+//! An [`Expansion`] represents a real number as an exact sum of
+//! non-overlapping `f64` components, maintained with error-free
+//! transformations: `two_sum` captures the exact rounding error of an IEEE
+//! addition, `two_prod` (Dekker/Veltkamp splitting) the exact error of a
+//! multiplication. Every `grow` is therefore *exact* — the expansion's
+//! mathematical value never drifts — while staying in machine floats, which
+//! makes it the fast path for certificate checking: no heap churn per
+//! arithmetic op, unlike the vendored bignum in [`crate::dyadic`].
+//!
+//! The price is dynamic range. IEEE doubles overflow near 2³⁴⁰ inside the
+//! splitting step and lose exactness in products that underflow toward the
+//! subnormal range. Rather than reason about those corners, the expansion
+//! **poisons itself** whenever an intermediate leaves the provably-exact
+//! window, and the caller falls back to the slow exact-rational path. A
+//! poisoned expansion never reports a sign, so there is no way to read an
+//! inexact value out of this module.
+//!
+//! Exactness of the transformations assumes IEEE-754 binary64 with
+//! round-to-nearest — the only mode Rust's `f64` arithmetic uses.
+
+/// Exact error-free sum: returns `(s, e)` with `s = fl(a + b)` and
+/// `a + b = s + e` exactly. Knuth's branch-free 6-op version; valid for any
+/// ordering of `|a|`, `|b|` (exact in subnormals too, only overflow breaks
+/// it — and then `s` is infinite, which the caller detects).
+#[inline]
+pub(crate) fn two_sum(a: f64, b: f64) -> (f64, f64) {
+    let s = a + b;
+    let bb = s - a;
+    let aa = s - bb;
+    let e = (a - aa) + (b - bb);
+    (s, e)
+}
+
+/// Veltkamp splitter 2²⁷ + 1 for binary64.
+const SPLITTER: f64 = 134_217_729.0;
+
+/// Splits `a` into `hi + lo` with both halves fitting in 26 bits of
+/// mantissa, so their pairwise products are exact. Overflows (to a NaN
+/// `lo`) for `|a| ≥ 2⁹⁹⁶`; the caller detects the non-finite fallout.
+#[inline]
+fn split(a: f64) -> (f64, f64) {
+    let c = SPLITTER * a;
+    let hi = c - (c - a);
+    (hi, a - hi)
+}
+
+/// Exact error-free product: returns `(p, e)` with `p = fl(a · b)` and
+/// `a · b = p + e` exactly, provided `p` is finite and `|p|` stays above
+/// [`MIN_EXACT_PROD`] (no fused multiply-add — the workspace keeps to plain
+/// IEEE ops for bit-reproducibility across targets).
+#[inline]
+pub(crate) fn two_prod(a: f64, b: f64) -> (f64, f64) {
+    let p = a * b;
+    let (ah, al) = split(a);
+    let (bh, bl) = split(b);
+    let e = ((ah * bh - p) + ah * bl + al * bh) + al * bl;
+    (p, e)
+}
+
+/// Dekker's product error term is provably representable only while the
+/// product stays clear of the subnormal range (`|a·b| ≥ 2⁻⁹⁶⁹` suffices).
+/// Anything smaller — but nonzero — poisons the expansion instead of
+/// silently losing low-order bits. 1e-290 is comfortably above 2⁻⁹⁶⁹ ≈
+/// 2.0e-292.
+const MIN_EXACT_PROD: f64 = 1e-290;
+
+/// Inline component capacity. Zero-eliminated exact sums of
+/// well-scaled data collapse to a handful of components (one per ~53-bit
+/// stratum of the value's bit-span), so 16 is far beyond what certificate
+/// checking produces in practice; an expansion that would exceed it poisons
+/// itself and the caller falls back to the (equally exact) bignum path.
+/// Keeping the storage inline makes the per-variable reduced-cost
+/// accumulators allocation-free — the dominant win over the bignum.
+const INLINE: usize = 16;
+
+/// An exact sum of `f64` components, non-overlapping and sorted by
+/// increasing magnitude (so the last component alone determines the sign).
+/// Starts at zero; `grow`/`grow_prod`/`grow_scaled` add exactly or poison.
+#[derive(Clone, Debug)]
+pub(crate) struct Expansion {
+    /// Non-overlapping components in `comps[..len]`, increasing magnitude,
+    /// zeros elided.
+    comps: [f64; INLINE],
+    len: usize,
+    /// Set when an intermediate left the exact window (or outgrew the
+    /// inline capacity); the value is no longer trustworthy and `sign`
+    /// refuses to answer.
+    poisoned: bool,
+}
+
+impl Default for Expansion {
+    fn default() -> Self {
+        Self {
+            comps: [0.0; INLINE],
+            len: 0,
+            poisoned: false,
+        }
+    }
+}
+
+impl Expansion {
+    /// The zero expansion.
+    pub(crate) fn new() -> Self {
+        Self::default()
+    }
+
+    /// Whether any operation overflowed or underflowed out of the exact
+    /// window. A poisoned expansion must be discarded.
+    pub(crate) fn poisoned(&self) -> bool {
+        self.poisoned
+    }
+
+    /// Adds the double `x` exactly (Shewchuk's GROW-EXPANSION with zero
+    /// elimination, in place). Non-finite input or carry poisons.
+    pub(crate) fn grow(&mut self, x: f64) {
+        if self.poisoned || x == 0.0 {
+            return;
+        }
+        if !x.is_finite() {
+            self.poisoned = true;
+            return;
+        }
+        let mut q = x;
+        let mut k = 0;
+        for i in 0..self.len {
+            let (s, e) = two_sum(q, self.comps[i]);
+            q = s;
+            if e != 0.0 {
+                self.comps[k] = e;
+                k += 1;
+            }
+        }
+        if !q.is_finite() {
+            self.poisoned = true;
+            return;
+        }
+        if q != 0.0 {
+            if k == INLINE {
+                // Can't happen unless the input expansion was already full
+                // AND nothing collapsed; bail to the exact fallback.
+                self.poisoned = true;
+                return;
+            }
+            self.comps[k] = q;
+            k += 1;
+        }
+        self.len = k;
+    }
+
+    /// Adds the exact product `a · b`. Note the underflow guard keys on the
+    /// *operands*, not the rounded product: a nonzero `a · b` can round all
+    /// the way to `0.0`, which must poison rather than vanish.
+    pub(crate) fn grow_prod(&mut self, a: f64, b: f64) {
+        let (p, e) = two_prod(a, b);
+        if !p.is_finite() || (a != 0.0 && b != 0.0 && p.abs() < MIN_EXACT_PROD) {
+            self.poisoned = true;
+            return;
+        }
+        self.grow(e);
+        self.grow(p);
+    }
+
+    /// Adds the exact product `other · b` (scale-and-accumulate over the
+    /// other expansion's components).
+    pub(crate) fn grow_scaled(&mut self, other: &Expansion, b: f64) {
+        if other.poisoned {
+            self.poisoned = true;
+            return;
+        }
+        for &c in &other.comps[..other.len] {
+            self.grow_prod(c, b);
+        }
+    }
+
+    /// The exact sign of the represented value: −1, 0, or +1. `None` when
+    /// poisoned — a poisoned expansion has no trustworthy sign.
+    pub(crate) fn sign(&self) -> Option<i32> {
+        if self.poisoned {
+            return None;
+        }
+        // Non-overlapping + increasing magnitude: all lower components sum
+        // to strictly less than the last one's magnitude, so it decides.
+        Some(match self.comps[..self.len].last() {
+            None => 0,
+            Some(&c) if c > 0.0 => 1,
+            Some(_) => -1,
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn two_sum_captures_the_rounding_error() {
+        let (s, e) = two_sum(1.0, 1e-17);
+        assert_eq!(s, 1.0);
+        assert_eq!(e, 1e-17);
+        let (s, e) = two_sum(0.1, 0.2);
+        // 0.1 + 0.2 rounds up; the error term is the exact defect.
+        assert_eq!(s, 0.30000000000000004);
+        assert!(e < 0.0);
+    }
+
+    #[test]
+    fn two_prod_captures_the_rounding_error() {
+        let (p, e) = two_prod(0.1, 3.0);
+        assert_eq!(p, 0.30000000000000004);
+        assert!(e < 0.0, "f64(0.1)·3 is below the rounded product");
+        let (p, e) = two_prod(3.0, 4.0);
+        assert_eq!((p, e), (12.0, 0.0));
+    }
+
+    #[test]
+    fn expansion_sums_exactly() {
+        // 0.1 + 0.2 − 0.3 is famously nonzero in f64 — and the expansion
+        // knows its exact sign.
+        let mut x = Expansion::new();
+        x.grow(0.1);
+        x.grow(0.2);
+        x.grow(-0.3);
+        assert_eq!(x.sign(), Some(1));
+        // Massive cancellation across magnitudes resolves exactly.
+        let mut x = Expansion::new();
+        x.grow(1e16);
+        x.grow(1.0);
+        x.grow(-1e16);
+        x.grow(-1.0);
+        assert_eq!(x.sign(), Some(0));
+        let mut x = Expansion::new();
+        x.grow(1e16);
+        x.grow(-1.0);
+        x.grow(-1e16);
+        assert_eq!(x.sign(), Some(-1));
+    }
+
+    #[test]
+    fn products_accumulate_exactly() {
+        // Σ 0.1·3 − 0.3 computed exactly: f64(0.1)·3 > 0.3.
+        let mut x = Expansion::new();
+        x.grow_prod(0.1, 3.0);
+        x.grow(-0.3);
+        assert_eq!(x.sign(), Some(1));
+        // … and f64(0.1)·3 < the rounded f64 product.
+        let mut x = Expansion::new();
+        x.grow_prod(0.1, 3.0);
+        x.grow(-(0.1f64 * 3.0));
+        assert_eq!(x.sign(), Some(-1));
+    }
+
+    #[test]
+    fn overflow_and_underflow_poison() {
+        let mut x = Expansion::new();
+        x.grow_prod(1e200, 1e200);
+        assert!(x.poisoned());
+        assert_eq!(x.sign(), None);
+        let mut x = Expansion::new();
+        x.grow_prod(1e-200, 1e-200);
+        assert!(x.poisoned(), "subnormal-range product must poison");
+        // Splitter overflow on a huge-but-finite product.
+        let mut x = Expansion::new();
+        x.grow_prod(1e300, 1e-10);
+        assert!(x.poisoned() || x.sign() == Some(1));
+        let mut x = Expansion::new();
+        x.grow(f64::NAN);
+        assert!(x.poisoned());
+    }
+
+    #[test]
+    fn poison_is_sticky_and_propagates() {
+        let mut x = Expansion::new();
+        x.grow_prod(1e200, 1e200);
+        x.grow(1.0);
+        assert!(x.poisoned());
+        let mut y = Expansion::new();
+        y.grow_scaled(&x, 2.0);
+        assert!(y.poisoned());
+    }
+}

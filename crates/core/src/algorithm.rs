@@ -57,6 +57,15 @@ pub struct CertifyOptions {
     /// variable (once, at first use) so CI can re-run the whole test suite
     /// with the parallel path exercised; unset or invalid means 1.
     pub threads: usize,
+    /// Validate every certified LP bound in exact rational arithmetic
+    /// against the solver's dual certificate before trusting it; a failed
+    /// check falls back to the sound IBP range (counted in
+    /// [`crate::query::QueryStats::cert_failures`]).
+    ///
+    /// [`CertifyOptions::default`] reads the `ITNE_CHECK_CERTS` environment
+    /// variable (once, at first use); unset, `0`, `false`, or `off` means
+    /// disabled.
+    pub check_certificates: bool,
     /// Per-solve limits and tolerances.
     pub solver: SolveOptions,
     /// Overall wall-clock deadline; on expiry remaining neurons keep their
@@ -88,6 +97,7 @@ impl Default for CertifyOptions {
             y_aware_distance: false,
             closed_form_x: true,
             threads: default_threads(),
+            check_certificates: crate::query::default_check_certificates(),
             solver: SolveOptions {
                 // Per-query budget: a rare degenerate-stalling LP must not
                 // dominate the run — it falls back to the sound IBP range
@@ -362,6 +372,7 @@ fn process_neuron(
         bounds.y[li][j],
         bounds.dy[li][j],
         solver,
+        opts.check_certificates,
         &mut stats,
     );
     let mut subproblems = 1;
@@ -390,7 +401,14 @@ fn process_neuron(
             &enc_opts,
             Some(over),
         );
-        let (x, dx) = lp_relax_x(&mut enc_x, over.x, over.dx, solver, &mut stats);
+        let (x, dx) = lp_relax_x(
+            &mut enc_x,
+            over.x,
+            over.dx,
+            solver,
+            opts.check_certificates,
+            &mut stats,
+        );
         (x, dx, 0)
     };
 

@@ -136,7 +136,8 @@ fn query_outputs(
         let mut enc = encode_subnet(&sub, bounds, TargetKind::PostActivation, &opts);
         let fb_x = bounds.x[last][j];
         let fb_dx = bounds.dx[last][j];
-        let (x, dx) = lp_relax_x(&mut enc, fb_x, fb_dx, solver, &mut stats);
+        let check = crate::query::default_check_certificates();
+        let (x, dx) = lp_relax_x(&mut enc, fb_x, fb_dx, solver, check, &mut stats);
         xs.push(x);
         dxs.push(dx);
     }

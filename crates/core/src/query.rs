@@ -6,6 +6,15 @@
 //! interval (typically IBP), and successful results are intersected with
 //! that fallback (both are sound, so the intersection is sound and tighter).
 //!
+//! Every LP optimum passes through one pipeline before it becomes a bound
+//! ([`certified_bound`]): pad outward by [`SOUND_SLACK`] plus a relative
+//! term, snap outward onto [`BOUND_GRID`], and — when certificate checking
+//! is on — validate the *snapped* claim against the solve's
+//! [`itne_milp::DualCertificate`] in exact rational arithmetic
+//! (`itne_certcheck`). A bound whose certificate fails the check is
+//! discarded in favor of the sound IBP fallback and counted in
+//! [`QueryStats::cert_failures`].
+//!
 //! Each sub-problem encodes its skeleton **once** and sweeps all of its
 //! objectives (min/max of the target's value and distance expressions)
 //! through one [`BatchSolver`]: the first solve runs cold, every later one
@@ -17,7 +26,10 @@
 
 use crate::encode::EncodedSubNet;
 use crate::interval::Interval;
-use itne_milp::{BatchSolver, BatchStats, LinExpr, Sense, SolveOptions, Status, StopWhen};
+use itne_certcheck::{verify_bound, RowCmp, RowRef};
+use itne_milp::{
+    BatchSolver, BatchStats, Cmp, LinExpr, Model, Sense, Solution, SolveOptions, StopWhen,
+};
 
 /// Slack added to LP optima before use as bounds, absorbing solver
 /// tolerances.
@@ -41,14 +53,29 @@ const BOUND_GRID: f64 = 1.0 / (1024.0 * 1024.0 * 1024.0);
 const GRID_LIMIT: f64 = 1e6;
 
 /// Rounds a padded bound outward (`up` for upper bounds, down for lower) to
-/// the [`BOUND_GRID`] lattice.
-fn snap_outward(v: f64, up: bool) -> f64 {
-    if !v.is_finite() || v.abs() >= GRID_LIMIT {
+/// the [`BOUND_GRID`] lattice. `grid` is the per-interval snapping decision
+/// from [`interval_grid`]; non-finite values always pass through.
+fn snap_outward(v: f64, up: bool, grid: bool) -> f64 {
+    if !grid || !v.is_finite() {
         return v;
     }
     let q = v / BOUND_GRID;
     let q = if up { q.ceil() } else { q.floor() };
     q * BOUND_GRID
+}
+
+/// Whether both bounds of an interval snap onto [`BOUND_GRID`]: only when
+/// every present LP optimum sits strictly inside [`GRID_LIMIT`]. Decided
+/// once per interval on the *raw* optima — before outward padding — so the
+/// padding can never push one side across the cutoff while its twin stays
+/// inside, which would snap one bound of the interval and not the other.
+/// Absent sides (solver failure → IBP fallback) and non-finite optima
+/// (which fall back anyway) don't participate in the decision.
+fn interval_grid(sides: [Option<f64>; 2]) -> bool {
+    sides
+        .iter()
+        .flatten()
+        .all(|v| !v.is_finite() || v.abs() < GRID_LIMIT)
 }
 
 /// Work counters accumulated across queries.
@@ -78,6 +105,14 @@ pub struct QueryStats {
     /// Structural non-zeros of the largest constraint matrix solved — the
     /// sparsity the revised simplex exploits on that worst-case sub-problem.
     pub nnz: u64,
+    /// Bounds validated against their dual certificate in exact rational
+    /// arithmetic (certificate checking enabled and the solve emitted one).
+    pub certs_checked: u64,
+    /// Certificate checks that *failed*: the reported bound could not be
+    /// re-derived from the solve's own duals. Each failure falls back to the
+    /// sound IBP interval (also counted in `fallbacks`), so results stay
+    /// sound; a non-zero count flags solver numerics worth investigating.
+    pub cert_failures: u64,
 }
 
 impl QueryStats {
@@ -93,6 +128,8 @@ impl QueryStats {
         self.refactorizations += other.refactorizations;
         self.eta_len = self.eta_len.max(other.eta_len);
         self.nnz = self.nnz.max(other.nnz);
+        self.certs_checked += other.certs_checked;
+        self.cert_failures += other.cert_failures;
     }
 
     /// Folds in the warm-start counters of one finished batch sweep. Solve
@@ -105,6 +142,21 @@ impl QueryStats {
     }
 }
 
+/// Default for [`crate::algorithm::CertifyOptions::check_certificates`]:
+/// the `ITNE_CHECK_CERTS` environment variable, read once at first use.
+/// Unset, empty, `0`, `false`, or `off` disable checking; anything else
+/// enables it. Checking is a pure validation layer — it never tightens a
+/// bound, only replaces an unverifiable one with the IBP fallback — so CI
+/// can force it on without perturbing default results.
+pub fn default_check_certificates() -> bool {
+    static CHECK: std::sync::OnceLock<bool> = std::sync::OnceLock::new();
+    *CHECK.get_or_init(|| {
+        std::env::var("ITNE_CHECK_CERTS")
+            .map(|v| !matches!(v.trim(), "" | "0" | "false" | "off"))
+            .unwrap_or(false)
+    })
+}
+
 /// Minimizes and maximizes `expr` over the encoded model, returning a sound
 /// interval clipped to `fallback`.
 pub fn range_of_expr(
@@ -112,10 +164,11 @@ pub fn range_of_expr(
     expr: LinExpr,
     fallback: Interval,
     solver: &SolveOptions,
+    check: bool,
     stats: &mut QueryStats,
 ) -> Interval {
     let mut batch = BatchSolver::new(&mut enc.model);
-    let r = range_in_batch(&mut batch, expr, fallback, solver, stats);
+    let r = range_in_batch(&mut batch, expr, fallback, solver, check, stats);
     stats.absorb_batch(batch.stats());
     r
 }
@@ -127,37 +180,55 @@ fn range_in_batch(
     expr: LinExpr,
     fallback: Interval,
     solver: &SolveOptions,
+    check: bool,
     stats: &mut QueryStats,
 ) -> Interval {
-    let lo = directed_bound(
+    let lo_sol = directed_solve(batch, expr.clone(), Sense::Minimize, solver, stats);
+    let hi_sol = directed_solve(batch, expr, Sense::Maximize, solver, stats);
+    let grid = interval_grid([
+        lo_sol.as_ref().map(Solution::bound_value),
+        hi_sol.as_ref().map(Solution::bound_value),
+    ]);
+    // Both solves installed the same objective expression, so the model
+    // data behind `batch.model()` matches both certificates (the sense is
+    // passed per side below).
+    let lo = certified_bound(
         batch,
-        expr.clone(),
+        lo_sol,
         Sense::Minimize,
+        grid,
+        check,
         fallback.lo,
-        solver,
         stats,
     );
-    let hi = directed_bound(batch, expr, Sense::Maximize, fallback.hi, solver, stats);
+    let hi = certified_bound(
+        batch,
+        hi_sol,
+        Sense::Maximize,
+        grid,
+        check,
+        fallback.hi,
+        stats,
+    );
     // Both [lo, hi] and fallback are sound outer ranges; intersect.
     Interval::new(lo.min(hi), hi.max(lo))
         .intersect(fallback, 1e-9)
         .unwrap_or(fallback)
 }
 
-/// One directed solve. Returns `fallback_bound` when the solver cannot
-/// produce a *sound* bound (errors, or a timed-out MILP whose frontier bound
-/// is unavailable).
-fn directed_bound(
+/// One directed solve. Returns `None` when the solver cannot produce a
+/// solution (errors, or an early-out on a fired stop signal) — the caller
+/// then uses its fallback bound.
+fn directed_solve(
     batch: &mut BatchSolver<'_>,
     expr: LinExpr,
     sense: Sense,
-    fallback_bound: f64,
     solver: &SolveOptions,
     stats: &mut QueryStats,
-) -> f64 {
+) -> Option<Solution> {
     if solver.stop.as_ref().is_some_and(StopWhen::should_stop) {
         stats.fallbacks += 1;
-        return fallback_bound;
+        return None;
     }
     stats.solves += 1;
     match batch.solve(sense, expr, solver) {
@@ -167,22 +238,92 @@ fn directed_bound(
             stats.refactorizations += sol.stats.refactorizations;
             stats.eta_len = stats.eta_len.max(sol.stats.eta_len);
             stats.nnz = stats.nnz.max(sol.stats.nnz);
-            // A non-optimal MILP incumbent is *not* an outer bound; use the
-            // search frontier's relaxation bound instead, which is.
-            let v = match sol.status {
-                Status::Optimal => sol.objective,
-                Status::TimedOut | Status::NodeLimit => sol.stats.best_bound,
-            };
-            match sense {
-                Sense::Maximize => snap_outward(v + SOUND_SLACK + v.abs() * 1e-9, true),
-                Sense::Minimize => snap_outward(v - SOUND_SLACK - v.abs() * 1e-9, false),
-            }
+            Some(sol)
         }
         Err(_) => {
             stats.fallbacks += 1;
-            fallback_bound
+            None
         }
     }
+}
+
+/// Converts one directed solve into a *certified* sound bound — the single
+/// gate every LP optimum passes before it is used as a bound (enforced by
+/// the `cert-audit` lint rule):
+///
+/// 1. a non-optimal MILP incumbent is replaced by the search frontier's
+///    relaxation bound ([`Solution::bound_value`] — an incumbent's own
+///    objective is *not* an outer bound), and anything non-finite (a NaN
+///    or overflowed objective proves nothing) falls back to IBP;
+/// 2. the value is padded outward by [`SOUND_SLACK`] plus a relative term
+///    and snapped outward onto [`BOUND_GRID`];
+/// 3. when `check` is on and the solve carries a dual certificate, the
+///    *snapped* claim is re-derived from the duals in exact rational
+///    arithmetic; an unverifiable claim falls back to IBP and increments
+///    [`QueryStats::cert_failures`].
+fn certified_bound(
+    batch: &BatchSolver<'_>,
+    sol: Option<Solution>,
+    sense: Sense,
+    grid: bool,
+    check: bool,
+    fallback_bound: f64,
+    stats: &mut QueryStats,
+) -> f64 {
+    let Some(sol) = sol else {
+        return fallback_bound;
+    };
+    let v = sol.bound_value();
+    if !v.is_finite() {
+        stats.fallbacks += 1;
+        return fallback_bound;
+    }
+    let snapped = match sense {
+        Sense::Maximize => snap_outward(v + SOUND_SLACK + v.abs() * 1e-9, true, grid),
+        Sense::Minimize => snap_outward(v - SOUND_SLACK - v.abs() * 1e-9, false, grid),
+    };
+    if check && sol.is_certified() {
+        stats.certs_checked += 1;
+        if !certificate_validates(batch.model(), &sol, sense, snapped) {
+            stats.cert_failures += 1;
+            stats.fallbacks += 1;
+            return fallback_bound;
+        }
+    }
+    snapped
+}
+
+/// Exact-rational validation of `reported` as a `sense`-directional bound on
+/// `model`'s optimum, using the dual certificate attached to `sol`. The
+/// model must still hold the objective the solve installed (guaranteed by
+/// [`BatchSolver::model`] within a sweep).
+fn certificate_validates(model: &Model, sol: &Solution, sense: Sense, reported: f64) -> bool {
+    let Some(cert) = sol.certificate() else {
+        return false;
+    };
+    let rows: Vec<RowRef<'_>> = (0..model.num_constraints())
+        .map(|r| RowRef {
+            terms: model.row_terms(r),
+            cmp: match model.row_cmp(r) {
+                Cmp::Le => RowCmp::Le,
+                Cmp::Ge => RowCmp::Ge,
+                Cmp::Eq => RowCmp::Eq,
+            },
+            rhs: model.row_rhs(r),
+        })
+        .collect();
+    let bounds: Vec<(f64, f64)> = (0..model.num_vars()).map(|j| model.bounds_at(j)).collect();
+    verify_bound(
+        model.num_vars(),
+        &rows,
+        &bounds,
+        model.objective_terms(),
+        model.objective_constant(),
+        sense == Sense::Maximize,
+        &cert.row_duals,
+        reported,
+    )
+    .is_valid()
 }
 
 /// `LpRelaxY`: ranges of the target's pre-activation and its distance,
@@ -196,16 +337,38 @@ pub fn lp_relax_y(
     fallback_y: Interval,
     fallback_dy: Interval,
     solver: &SolveOptions,
+    check: bool,
     stats: &mut QueryStats,
 ) -> (Interval, Interval) {
     let t = enc.target_vars();
     let y = t.y.expect("target has a pre-activation variable");
     let mut batch = BatchSolver::new(&mut enc.model);
-    let yr = range_in_batch(&mut batch, (1.0 * y).compact(), fallback_y, solver, stats);
+    let yr = range_in_batch(
+        &mut batch,
+        (1.0 * y).compact(),
+        fallback_y,
+        solver,
+        check,
+        stats,
+    );
     let dyr = if let Some(dy) = t.dy {
-        range_in_batch(&mut batch, (1.0 * dy).compact(), fallback_dy, solver, stats)
+        range_in_batch(
+            &mut batch,
+            (1.0 * dy).compact(),
+            fallback_dy,
+            solver,
+            check,
+            stats,
+        )
     } else if let Some(yh) = t.yh {
-        range_in_batch(&mut batch, 1.0 * yh - 1.0 * y, fallback_dy, solver, stats)
+        range_in_batch(
+            &mut batch,
+            1.0 * yh - 1.0 * y,
+            fallback_dy,
+            solver,
+            check,
+            stats,
+        )
     } else {
         Interval::point(0.0)
     };
@@ -220,16 +383,38 @@ pub fn lp_relax_x(
     fallback_x: Interval,
     fallback_dx: Interval,
     solver: &SolveOptions,
+    check: bool,
     stats: &mut QueryStats,
 ) -> (Interval, Interval) {
     let t = enc.target_vars();
     let x = t.x.expect("target has a post-activation variable");
     let mut batch = BatchSolver::new(&mut enc.model);
-    let xr = range_in_batch(&mut batch, (1.0 * x).compact(), fallback_x, solver, stats);
+    let xr = range_in_batch(
+        &mut batch,
+        (1.0 * x).compact(),
+        fallback_x,
+        solver,
+        check,
+        stats,
+    );
     let dxr = if let Some(dx) = t.dx {
-        range_in_batch(&mut batch, (1.0 * dx).compact(), fallback_dx, solver, stats)
+        range_in_batch(
+            &mut batch,
+            (1.0 * dx).compact(),
+            fallback_dx,
+            solver,
+            check,
+            stats,
+        )
     } else if let Some(xh) = t.xh {
-        range_in_batch(&mut batch, 1.0 * xh - 1.0 * x, fallback_dx, solver, stats)
+        range_in_batch(
+            &mut batch,
+            1.0 * xh - 1.0 * x,
+            fallback_dx,
+            solver,
+            check,
+            stats,
+        )
     } else {
         Interval::point(0.0)
     };
@@ -264,11 +449,16 @@ mod tests {
             tight,
             Interval::symmetric(0.15),
             &SolveOptions::default(),
+            true,
             &mut stats,
         );
         assert!(tight.encloses(yr, 1e-9));
         assert_eq!(stats.fallbacks, 0);
         assert!(stats.solves >= 2);
+        // Checking was on and every solve was a pure LP: every bound was
+        // validated in exact arithmetic and none failed.
+        assert_eq!(stats.certs_checked, stats.solves);
+        assert_eq!(stats.cert_failures, 0);
     }
 
     #[test]
@@ -292,6 +482,7 @@ mod tests {
             bounds.y[0][0],
             bounds.dy[0][0],
             &SolveOptions::default(),
+            false,
             &mut stats,
         );
         assert!(
@@ -337,6 +528,7 @@ mod tests {
                     bounds.y[li][j],
                     bounds.dy[li][j],
                     &solver,
+                    true,
                     &mut stats,
                 )
             };
@@ -350,24 +542,180 @@ mod tests {
     #[test]
     fn snapping_is_outward_and_idempotent() {
         for v in [0.0, 0.25, -0.25, 1.0e-3, -7.77e2, 123.456] {
-            let up = snap_outward(v, true);
-            let down = snap_outward(v, false);
+            let up = snap_outward(v, true, true);
+            let down = snap_outward(v, false, true);
             assert!(up >= v, "upper snap moved inward: {v} -> {up}");
             assert!(down <= v, "lower snap moved inward: {v} -> {down}");
             assert!(up - v <= BOUND_GRID, "upper snap too coarse");
             assert!(v - down <= BOUND_GRID, "lower snap too coarse");
             // Grid points are fixed points, so snapping twice is snapping once.
-            assert_eq!(snap_outward(up, true), up);
-            assert_eq!(snap_outward(down, false), down);
+            assert_eq!(snap_outward(up, true, true), up);
+            assert_eq!(snap_outward(down, false, true), down);
         }
         // Values within a grid cell of each other snap together (the warm vs
         // cold pivot-path property) unless they straddle a grid line.
         let a = 0.1234567891;
         let b = a + 1e-13;
-        assert_eq!(snap_outward(a, true), snap_outward(b, true));
-        // Huge magnitudes pass through untouched.
-        assert_eq!(snap_outward(3.0e7, true), 3.0e7);
-        assert_eq!(snap_outward(f64::INFINITY, true), f64::INFINITY);
+        assert_eq!(snap_outward(a, true, true), snap_outward(b, true, true));
+        // With snapping vetoed for the interval, values pass through.
+        assert_eq!(snap_outward(3.0e7, true, false), 3.0e7);
+        assert_eq!(snap_outward(0.25, true, false), 0.25);
+        assert_eq!(snap_outward(f64::INFINITY, true, true), f64::INFINITY);
+    }
+
+    #[test]
+    fn grid_cutoff_is_consistent_per_interval() {
+        // The decision is made on the raw optima, so an interval's two sides
+        // always agree — even when outward padding pushes one padded value
+        // across GRID_LIMIT while the other stays below (the old per-value
+        // check snapped one side and not the other in that regime).
+        let pad = |v: f64, up: bool| {
+            if up {
+                v + SOUND_SLACK + v.abs() * 1e-9
+            } else {
+                v - SOUND_SLACK - v.abs() * 1e-9
+            }
+        };
+        let near = GRID_LIMIT - 1e-9; // padded value crosses the cutoff
+        let far = GRID_LIMIT - 1.0; // padded value stays inside
+        for (lo, hi) in [
+            (far, near),
+            (-near, far),
+            (-near, near),
+            (near, near),
+            (-near, -far),
+        ] {
+            assert!(lo.abs() < GRID_LIMIT && hi.abs() < GRID_LIMIT);
+            let grid = interval_grid([Some(lo), Some(hi)]);
+            let slo = snap_outward(pad(lo, false), false, grid);
+            let shi = snap_outward(pad(hi, true), true, grid);
+            // Outward and ordered, regardless of which regime we are in.
+            assert!(slo <= pad(lo, false) && shi >= pad(hi, true));
+            assert!(slo <= shi);
+            // Consistency: both sides snapped, or neither did.
+            let lo_snapped = slo != pad(lo, false);
+            let hi_snapped = shi != pad(hi, true);
+            assert!(
+                !(lo_snapped ^ hi_snapped)
+                    || pad(lo, false).abs() >= GRID_LIMIT
+                    || pad(hi, true).abs() >= GRID_LIMIT,
+                "asymmetric snap at ({lo}, {hi})"
+            );
+        }
+        // At or past the cutoff (raw), the whole interval passes through.
+        assert!(!interval_grid([Some(GRID_LIMIT), Some(0.0)]));
+        assert!(!interval_grid([Some(0.0), Some(-2.0 * GRID_LIMIT)]));
+        // Absent or non-finite sides don't veto the other side's snap.
+        assert!(interval_grid([None, Some(0.5)]));
+        assert!(interval_grid([Some(f64::NAN), Some(0.5)]));
+        assert!(interval_grid([None, None]));
+    }
+
+    proptest::proptest! {
+        /// Property sweep over the GRID_LIMIT boundary (both signs, values
+        /// straddling the cutoff): the per-interval decision never snaps one
+        /// side without the other, and snapping stays outward.
+        #[test]
+        fn grid_boundary_property(
+            mag_lo in 0.0f64..2.0e6,
+            mag_hi in 0.0f64..2.0e6,
+            neg_lo in proptest::prelude::any::<bool>(),
+            neg_hi in proptest::prelude::any::<bool>(),
+        ) {
+            let raw_lo = if neg_lo { -mag_lo } else { mag_lo };
+            let raw_hi = if neg_hi { -mag_hi } else { mag_hi };
+            let (raw_lo, raw_hi) = (raw_lo.min(raw_hi), raw_lo.max(raw_hi));
+            let grid = interval_grid([Some(raw_lo), Some(raw_hi)]);
+            proptest::prop_assert_eq!(
+                grid,
+                raw_lo.abs() < GRID_LIMIT && raw_hi.abs() < GRID_LIMIT
+            );
+            let plo = raw_lo - SOUND_SLACK - raw_lo.abs() * 1e-9;
+            let phi = raw_hi + SOUND_SLACK + raw_hi.abs() * 1e-9;
+            let slo = snap_outward(plo, false, grid);
+            let shi = snap_outward(phi, true, grid);
+            proptest::prop_assert!(slo <= plo);
+            proptest::prop_assert!(shi >= phi);
+            proptest::prop_assert!(slo <= shi);
+            // Within a cell of the padded value, or untouched.
+            proptest::prop_assert!(plo - slo <= BOUND_GRID);
+            proptest::prop_assert!(shi - phi <= BOUND_GRID);
+        }
+    }
+
+    #[test]
+    fn solver_failures_never_invert_the_interval() {
+        use itne_milp::{Cmp, Model};
+        let fb = Interval::new(-1.0, 2.0);
+
+        // Infeasible skeleton: both directed solves error; the fallback
+        // comes back untouched and ordered.
+        let mut m = Model::new();
+        let x = m.add_var(0.0, 10.0);
+        m.add_constraint(1.0 * x, Cmp::Ge, 3.0);
+        m.add_constraint(1.0 * x, Cmp::Le, 2.0);
+        let mut batch = BatchSolver::new(&mut m);
+        let mut stats = QueryStats::default();
+        let r = range_in_batch(
+            &mut batch,
+            (1.0 * x).compact(),
+            fb,
+            &SolveOptions::default(),
+            true,
+            &mut stats,
+        );
+        assert_eq!(r, fb);
+        assert!(r.lo <= r.hi);
+        assert_eq!(stats.fallbacks, 2);
+        assert_eq!(stats.cert_failures, 0);
+
+        // Objective unbounded in both directions: same contract.
+        let mut m = Model::new();
+        let x = m.add_var(f64::NEG_INFINITY, f64::INFINITY);
+        let s = m.add_var(0.0, 1.0);
+        m.add_constraint(1.0 * s, Cmp::Le, 1.0);
+        let mut batch = BatchSolver::new(&mut m);
+        let mut stats = QueryStats::default();
+        let r = range_in_batch(
+            &mut batch,
+            (1.0 * x).compact(),
+            fb,
+            &SolveOptions::default(),
+            true,
+            &mut stats,
+        );
+        assert_eq!(r, fb);
+        assert!(r.lo <= r.hi);
+        assert!(stats.fallbacks >= 1);
+    }
+
+    #[test]
+    fn nan_objective_falls_back_instead_of_inverting() {
+        use itne_milp::{Cmp, Model};
+        // Two variables fixed at ±1e308 with ±1e308 objective coefficients:
+        // the float objective evaluates to inf − inf = NaN while the solve
+        // itself terminates Optimal. The non-finite guard must discard it.
+        let mut m = Model::new();
+        let x = m.add_var(1.0e308, 1.0e308);
+        let y = m.add_var(1.0e308, 1.0e308);
+        m.add_constraint(1.0 * x - 1.0 * y, Cmp::Le, 1.0e308);
+        let fb = Interval::new(-5.0, 5.0);
+        let mut batch = BatchSolver::new(&mut m);
+        let mut stats = QueryStats::default();
+        let r = range_in_batch(
+            &mut batch,
+            (1.0e308 * x - 1.0e308 * y).compact(),
+            fb,
+            &SolveOptions::default(),
+            true,
+            &mut stats,
+        );
+        assert_eq!(r, fb);
+        assert!(r.lo <= r.hi);
+        assert!(
+            stats.fallbacks >= 1,
+            "NaN objective must fall back: {stats:?}"
+        );
     }
 
     #[test]
@@ -387,7 +735,7 @@ mod tests {
         };
         let mut stats = QueryStats::default();
         let fb = Interval::new(-9.0, 9.0);
-        let (yr, _) = lp_relax_y(&mut enc, fb, fb, &solver, &mut stats);
+        let (yr, _) = lp_relax_y(&mut enc, fb, fb, &solver, true, &mut stats);
         assert_eq!(yr, fb);
         assert!(stats.fallbacks >= 2);
     }

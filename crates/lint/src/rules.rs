@@ -10,13 +10,14 @@ use crate::{Diagnostic, FileContext};
 pub const DET_CRATES: [&str; 2] = ["milp", "core"];
 
 /// All rule identifiers, for validating `lint:allow(<rule>)` directives.
-pub const RULES: [&str; 7] = [
+pub const RULES: [&str; 8] = [
     "hash-iter",
     "float-cmp",
     "wall-clock",
     "platform-fp",
     "forbid-unsafe",
     "snap-audit",
+    "cert-audit",
     "allow-syntax",
 ];
 
@@ -78,6 +79,7 @@ pub fn run_all(ctx: &FileContext, path: &str, file: &SourceFile, out: &mut Vec<D
     }
     if ctx.crate_name == "core" && ctx.file_name == "query.rs" && !ctx.is_test_file {
         check_snap_audit(path, file, out);
+        check_cert_audit(path, file, out);
     }
 }
 
@@ -476,6 +478,55 @@ fn check_snap_audit(path: &str, file: &SourceFile, out: &mut Vec<Diagnostic>) {
                 "snap-audit",
                 "`SOUND_SLACK` applied without `snap_outward` on the same expression; \
                  unsnapped slack reintroduces cross-path bit drift"
+                    .to_string(),
+            ));
+        }
+    }
+}
+
+/// `cert-audit`: `query.rs` must define `certified_bound` — the single gate
+/// that turns a raw `Solution.objective` into a reported bound (outward pad,
+/// dyadic snap, exact-rational certificate check) — and no non-test line may
+/// read the `.objective` field outside that gate. Accessors like
+/// `.objective_terms()` describe the *model* and are exempt; only the exact
+/// field access on a solution is audited.
+fn check_cert_audit(path: &str, file: &SourceFile, out: &mut Vec<Diagnostic>) {
+    let toks = &file.tokens;
+    let text = |i: usize| toks.get(i).map(|t| t.text.as_str()).unwrap_or("");
+    let has_fn = (0..toks.len()).any(|i| text(i) == "fn" && text(i + 1) == "certified_bound");
+    if !has_fn {
+        out.push(diag(
+            path,
+            1,
+            "cert-audit",
+            "query.rs must define `certified_bound` — the audited gate that pads, \
+             snaps, and certificate-checks every solver objective before it is \
+             reported"
+                .to_string(),
+        ));
+        return;
+    }
+    for (i, t) in toks.iter().enumerate() {
+        if t.kind != TokKind::Punct || t.text != "." || text(i + 1) != "objective" {
+            continue;
+        }
+        let next = toks.get(i + 1).expect("matched above");
+        if file.in_test_region(next.line) {
+            continue;
+        }
+        let line = file
+            .stripped
+            .get(next.line.saturating_sub(1))
+            .map(|l| l.as_str())
+            .unwrap_or("");
+        if !line.contains("certified_bound") && !line.contains("snap_outward") {
+            out.push(diag(
+                path,
+                next.line,
+                "cert-audit",
+                "`Solution.objective` read outside the `certified_bound` gate; raw \
+                 objectives must be padded, snapped, and certificate-checked before \
+                 becoming reported bounds"
                     .to_string(),
             ));
         }

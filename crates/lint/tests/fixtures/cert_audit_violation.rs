@@ -1,0 +1,36 @@
+//@ crate=core file=query.rs
+const SOUND_SLACK: f64 = 1e-7;
+
+pub struct Solution {
+    pub objective: f64,
+}
+
+pub fn snap_outward(v: f64, upper: bool, grid: bool) -> f64 {
+    let _ = grid;
+    if upper {
+        v
+    } else {
+        -v
+    }
+}
+
+fn certified_bound(sol: &Solution, upper: bool) -> f64 {
+    snap_outward(sol.objective + SOUND_SLACK, upper, true)
+}
+
+fn leaked_raw_bound(sol: &Solution) -> f64 {
+    sol.objective //~ cert-audit
+}
+
+fn model_accessors_are_exempt(model: &Model) -> usize {
+    model.objective_terms().len() + model.objective_constant() as usize
+}
+
+#[cfg(test)]
+mod tests {
+    #[test]
+    fn tests_may_read_raw_objectives() {
+        let sol = super::Solution { objective: 1.0 };
+        let _ = sol.objective;
+    }
+}

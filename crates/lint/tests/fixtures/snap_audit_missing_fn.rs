@@ -1,4 +1,4 @@
-//@ crate=core file=query.rs //~ snap-audit
+//@ crate=core file=query.rs //~ snap-audit cert-audit
 const SOUND_SLACK: f64 = 1e-7;
 
 fn report(v: f64) -> f64 {

@@ -17,6 +17,10 @@ fn snapped(v: f64) -> f64 {
     snap_outward(v + SOUND_SLACK, true)
 }
 
+fn certified_bound(v: f64) -> f64 {
+    snap_outward(v, true)
+}
+
 #[cfg(test)]
 mod tests {
     #[test]

@@ -109,6 +109,13 @@ impl<'m> BatchSolver<'m> {
         self.stats
     }
 
+    /// Read-only view of the model being swept — the exact problem data the
+    /// most recent [`BatchSolver::solve`]'s certificate refers to (including
+    /// the objective that solve installed).
+    pub fn model(&self) -> &Model {
+        self.model
+    }
+
     /// Sets `sense expr` as the objective and solves, warm-starting from the
     /// previous solve's basis when one is available (and
     /// [`SolveOptions::warm_start`] is on).

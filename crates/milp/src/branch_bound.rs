@@ -61,6 +61,12 @@ pub(crate) fn solve_milp(model: &Model, opts: &SolveOptions) -> Result<Solution,
     let mut timed_out = false;
     let mut node_limited = false;
     let mut scratch = base_bounds.clone();
+    // Node relaxations don't need dual certificates — nobody consumes a
+    // node's duals, and the tree's bound is not witnessed by any single one.
+    let opts = &SolveOptions {
+        emit_certificates: false,
+        ..opts.clone()
+    };
     // The constraint matrix is shared by every node; with the sparse engine,
     // build its CSC form once for the whole tree instead of per relaxation.
     let csc = (opts.engine == Engine::Sparse).then(|| Arc::new(SparseMatrix::from_model(model)));
@@ -129,6 +135,7 @@ pub(crate) fn solve_milp(model: &Model, opts: &SolveOptions) -> Result<Solution,
                         status: Status::Optimal,
                         stats: Stats::default(),
                         values: vals,
+                        certificate: None,
                     });
                 }
             }

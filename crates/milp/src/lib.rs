@@ -119,6 +119,25 @@ pub struct Stats {
     pub eta_len: u64,
 }
 
+/// The dual certificate of an optimal LP termination: the data an
+/// *independent* checker needs to re-derive the reported objective as a
+/// machine-checked bound (see the `itne_certcheck` crate).
+///
+/// Both simplex engines emit one on every optimal pure-LP termination (the
+/// sparse engine via a BTRAN pass `yᵀ = c_Bᵀ·B⁻¹`, the dense engine from the
+/// maintained reduced-cost row) unless [`SolveOptions::emit_certificates`]
+/// is off. The vectors are in the engines' *internal minimize orientation* —
+/// costs are negated for a [`Sense::Maximize`] model — which is the
+/// orientation `itne_certcheck::verify_bound` expects.
+#[derive(Clone, Debug, Serialize, Deserialize)]
+pub struct DualCertificate {
+    /// One simplex multiplier per constraint row, in model row order.
+    pub row_duals: Vec<f64>,
+    /// Reduced cost per structural variable, `d = c′ − Aᵀy`. Diagnostic —
+    /// checkers recompute this exactly from `row_duals` rather than trust it.
+    pub reduced_costs: Vec<f64>,
+}
+
 /// The result of a solve: an objective value, a variable assignment, a
 /// [`Status`], and work [`Stats`].
 #[derive(Clone, Debug, Serialize, Deserialize)]
@@ -130,6 +149,7 @@ pub struct Solution {
     /// Work counters and diagnostics.
     pub stats: Stats,
     values: Vec<f64>,
+    certificate: Option<DualCertificate>,
 }
 
 impl Solution {
@@ -145,5 +165,29 @@ impl Solution {
     /// The full assignment, indexed by variable creation order.
     pub fn values(&self) -> &[f64] {
         &self.values
+    }
+
+    /// The dual certificate, when one was emitted (optimal pure-LP solves
+    /// with [`SolveOptions::emit_certificates`] on; never for
+    /// branch-and-bound results, whose bound is a tree property no single
+    /// dual vector witnesses).
+    pub fn certificate(&self) -> Option<&DualCertificate> {
+        self.certificate.as_ref()
+    }
+
+    /// The value a caller should use as a directional bound: the optimum
+    /// when [`Status::Optimal`], else the search frontier's relaxation bound
+    /// (a non-optimal incumbent's own objective is *not* an outer bound).
+    pub fn bound_value(&self) -> f64 {
+        match self.status {
+            Status::Optimal => self.objective,
+            Status::TimedOut | Status::NodeLimit => self.stats.best_bound,
+        }
+    }
+
+    /// Whether [`Solution::bound_value`] is a pure-LP optimum vouched for by
+    /// an attached [`DualCertificate`].
+    pub fn is_certified(&self) -> bool {
+        self.status == Status::Optimal && self.stats.nodes == 0 && self.certificate.is_some()
     }
 }

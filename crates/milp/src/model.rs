@@ -3,7 +3,7 @@
 use crate::error::SolveError;
 use crate::linexpr::LinExpr;
 use crate::options::SolveOptions;
-use crate::{branch_bound, simplex, Solution};
+use crate::{branch_bound, simplex, sparse, Solution};
 
 /// Handle to a model variable. Cheap to copy; only valid for the model that
 /// created it.
@@ -142,6 +142,65 @@ impl Model {
         self.cols[v.0].hi = hi;
     }
 
+    /// Bounds of variable `j` by creation index — the indexing
+    /// [`Model::row_terms`] and [`Model::objective_terms`] use.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `j >= self.num_vars()`.
+    pub fn bounds_at(&self, j: usize) -> (f64, f64) {
+        (self.cols[j].lo, self.cols[j].hi)
+    }
+
+    /// The `(variable index, coefficient)` terms of constraint row `r`.
+    ///
+    /// Exposed (together with [`Model::row_cmp`], [`Model::row_rhs`],
+    /// [`Model::bounds_at`] and the objective accessors) so external
+    /// certificate checkers can rebuild the exact problem data a
+    /// [`crate::DualCertificate`] refers to.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `r >= self.num_constraints()`.
+    pub fn row_terms(&self, r: usize) -> &[(usize, f64)] {
+        &self.rows[r].terms
+    }
+
+    /// The comparison operator of constraint row `r`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `r >= self.num_constraints()`.
+    pub fn row_cmp(&self, r: usize) -> Cmp {
+        self.rows[r].cmp
+    }
+
+    /// The right-hand side of constraint row `r` (after the expression's
+    /// constant moved across in [`Model::add_constraint`]).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `r >= self.num_constraints()`.
+    pub fn row_rhs(&self, r: usize) -> f64 {
+        self.rows[r].rhs
+    }
+
+    /// The `(variable index, coefficient)` terms of the current objective.
+    pub fn objective_terms(&self) -> &[(usize, f64)] {
+        &self.objective
+    }
+
+    /// The objective's constant offset (added to every reported objective
+    /// value but invisible to the simplex engines).
+    pub fn objective_constant(&self) -> f64 {
+        self.obj_constant
+    }
+
+    /// The current objective sense, or `None` for a pure feasibility model.
+    pub fn objective_sense(&self) -> Option<Sense> {
+        self.sense
+    }
+
     /// Adds the constraint `expr cmp rhs`. The expression's constant moves to
     /// the right-hand side.
     pub fn add_constraint(&mut self, expr: impl Into<LinExpr>, cmp: Cmp, rhs: f64) {
@@ -171,6 +230,26 @@ impl Model {
     /// [`SolveError::Unbounded`].
     pub fn solve(&self) -> Result<Solution, SolveError> {
         self.solve_with(&SolveOptions::default())
+    }
+
+    /// Best-effort Farkas-style witness that the model's *continuous
+    /// relaxation* is infeasible: the dual prices of a phase-1 optimum left
+    /// with positive artificial mass. Checked against a zero objective
+    /// (e.g. `itne_certcheck::verify_infeasibility`), the prices prove by
+    /// weak duality that no point within the variable bounds satisfies
+    /// every row.
+    ///
+    /// Returns `None` when the relaxation is feasible, when infeasibility
+    /// stems from a crossed variable bound (`lo > hi` — trivially checkable,
+    /// no row ray exists), when the model has no rows, or when phase 1 does
+    /// not terminate within the pivot budget. Always runs the sparse engine
+    /// regardless of [`SolveOptions::engine`] — the witness is engine-
+    /// independent data.
+    pub fn infeasibility_certificate(&self, opts: &SolveOptions) -> Option<Vec<f64>> {
+        if self.validate().is_err() {
+            return None;
+        }
+        sparse::infeasibility_duals(self, opts)
     }
 
     /// Solves with explicit options (tolerances, limits, stop signal).

@@ -132,6 +132,11 @@ pub struct SolveOptions {
     pub warm_start_cell_limit: u64,
     /// Which simplex engine runs LP solves. See [`Engine`].
     pub engine: Engine,
+    /// Emit a [`crate::DualCertificate`] on every optimal pure-LP
+    /// termination (one BTRAN pass plus a sparse mat-vec per solve — cheap,
+    /// so the default is on). Branch-and-bound turns this off for its node
+    /// relaxations, whose duals nobody consumes.
+    pub emit_certificates: bool,
     /// Sparse-engine refactorization cadence: rebuild the eta file after this
     /// many pivots. `0` means "scale with model size" (`(m/2)` clamped to
     /// `[64, 256]` — short cold solves finish before the budget and pay no
@@ -152,6 +157,7 @@ impl Default for SolveOptions {
             warm_start: true,
             warm_start_cell_limit: u64::MAX,
             engine: Engine::default(),
+            emit_certificates: true,
             refactor_interval: 0,
         }
     }

@@ -17,7 +17,7 @@ use crate::error::SolveError;
 use crate::model::{Cmp, Model, Sense};
 use crate::options::{Engine, SolveOptions};
 use crate::sparse;
-use crate::{Solution, Stats, Status};
+use crate::{DualCertificate, Solution, Stats, Status};
 
 const INF: f64 = f64::INFINITY;
 
@@ -54,7 +54,10 @@ pub struct Basis {
 }
 
 /// Outcome of a warm-started solve attempt (crate-internal: callers decide
-/// how to fall back and how to count the attempt).
+/// how to fall back and how to count the attempt). Transient — consumed
+/// immediately at each call site, so the size skew between variants never
+/// sits in a collection.
+#[allow(clippy::large_enum_variant)]
 pub(crate) enum WarmOutcome {
     /// The restored basis reoptimized to optimality.
     Solved(Solution, Option<Basis>),
@@ -157,7 +160,7 @@ impl DenseResident {
                 })
             }
         }
-        match finish(model, &self.var_bounds, t) {
+        match finish(model, &self.var_bounds, t, opts.emit_certificates) {
             Ok(sol) => Ok(ResolveOutcome::Solved(sol)),
             Err(_) => Ok(ResolveOutcome::Rejected {
                 wasted_pivots: t.pivots,
@@ -433,6 +436,19 @@ impl Tableau {
         })
     }
 
+    /// Reads the dual certificate off the maintained reduced-cost row of a
+    /// phase-2-terminated tableau. Each slack column `n + r` is a unit vector
+    /// with zero cost, so its reduced cost is `−y_r` directly; this holds even
+    /// for rows the cold setup negated for artificial bookkeeping, because the
+    /// negation flips the slack coefficient and the dual price together.
+    fn certificate(&self, n_struct: usize) -> DualCertificate {
+        let row_duals = (0..self.nrows).map(|r| -self.dj[n_struct + r]).collect();
+        DualCertificate {
+            row_duals,
+            reduced_costs: self.dj[..n_struct].to_vec(),
+        }
+    }
+
     /// Rebuilds reduced costs `dj = c − c_B·B⁻¹·A` from scratch.
     fn rebuild_dj(&mut self, costs: &[f64]) {
         self.dj.copy_from_slice(costs);
@@ -689,19 +705,34 @@ fn solve_lp_core(
     t.rebuild_dj(&costs);
     t.optimize(true, cap)?;
 
-    let sol = finish(model, var_bounds, &t)?;
+    let sol = finish(model, var_bounds, &t, opts.emit_certificates)?;
     Ok((sol, Some(t)))
 }
 
 /// Reads the optimal point out of a terminated tableau, checking residuals.
-fn finish(model: &Model, var_bounds: &[(f64, f64)], t: &Tableau) -> Result<Solution, SolveError> {
+fn finish(
+    model: &Model,
+    var_bounds: &[(f64, f64)],
+    t: &Tableau,
+    emit: bool,
+) -> Result<Solution, SolveError> {
     let n = model.cols.len();
-    finish_values(model, var_bounds, t.xval[..n].to_vec(), t.pivots, 0, 0)
+    let certificate = emit.then(|| t.certificate(n));
+    finish_values(
+        model,
+        var_bounds,
+        t.xval[..n].to_vec(),
+        t.pivots,
+        0,
+        0,
+        certificate,
+    )
 }
 
 /// Builds a checked [`Solution`] from a terminated engine's structural
 /// values — shared by the dense and sparse engines so the residual gate and
 /// the stats layout stay identical.
+#[allow(clippy::too_many_arguments)]
 pub(crate) fn finish_values(
     model: &Model,
     var_bounds: &[(f64, f64)],
@@ -709,6 +740,7 @@ pub(crate) fn finish_values(
     pivots: u64,
     refactorizations: u64,
     eta_len: u64,
+    certificate: Option<DualCertificate>,
 ) -> Result<Solution, SolveError> {
     let mut objective = model.obj_constant;
     for &(v, c) in &model.objective {
@@ -733,6 +765,7 @@ pub(crate) fn finish_values(
             eta_len,
         },
         values,
+        certificate,
     })
 }
 
@@ -909,7 +942,16 @@ pub(crate) fn solve_lp_warm(
     }
     // The restore's greedy elimination is one basis refactorization; report
     // it so warm and cold work counters stay comparable across engines.
-    match finish_values(model, &var_bounds, t.xval[..n].to_vec(), t.pivots, 1, 0) {
+    let certificate = opts.emit_certificates.then(|| t.certificate(n));
+    match finish_values(
+        model,
+        &var_bounds,
+        t.xval[..n].to_vec(),
+        t.pivots,
+        1,
+        0,
+        certificate,
+    ) {
         Ok(sol) => {
             let snapshot = t.snapshot(n);
             Ok(WarmOutcome::Solved(sol, snapshot))
@@ -980,6 +1022,13 @@ pub(crate) fn solve_unconstrained(
     for &(v, c) in &model.objective {
         objective += c * values[v];
     }
+    // With no rows the dual vector is empty and the reduced costs are the
+    // internal costs themselves; the certificate is trivially checkable
+    // (bound terms alone) and free to emit, so it is always attached.
+    let certificate = Some(DualCertificate {
+        row_duals: Vec::new(),
+        reduced_costs: cost,
+    });
     Ok(Solution {
         objective,
         status: Status::Optimal,
@@ -988,6 +1037,7 @@ pub(crate) fn solve_unconstrained(
             ..Stats::default()
         },
         values,
+        certificate,
     })
 }
 

@@ -44,7 +44,7 @@ use crate::simplex::{
     finish_values, initial_value, slack_bounds, solve_unconstrained, Basis, ColState,
     ResolveOutcome, WarmOutcome,
 };
-use crate::Solution;
+use crate::{DualCertificate, Solution};
 
 const INF: f64 = f64::INFINITY;
 
@@ -727,7 +727,36 @@ impl Core {
         }
     }
 
-    fn finish(&self, model: &Model, var_bounds: &[(f64, f64)]) -> Result<Solution, SolveError> {
+    /// Recomputes the dual certificate at the current (phase-2-terminated)
+    /// basis: one BTRAN pass for `yᵀ = c_Bᵀ·B⁻¹` plus one sparse dot product
+    /// per structural column. Rows are never negated in this engine, so `y`
+    /// prices the model's own row orientation directly.
+    fn certificate(&self) -> DualCertificate {
+        let mut y = vec![0.0f64; self.m];
+        for (r, yr) in y.iter_mut().enumerate() {
+            *yr = self.costs[self.basis[r]];
+        }
+        self.etas.btran(&mut y);
+        let mut reduced = Vec::with_capacity(self.n);
+        for j in 0..self.n {
+            let mut d = self.costs[j];
+            for (r, a) in self.mat.col(j) {
+                d -= y[r] * a;
+            }
+            reduced.push(d);
+        }
+        DualCertificate {
+            row_duals: y,
+            reduced_costs: reduced,
+        }
+    }
+
+    fn finish(
+        &self,
+        model: &Model,
+        var_bounds: &[(f64, f64)],
+        emit: bool,
+    ) -> Result<Solution, SolveError> {
         finish_values(
             model,
             var_bounds,
@@ -735,6 +764,7 @@ impl Core {
             self.pivots,
             self.refactorizations,
             self.eta_peak as u64,
+            emit.then(|| self.certificate()),
         )
     }
 
@@ -914,7 +944,8 @@ fn solve_core(
     core.set_phase2_costs(model);
     core.optimize(true, cap)?;
 
-    let sol = match core.finish(model, var_bounds) {
+    let emit = opts.emit_certificates;
+    let sol = match core.finish(model, var_bounds, emit) {
         Ok(sol) => sol,
         Err(_) => {
             // One repair attempt: refactorizing recomputes the basic values
@@ -926,10 +957,39 @@ fn solve_core(
                 ));
             }
             core.optimize(true, cap)?;
-            core.finish(model, var_bounds)?
+            core.finish(model, var_bounds, emit)?
         }
     };
     Ok((sol, Some(core)))
+}
+
+/// Extracts a Farkas-style infeasibility witness: the dual prices of the
+/// phase-1 optimum when a positive artificial mass remains. Against a zero
+/// objective these prices prove (weak duality) that every point satisfying
+/// the variable bounds violates some row — i.e. the LP is infeasible.
+/// Returns `None` when the model is in fact feasible, when infeasibility
+/// comes from a crossed variable bound (`lo > hi`, no row ray exists), or
+/// when phase 1 itself fails to terminate cleanly.
+pub(crate) fn infeasibility_duals(model: &Model, opts: &SolveOptions) -> Option<Vec<f64>> {
+    let var_bounds: Vec<(f64, f64)> = model.cols.iter().map(|c| (c.lo, c.hi)).collect();
+    if model.rows.is_empty() || var_bounds.iter().any(|&(lo, hi)| lo > hi) {
+        return None;
+    }
+    let mat = Arc::new(SparseMatrix::from_model(model));
+    let (mut core, art_sum) = build_core(model, &var_bounds, opts, mat);
+    if art_sum == 0.0 {
+        return None; // starting basis already feasible — nothing to witness
+    }
+    core.set_phase1_costs();
+    let cap = opts.pivot_cap(core.m, core.ncols);
+    core.optimize(false, cap).ok()?;
+    let remaining: f64 = (core.art_start..core.ncols).map(|j| core.xval[j]).sum();
+    if remaining <= core.feas_tol.max(1e-7) {
+        return None; // feasible after all
+    }
+    // `certificate` prices the current costs — still the phase-1 costs here,
+    // which is exactly what makes the duals an infeasibility witness.
+    Some(core.certificate().row_duals)
 }
 
 /// Sparse counterpart of [`crate::simplex`]'s cold LP entry point.
@@ -985,7 +1045,7 @@ impl SparseResident {
                 })
             }
         }
-        match c.finish(model, &self.var_bounds) {
+        match c.finish(model, &self.var_bounds, opts.emit_certificates) {
             Ok(sol) => Ok(ResolveOutcome::Solved(sol)),
             Err(_) => Ok(ResolveOutcome::Rejected {
                 wasted_pivots: c.pivots,
@@ -1119,7 +1179,7 @@ pub(crate) fn solve_warm(
         Err(SolveError::Unbounded) => return Err(SolveError::Unbounded),
         Err(_) => return Ok(WarmOutcome::Rejected),
     }
-    match core.finish(model, &var_bounds) {
+    match core.finish(model, &var_bounds, opts.emit_certificates) {
         Ok(sol) => {
             let snapshot = core.snapshot();
             Ok(WarmOutcome::Solved(sol, snapshot))

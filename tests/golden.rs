@@ -207,6 +207,44 @@ fn warm_started_path_equals_cold_path_bit_for_bit() {
     }
 }
 
+/// Exact-rational certificate checking is observe-only on healthy nets:
+/// forced on, every certified LP bound validates against its dual
+/// certificate (zero failures) and the reported epsilons stay bit-identical
+/// to the recorded cold-path table. CI re-runs the whole suite with
+/// `ITNE_CHECK_CERTS=1`, which turns checking on inside every other test as
+/// well; this test asserts the property even in a default run.
+#[test]
+fn certificate_checking_validates_every_golden_bound() {
+    for case in cases() {
+        let mut opts = case.opts.clone();
+        opts.check_certificates = true;
+        let report =
+            certify_global(&case.net, &case.domain, case.delta, &opts).expect("checked path runs");
+        let q = report.stats.query;
+        assert!(
+            q.certs_checked > 0,
+            "{}: no LP bound was certificate-checked ({q:?})",
+            case.name
+        );
+        assert_eq!(
+            q.cert_failures, 0,
+            "{}: a dual certificate failed exact validation ({q:?})",
+            case.name
+        );
+        let want = GOLDEN
+            .iter()
+            .find(|(n, _)| *n == case.name)
+            .unwrap_or_else(|| panic!("no golden entry for {}", case.name))
+            .1;
+        let bits: Vec<u64> = report.epsilons.iter().map(|e| e.to_bits()).collect();
+        assert_eq!(
+            bits, want,
+            "{}: enabling certificate checking changed the certified bits",
+            case.name
+        );
+    }
+}
+
 #[test]
 fn golden_epsilons_bit_for_bit() {
     let record = std::env::var("ITNE_GOLDEN_RECORD").is_ok();
