@@ -126,9 +126,10 @@ fn band_lp(n: usize, band: usize, seed: u64) -> (Model, Vec<itne_milp::VarId>) {
     (m, vars)
 }
 
-/// Dense tableau vs sparse revised simplex on conv-window-sized band
-/// skeletons: a cold solve plus a warm 8-objective sweep per iteration,
-/// which is exactly the work one `LpRelaxY`/`LpRelaxX` sub-problem does.
+/// Dense tableau vs both sparse revised-simplex engines (product-form eta
+/// file, sparse LU) on conv-window-sized band skeletons: a cold solve plus
+/// a warm 8-objective sweep per iteration, which is exactly the work one
+/// `LpRelaxY`/`LpRelaxX` sub-problem does.
 fn bench_sparse(c: &mut Criterion) {
     let mut g = c.benchmark_group("lp_sparse");
     g.warm_up_time(std::time::Duration::from_millis(500));
@@ -139,7 +140,11 @@ fn bench_sparse(c: &mut Criterion) {
         let objectives = random_objectives(n, 8, 99);
         let mk_expr =
             |cs: &[f64]| LinExpr::from_terms(vars.iter().copied().zip(cs.iter().copied()), 0.0);
-        for (label, engine) in [("dense", Engine::Dense), ("sparse", Engine::Sparse)] {
+        for (label, engine) in [
+            ("dense", Engine::Dense),
+            ("eta", Engine::Eta),
+            ("lu", Engine::Lu),
+        ] {
             let opts = SolveOptions {
                 engine,
                 ..Default::default()

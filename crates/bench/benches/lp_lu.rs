@@ -1,0 +1,121 @@
+//! Criterion head-to-head of the two sparse revised-simplex engines: the
+//! product-form eta file ([`Engine::Eta`]) vs the sparse LU factorization
+//! with PFI updates ([`Engine::Lu`], the default).
+//!
+//! Two shapes:
+//!
+//! * `lp_lu_band` — conv-window-sized band skeletons (100/300/600 rows),
+//!   each solved cold then swept warm under 8 objectives: the certifier's
+//!   standard `LpRelaxY`/`LpRelaxX` workload.
+//! * `lp_lu_longrun` — one 300-row skeleton under a 64-objective sweep.
+//!   Pivot runs here far outlast the eta engine's refactorization interval,
+//!   so it repeatedly pays dense Gauss–Jordan rebuilds while the LU engine
+//!   amortizes one sparse factorization across the whole run — the workload
+//!   the LU engine exists for.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use itne_milp::{BatchSolver, Cmp, Engine, LinExpr, Model, Sense, SolveOptions};
+use std::hint::black_box;
+
+/// Deterministic xorshift64 stream of values in `[-1, 1)`.
+fn rng(seed: u64) -> impl FnMut() -> f64 {
+    let mut state = seed | 1;
+    move || {
+        state ^= state << 13;
+        state ^= state >> 7;
+        state ^= state << 17;
+        ((state >> 11) as f64 / (1u64 << 53) as f64) * 2.0 - 1.0
+    }
+}
+
+/// A band-diagonal LP: `n` rows each touching `band` consecutive variables.
+fn band_lp(n: usize, band: usize, seed: u64) -> (Model, Vec<itne_milp::VarId>) {
+    let mut next = rng(seed);
+    let mut m = Model::new();
+    let vars: Vec<_> = (0..n).map(|_| m.add_var(-1.0, 1.0)).collect();
+    for r in 0..n {
+        let lo = r.saturating_sub(band / 2);
+        let hi = (lo + band).min(n);
+        let e = LinExpr::from_terms(vars[lo..hi].iter().map(|&v| (v, next())), 0.0);
+        m.add_constraint(e, Cmp::Le, 0.5 + next().abs());
+    }
+    let obj = LinExpr::from_terms(vars.iter().map(|&v| (v, next())), 0.0);
+    m.set_objective(Sense::Maximize, obj);
+    (m, vars)
+}
+
+/// A deterministic batch of `k` random min/max objectives over `n` vars.
+fn random_objectives(n: usize, k: usize, seed: u64) -> Vec<(Sense, Vec<f64>)> {
+    let mut next = rng(seed);
+    (0..k)
+        .map(|i| {
+            let sense = if i % 2 == 0 {
+                Sense::Minimize
+            } else {
+                Sense::Maximize
+            };
+            (sense, (0..n).map(|_| next()).collect())
+        })
+        .collect()
+}
+
+const ARMS: [(&str, Engine); 2] = [("eta", Engine::Eta), ("lu", Engine::Lu)];
+
+fn sweep(
+    g: &mut criterion::BenchmarkGroup<'_>,
+    param: usize,
+    skeleton: &Model,
+    vars: &[itne_milp::VarId],
+    objectives: &[(Sense, Vec<f64>)],
+) {
+    let mk_expr =
+        |cs: &[f64]| LinExpr::from_terms(vars.iter().copied().zip(cs.iter().copied()), 0.0);
+    for (label, engine) in ARMS {
+        let opts = SolveOptions {
+            engine,
+            ..Default::default()
+        };
+        g.bench_with_input(BenchmarkId::new(label, param), skeleton, |b, m| {
+            b.iter(|| {
+                let mut model = m.clone();
+                let mut batch = BatchSolver::new(&mut model);
+                let mut acc = 0.0;
+                for (sense, cs) in objectives {
+                    acc += batch
+                        .solve(*sense, mk_expr(cs), &opts)
+                        .expect("solves")
+                        .objective;
+                }
+                black_box(acc)
+            })
+        });
+    }
+}
+
+fn bench_band(c: &mut Criterion) {
+    let mut g = c.benchmark_group("lp_lu_band");
+    g.warm_up_time(std::time::Duration::from_millis(500));
+    g.measurement_time(std::time::Duration::from_secs(3));
+    g.sample_size(10);
+    for n in [100usize, 300, 600] {
+        let (skeleton, vars) = band_lp(n, 7, 42);
+        let objectives = random_objectives(n, 8, 99);
+        sweep(&mut g, n, &skeleton, &vars, &objectives);
+    }
+    g.finish();
+}
+
+fn bench_long_pivot_run(c: &mut Criterion) {
+    let mut g = c.benchmark_group("lp_lu_longrun");
+    g.warm_up_time(std::time::Duration::from_millis(500));
+    g.measurement_time(std::time::Duration::from_secs(5));
+    g.sample_size(10);
+    let n = 300;
+    let (skeleton, vars) = band_lp(n, 9, 7);
+    let objectives = random_objectives(n, 64, 5);
+    sweep(&mut g, n, &skeleton, &vars, &objectives);
+    g.finish();
+}
+
+criterion_group!(benches, bench_band, bench_long_pivot_run);
+criterion_main!(benches);

@@ -5,10 +5,10 @@
 //! * **dense** — the PR 2 configuration: dense tableau engine, warm starts
 //!   on, with the original `warm_start_cell_limit = 2²⁰` gate (large conv
 //!   windows re-solve cold);
-//! * **cold** — the sparse revised simplex with `warm_start` off (every
-//!   directed solve pays simplex phase 1 from scratch);
-//! * **warm** — the sparse revised simplex with the `BatchSolver` warm-start
-//!   chain on (the current default);
+//! * **cold** — the LU-factorized sparse revised simplex with `warm_start`
+//!   off (every directed solve pays simplex phase 1 from scratch);
+//! * **warm** — the LU-factorized sparse revised simplex with the
+//!   `BatchSolver` warm-start chain on (the current default);
 //!
 //! and reports wall-clock, pivot counts, warm-start hit rates,
 //! refactorization telemetry, and the certified ε̄ of all three paths. The
@@ -60,6 +60,12 @@ struct Row {
     refactorizations: u64,
     eta_len: u64,
     nnz: u64,
+    /// Nanoseconds the warm arm spent refactorizing the basis.
+    refactor_time_ns: u64,
+    /// Nanoseconds the warm arm spent in FTRAN/BTRAN passes.
+    ftran_btran_time_ns: u64,
+    /// Peak LU fill (stored `L`+`U` non-zeros) in the warm arm.
+    lu_fill_nnz: u64,
     /// Whether exact-rational certificate checking was enabled for this run
     /// (the `ITNE_CHECK_CERTS` environment variable / `check_certificates`).
     check_certificates: bool,
@@ -110,14 +116,17 @@ fn run(bench: &BenchNet, arm: Arm) -> (GlobalReport, f64) {
             opts.solver.warm_start_cell_limit = 1 << 20;
         }
         Arm::SparseCold => {
-            opts.solver.engine = Engine::Sparse;
+            opts.solver.engine = Engine::Lu;
             opts.solver.warm_start = false;
         }
         Arm::SparseWarm => {
-            opts.solver.engine = Engine::Sparse;
+            opts.solver.engine = Engine::Lu;
             opts.solver.warm_start = true;
         }
     }
+    // Timing telemetry (refactorization and FTRAN/BTRAN nanoseconds) costs
+    // two clock reads per timed region and never affects pivots or bounds.
+    opts.solver.telemetry = Some(itne_core::deadline::telemetry_clock());
     // Small nets certify in well under a millisecond; report the best of a
     // few repetitions so the speedup column measures solver work, not timer
     // granularity and cache warmup.
@@ -224,6 +233,9 @@ fn main() {
             refactorizations: warm.stats.query.refactorizations,
             eta_len: warm.stats.query.eta_len,
             nnz: warm.stats.query.nnz,
+            refactor_time_ns: warm.stats.query.refactor_time_ns,
+            ftran_btran_time_ns: warm.stats.query.ftran_btran_time_ns,
+            lu_fill_nnz: warm.stats.query.lu_fill_nnz,
             check_certificates: itne_core::query::default_check_certificates(),
             certs_checked: dense.stats.query.certs_checked
                 + cold.stats.query.certs_checked

@@ -65,6 +65,13 @@ struct Row {
     refactorizations: u64,
     eta_len: u64,
     nnz: u64,
+    /// Nanoseconds spent refactorizing the basis (telemetry clock installed
+    /// by this binary; `0` would mean telemetry was off).
+    refactor_time_ns: u64,
+    /// Nanoseconds spent in FTRAN/BTRAN passes.
+    ftran_btran_time_ns: u64,
+    /// Peak LU fill (stored `L`+`U` non-zeros) across all solves.
+    lu_fill_nnz: u64,
 }
 
 fn main() {
@@ -172,7 +179,7 @@ fn run_row(bench: &BenchNet, budget: Duration, quick: bool) -> Row {
 
     // --- Ours: the paper's settings (W=2 refine half for FC; W=3 refine 30
     //     for conv). ---
-    let opts = if is_conv {
+    let mut opts = if is_conv {
         CertifyOptions {
             window: 3,
             refine: 30,
@@ -195,6 +202,9 @@ fn run_row(bench: &BenchNet, budget: Duration, quick: bool) -> Row {
             ..Default::default()
         }
     };
+    // Timing telemetry: two clock reads per timed solver region, never
+    // affects pivots or bounds. Surfaced in the JSON for cross-PR tracking.
+    opts.solver.telemetry = Some(itne_core::deadline::telemetry_clock());
     let t0 = Instant::now();
     let ours = certify_global(net, domain, *delta, &opts).expect("certification runs");
     row.t_ours_s = t0.elapsed().as_secs_f64();
@@ -212,6 +222,9 @@ fn run_row(bench: &BenchNet, budget: Duration, quick: bool) -> Row {
     row.refactorizations = q.refactorizations;
     row.eta_len = q.eta_len;
     row.nnz = q.nnz;
+    row.refactor_time_ns = q.refactor_time_ns;
+    row.ftran_btran_time_ns = q.ftran_btran_time_ns;
+    row.lu_fill_nnz = q.lu_fill_nnz;
     // Surface the solver-health counters — a fallback means a sub-problem
     // kept its looser IBP range, which would otherwise be invisible here.
     eprintln!(

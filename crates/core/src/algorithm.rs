@@ -19,7 +19,7 @@ use crate::interval::{distance_relaxation_bounds, relu_distance_range, Interval}
 use crate::query::{lp_relax_x, lp_relax_y, QueryStats};
 use crate::refine::select_refined;
 use crate::subnet::SubNetwork;
-use itne_milp::SolveOptions;
+use itne_milp::{Engine, SolveOptions};
 use itne_nn::{AffineNetwork, Network};
 use std::sync::atomic::{AtomicUsize, Ordering};
 use std::sync::Mutex;
@@ -87,6 +87,20 @@ fn default_threads() -> usize {
     })
 }
 
+/// Default LP engine: `ITNE_TEST_ENGINE` (`lu`, `eta`, or `dense`) when set,
+/// else the solver's own default ([`Engine::Lu`]). Read once — the golden
+/// and metamorphic suites certify identical ε̄ bits whichever engine runs,
+/// so CI forces each legacy engine through the whole pipeline this way.
+fn default_engine() -> Engine {
+    static ENGINE: std::sync::OnceLock<Engine> = std::sync::OnceLock::new();
+    *ENGINE.get_or_init(|| match std::env::var("ITNE_TEST_ENGINE").as_deref() {
+        Ok("lu") => Engine::Lu,
+        Ok("eta") => Engine::Eta,
+        Ok("dense") => Engine::Dense,
+        _ => Engine::default(),
+    })
+}
+
 impl Default for CertifyOptions {
     fn default() -> Self {
         CertifyOptions {
@@ -103,6 +117,7 @@ impl Default for CertifyOptions {
                 // dominate the run — it falls back to the sound IBP range
                 // (counted in `CertifyStats::query::fallbacks`).
                 max_pivots: 30_000,
+                engine: default_engine(),
                 ..SolveOptions::default()
             },
             deadline: None,

@@ -113,6 +113,16 @@ pub struct QueryStats {
     /// sound IBP interval (also counted in `fallbacks`), so results stay
     /// sound; a non-zero count flags solver numerics worth investigating.
     pub cert_failures: u64,
+    /// Nanoseconds spent refactorizing the basis, summed across all solves.
+    /// Zero unless a [`itne_milp::TelemetryClock`] is installed on the
+    /// solver options (see [`crate::deadline::telemetry_clock`]).
+    pub refactor_time_ns: u64,
+    /// Nanoseconds spent in FTRAN/BTRAN passes, summed across all solves.
+    /// Zero without a telemetry clock.
+    pub ftran_btran_time_ns: u64,
+    /// Peak LU fill (`L` + `U` stored non-zeros) observed in any single
+    /// solve ([`itne_milp::Engine::Lu`] only).
+    pub lu_fill_nnz: u64,
 }
 
 impl QueryStats {
@@ -130,6 +140,9 @@ impl QueryStats {
         self.nnz = self.nnz.max(other.nnz);
         self.certs_checked += other.certs_checked;
         self.cert_failures += other.cert_failures;
+        self.refactor_time_ns += other.refactor_time_ns;
+        self.ftran_btran_time_ns += other.ftran_btran_time_ns;
+        self.lu_fill_nnz = self.lu_fill_nnz.max(other.lu_fill_nnz);
     }
 
     /// Folds in the warm-start counters of one finished batch sweep. Solve
@@ -238,6 +251,9 @@ fn directed_solve(
             stats.refactorizations += sol.stats.refactorizations;
             stats.eta_len = stats.eta_len.max(sol.stats.eta_len);
             stats.nnz = stats.nnz.max(sol.stats.nnz);
+            stats.refactor_time_ns += sol.stats.refactor_time_ns;
+            stats.ftran_btran_time_ns += sol.stats.ftran_btran_time_ns;
+            stats.lu_fill_nnz = stats.lu_fill_nnz.max(sol.stats.lu_fill_nnz);
             Some(sol)
         }
         Err(_) => {

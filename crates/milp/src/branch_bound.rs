@@ -13,7 +13,7 @@ use std::sync::Arc;
 use crate::error::SolveError;
 use crate::model::{Model, Sense, VarType};
 use crate::options::{Engine, SolveOptions, StopWhen};
-use crate::sparse::{self, SparseMatrix};
+use crate::sparse::{self, Skeleton};
 use crate::{simplex, Solution, Stats, Status};
 
 struct Node {
@@ -58,6 +58,9 @@ pub(crate) fn solve_milp(model: &Model, opts: &SolveOptions) -> Result<Solution,
     let mut nodes = 0u64;
     let mut refactorizations = 0u64;
     let mut eta_len = 0u64;
+    let mut refactor_time_ns = 0u64;
+    let mut ftran_btran_time_ns = 0u64;
+    let mut lu_fill_nnz = 0u64;
     let mut timed_out = false;
     let mut node_limited = false;
     let mut scratch = base_bounds.clone();
@@ -67,9 +70,11 @@ pub(crate) fn solve_milp(model: &Model, opts: &SolveOptions) -> Result<Solution,
         emit_certificates: false,
         ..opts.clone()
     };
-    // The constraint matrix is shared by every node; with the sparse engine,
-    // build its CSC form once for the whole tree instead of per relaxation.
-    let csc = (opts.engine == Engine::Sparse).then(|| Arc::new(SparseMatrix::from_model(model)));
+    // The constraint skeleton is shared by every node; with the sparse
+    // engines, compile it once for the whole tree instead of per relaxation
+    // (nodes only override variable bounds, never rows).
+    let skel = (opts.engine != Engine::Dense)
+        .then(|| Arc::new(Skeleton::build(model, opts.engine == Engine::Lu)));
 
     while let Some(node) = stack.pop() {
         if opts.stop.as_ref().is_some_and(StopWhen::should_stop) {
@@ -92,8 +97,8 @@ pub(crate) fn solve_milp(model: &Model, opts: &SolveOptions) -> Result<Solution,
             scratch[c] = (cur.0.max(lo), cur.1.min(hi));
         }
 
-        let relaxed = match &csc {
-            Some(mat) => sparse::solve_bounded(model, &scratch, opts, Some(mat.clone())),
+        let relaxed = match &skel {
+            Some(skel) => sparse::solve_bounded(model, &scratch, opts, Some(skel.clone())),
             None => simplex::solve_lp_bounded(model, &scratch, opts),
         };
         let relax = match relaxed {
@@ -104,6 +109,9 @@ pub(crate) fn solve_milp(model: &Model, opts: &SolveOptions) -> Result<Solution,
         pivots += relax.stats.pivots;
         refactorizations += relax.stats.refactorizations;
         eta_len = eta_len.max(relax.stats.eta_len);
+        refactor_time_ns += relax.stats.refactor_time_ns;
+        ftran_btran_time_ns += relax.stats.ftran_btran_time_ns;
+        lu_fill_nnz = lu_fill_nnz.max(relax.stats.lu_fill_nnz);
         if incumbent.is_some() && !better(relax.objective, best_obj) {
             continue; // relaxation can't beat incumbent
         }
@@ -193,6 +201,9 @@ pub(crate) fn solve_milp(model: &Model, opts: &SolveOptions) -> Result<Solution,
                 nnz: model.rows.iter().map(|r| r.terms.len() as u64).sum(),
                 refactorizations,
                 eta_len,
+                refactor_time_ns,
+                ftran_btran_time_ns,
+                lu_fill_nnz,
             };
             sol.objective = {
                 // Recompute from the snapped integer point for exactness.

@@ -32,22 +32,91 @@ impl Default for Tolerances {
 
 /// Which simplex implementation runs LP solves (warm and cold).
 ///
-/// Both engines implement the same two-phase bounded-variable method with
+/// All engines implement the same two-phase bounded-variable method with
 /// identical tolerances and termination semantics; they differ only in how
 /// the basis inverse is represented, so swapping engines never changes
 /// which problems are solvable — only how fast pivots are.
 #[derive(Copy, Clone, Debug, Default, PartialEq, Eq)]
 pub enum Engine {
-    /// Sparse revised simplex: CSC constraint storage, FTRAN/BTRAN through a
-    /// product-form-of-inverse eta file, candidate-list partial pricing, and
-    /// periodic refactorization. The default — per-pivot cost scales with
-    /// matrix sparsity, so warm reoptimization pays off at every size.
+    /// Sparse revised simplex over a real sparse LU factorization of the
+    /// basis (static Markowitz ordering, threshold partial pivoting).
+    /// Between refactorizations, pivots fold in as Forrest–Tomlin column
+    /// replacements while that is cheap (short `U` tail — the factors stay
+    /// exact and nothing grows) and as product-form etas on top of the
+    /// factors otherwise; refactorization is triggered by *measured* fill
+    /// growth, not a fixed pivot cadence. A fresh solve starts from the
+    /// trivial `diag(±1)` basis, whose solves are free, and only builds
+    /// real factors once the update file outgrows the fill trigger — so
+    /// short solves never pay factorization costs at all. Adds range-row
+    /// folding: an adjacent `≤`/`≥` pair over identical terms becomes one
+    /// row with a box-bounded slack, so the `[A | I]` interval constraints
+    /// of the ITNE encoding stop inflating the working basis. The default.
     #[default]
-    Sparse,
+    Lu,
+    /// Sparse revised simplex whose basis inverse is a pure
+    /// product-form-of-inverse eta file, periodically rebuilt by
+    /// Gauss-Jordan refactorization (the PR 5 engine). Kept as a
+    /// differential-testing reference; degrades on long pivot runs because
+    /// every refactorization replays the whole basis through the file.
+    Eta,
     /// Dense tableau (the original engine): every pivot rewrites the full
     /// `B⁻¹·[A | I | I]` tableau. Kept as a differential-testing reference
     /// and numerical second opinion.
     Dense,
+}
+
+/// Entering-column pricing rule of the sparse engines ([`Engine::Lu`],
+/// [`Engine::Eta`]). The dense engine always uses its Dantzig scan.
+///
+/// Pricing only ranks *which* eligible column enters next; eligibility and
+/// termination are tolerance checks on reduced costs that both rules share,
+/// so the rule changes the pivot path, never the optimum.
+#[derive(Copy, Clone, Debug, Default, PartialEq, Eq)]
+pub enum Pricing {
+    /// Devex pricing (Forrest–Goldfarb reference-framework weights,
+    /// maintained over the candidate list): ranks columns by
+    /// `d_j² / w_j`, approximating steepest edge at eta-update prices.
+    /// Takes slightly fewer pivots than the Dantzig scan, but on the
+    /// certifier's workload — tens of thousands of small short-run LPs —
+    /// the per-pivot weight maintenance costs more than the saved pivots
+    /// return (measured ~15% slower end-to-end), so it is the fallback,
+    /// not the default.
+    Devex,
+    /// Candidate-list Dantzig scan: ranks columns by `|d_j|` alone. The
+    /// default — cheapest per pivot, and the measured end-to-end winner on
+    /// short-run-dominated workloads.
+    #[default]
+    Dantzig,
+}
+
+/// A caller-injected monotonic nanosecond clock for engine telemetry
+/// (`Stats::{refactor_time_ns, ftran_btran_time_ns}`).
+///
+/// The solver itself never reads the wall clock (determinism lint rule
+/// `wall-clock`); benches that want timing breakdowns inject one built at an
+/// audited clock site (`itne_core::deadline::telemetry_clock`). `None` (the
+/// default) keeps the kernel clock-free and the timing counters at zero —
+/// the clock is observe-only and never steers a pivot.
+#[derive(Clone)]
+pub struct TelemetryClock(Arc<dyn Fn() -> u64 + Send + Sync>);
+
+impl TelemetryClock {
+    /// Wraps a monotonic nanosecond counter. The closure must be cheap — it
+    /// runs twice per FTRAN/BTRAN pass — and monotone non-decreasing.
+    pub fn new(f: impl Fn() -> u64 + Send + Sync + 'static) -> Self {
+        TelemetryClock(Arc::new(f))
+    }
+
+    /// Reads the clock.
+    pub fn now_ns(&self) -> u64 {
+        (self.0)()
+    }
+}
+
+impl fmt::Debug for TelemetryClock {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str("TelemetryClock(..)")
+    }
 }
 
 /// A caller-supplied cooperative interrupt.
@@ -123,28 +192,36 @@ pub struct SolveOptions {
     /// on. This gate existed for the dense engine, where a warm
     /// reoptimization always starts from the previous solve's *fully dense*
     /// tableau end state and loses wall-clock on very large sub-problems
-    /// despite winning the pivot count. The sparse revised simplex
-    /// ([`Engine::Sparse`], the default) has no dense end state — its pivots
-    /// cost the same warm or cold — so the default is now effectively
+    /// despite winning the pivot count. The sparse revised simplex engines
+    /// ([`Engine::Lu`], [`Engine::Eta`]) have no dense end state — their
+    /// pivots cost the same warm or cold — so the default is now effectively
     /// unlimited (`u64::MAX`). The knob remains as an escape hatch: set a
     /// finite limit to reproduce the old gating (e.g. when forcing
     /// [`Engine::Dense`] for differential runs).
     pub warm_start_cell_limit: u64,
     /// Which simplex engine runs LP solves. See [`Engine`].
     pub engine: Engine,
+    /// Entering-column pricing rule of the sparse engines. See [`Pricing`].
+    pub pricing: Pricing,
     /// Emit a [`crate::DualCertificate`] on every optimal pure-LP
     /// termination (one BTRAN pass plus a sparse mat-vec per solve — cheap,
     /// so the default is on). Branch-and-bound turns this off for its node
     /// relaxations, whose duals nobody consumes.
     pub emit_certificates: bool,
-    /// Sparse-engine refactorization cadence: rebuild the eta file after this
-    /// many pivots. `0` means "scale with model size" (`(m/2)` clamped to
-    /// `[64, 256]` — short cold solves finish before the budget and pay no
-    /// refactorization overhead; long resident sweeps refactorize often
-    /// enough to keep FTRAN/BTRAN short). The eta file is also refactorized
-    /// early whenever its fill-in outgrows a fixed multiple of the constraint
-    /// matrix, independent of this knob.
+    /// Sparse-engine refactorization cadence: refactorize the basis after
+    /// this many pivots. `0` means "scale with the engine and model size":
+    /// the eta engine rebuilds after `(m/2).clamp(64, 256)` pivots (its
+    /// refactorization replays the whole basis through the file, so it must
+    /// stay frequent to bound FTRAN length); the LU engine after
+    /// `(8m).max(2000)` pivots, because its cadence is really governed by
+    /// *measured fill growth* — the updates are folded back into fresh
+    /// factors whenever their accumulated fill outgrows twice the factors'
+    /// own, independent of this knob.
     pub refactor_interval: u64,
+    /// Optional monotonic clock for timing telemetry
+    /// (`Stats::{refactor_time_ns, ftran_btran_time_ns}`). See
+    /// [`TelemetryClock`]; `None` (the default) keeps the counters at zero.
+    pub telemetry: Option<TelemetryClock>,
 }
 
 impl Default for SolveOptions {
@@ -157,8 +234,10 @@ impl Default for SolveOptions {
             warm_start: true,
             warm_start_cell_limit: u64::MAX,
             engine: Engine::default(),
+            pricing: Pricing::default(),
             emit_certificates: true,
             refactor_interval: 0,
+            telemetry: None,
         }
     }
 }

@@ -98,7 +98,7 @@ impl Resident {
     pub(crate) fn engine(&self) -> Engine {
         match self {
             Resident::Dense(_) => Engine::Dense,
-            Resident::Sparse(_) => Engine::Sparse,
+            Resident::Sparse(r) => r.engine(),
         }
     }
 
@@ -508,7 +508,7 @@ pub(crate) fn solve_lp_snapshot(
     model: &Model,
     opts: &SolveOptions,
 ) -> Result<(Solution, Option<Basis>), SolveError> {
-    if opts.engine == Engine::Sparse {
+    if opts.engine != Engine::Dense {
         return sparse::solve_snapshot(model, opts);
     }
     let bounds: Vec<(f64, f64)> = model.cols.iter().map(|c| (c.lo, c.hi)).collect();
@@ -523,7 +523,7 @@ pub(crate) fn solve_lp_resident(
     model: &Model,
     opts: &SolveOptions,
 ) -> Result<(Solution, Option<Resident>), SolveError> {
-    if opts.engine == Engine::Sparse {
+    if opts.engine != Engine::Dense {
         let (sol, resident) = sparse::solve_resident(model, opts)?;
         return Ok((sol, resident.map(|r| Resident::Sparse(Box::new(r)))));
     }
@@ -546,7 +546,7 @@ pub(crate) fn solve_lp_bounded(
     var_bounds: &[(f64, f64)],
     opts: &SolveOptions,
 ) -> Result<Solution, SolveError> {
-    if opts.engine == Engine::Sparse {
+    if opts.engine != Engine::Dense {
         return sparse::solve_bounded(model, var_bounds, opts, None);
     }
     solve_lp_core(model, var_bounds, opts).map(|(sol, _)| sol)
@@ -722,24 +722,35 @@ fn finish(
         model,
         var_bounds,
         t.xval[..n].to_vec(),
-        t.pivots,
-        0,
-        0,
+        EngineCounters {
+            pivots: t.pivots,
+            ..EngineCounters::default()
+        },
         certificate,
     )
+}
+
+/// The per-engine work counters a terminated solve reports into [`Stats`].
+/// The dense engine only has pivots; the sparse engines fill the rest
+/// (timing counters only when a [`crate::TelemetryClock`] was injected).
+#[derive(Copy, Clone, Debug, Default)]
+pub(crate) struct EngineCounters {
+    pub(crate) pivots: u64,
+    pub(crate) refactorizations: u64,
+    pub(crate) eta_len: u64,
+    pub(crate) refactor_time_ns: u64,
+    pub(crate) ftran_btran_time_ns: u64,
+    pub(crate) lu_fill_nnz: u64,
 }
 
 /// Builds a checked [`Solution`] from a terminated engine's structural
 /// values — shared by the dense and sparse engines so the residual gate and
 /// the stats layout stay identical.
-#[allow(clippy::too_many_arguments)]
 pub(crate) fn finish_values(
     model: &Model,
     var_bounds: &[(f64, f64)],
     values: Vec<f64>,
-    pivots: u64,
-    refactorizations: u64,
-    eta_len: u64,
+    counters: EngineCounters,
     certificate: Option<DualCertificate>,
 ) -> Result<Solution, SolveError> {
     let mut objective = model.obj_constant;
@@ -756,13 +767,16 @@ pub(crate) fn finish_values(
         objective,
         status: Status::Optimal,
         stats: Stats {
-            pivots,
+            pivots: counters.pivots,
             nodes: 0,
             best_bound: objective,
             max_residual,
             nnz: model.rows.iter().map(|r| r.terms.len() as u64).sum(),
-            refactorizations,
-            eta_len,
+            refactorizations: counters.refactorizations,
+            eta_len: counters.eta_len,
+            refactor_time_ns: counters.refactor_time_ns,
+            ftran_btran_time_ns: counters.ftran_btran_time_ns,
+            lu_fill_nnz: counters.lu_fill_nnz,
         },
         values,
         certificate,
@@ -784,7 +798,7 @@ pub(crate) fn solve_lp_warm(
     opts: &SolveOptions,
     warm: &Basis,
 ) -> Result<WarmOutcome, SolveError> {
-    if opts.engine == Engine::Sparse {
+    if opts.engine != Engine::Dense {
         return sparse::solve_warm(model, opts, warm);
     }
     let n = model.cols.len();
@@ -947,9 +961,11 @@ pub(crate) fn solve_lp_warm(
         model,
         &var_bounds,
         t.xval[..n].to_vec(),
-        t.pivots,
-        1,
-        0,
+        EngineCounters {
+            pivots: t.pivots,
+            refactorizations: 1,
+            ..EngineCounters::default()
+        },
         certificate,
     ) {
         Ok(sol) => {

@@ -1,55 +1,74 @@
-//! Sparse revised simplex: the default LP engine.
+//! Sparse revised simplex: the default LP engine family.
 //!
 //! Where the dense engine ([`crate::simplex`]) maintains the whole
 //! `B⁻¹·[A | I | I]` tableau explicitly — making every pivot O(m·n)
 //! regardless of how sparse the constraint matrix is — this engine keeps the
 //! problem data immutable and factorized:
 //!
-//! * the structural columns of `A` live in a [`SparseMatrix`] (compressed
-//!   sparse column form), built **once** per model and shared (`Arc`) across
-//!   branch-and-bound nodes and resident sweeps;
-//! * `B⁻¹` is never formed. It is represented as a **product-form-of-inverse
-//!   eta file**: each pivot appends one elementary eta matrix, and systems
-//!   with `B` are solved by running a vector through the file — forward for
-//!   FTRAN (`w = B⁻¹·a`, the entering column of the ratio test), backward for
-//!   BTRAN (`y = c_B·B⁻¹`, the dual prices behind reduced costs);
-//! * pricing is **candidate-list partial pricing**: a full O(ncols) scan runs
-//!   only to (re)fill a small candidate list, and ordinary iterations re-price
+//! * the constraint rows are compiled **once** per model into a [`Skeleton`]:
+//!   the structural columns of `A` in compressed-sparse-column form plus the
+//!   per-row slack bounds, shared (`Arc`) across branch-and-bound nodes and
+//!   resident sweeps. Under [`Engine::Lu`] the skeleton also performs
+//!   **range-row folding**: an adjacent `≤`/`≥` pair over identical terms
+//!   (the `[A | I]` box constraints of the ITNE encoding) becomes one row
+//!   whose slack carries *both* bounds, halving the working basis for those
+//!   rows instead of spending a basis column on each side;
+//! * `B⁻¹` is never formed. Under [`Engine::Lu`] it is a **sparse LU
+//!   factorization** of the basis ([`crate::lu`]: static Markowitz ordering,
+//!   threshold partial pivoting) plus a hybrid update scheme: a pivot lands
+//!   as a **Forrest–Tomlin column replacement** inside the factors when its
+//!   `U`-tail is short (the factors stay exact and the representation does
+//!   not grow) and as a product-form eta on top of them otherwise. A fresh
+//!   solve starts from the trivial `diag(±1)` slack basis, whose FTRAN and
+//!   BTRAN are pure sign flips — so the certifier's tens of thousands of
+//!   short solves never pay for a factorization at all. Under
+//!   [`Engine::Eta`] it is the PR 5 pure product-form eta file, kept as a
+//!   differential-testing reference. Systems with `B` are solved by running
+//!   a vector through the representation — FTRAN for `w = B⁻¹·a` (the
+//!   entering column of the ratio test), BTRAN for `y = c_B·B⁻¹` (the dual
+//!   prices behind reduced costs);
+//! * pricing is **candidate-list partial pricing** with two ranking rules
+//!   ([`Pricing`]): the largest-reduced-cost Dantzig scan (the default —
+//!   cheapest per pivot, which wins on the short-run-dominated workload) or
+//!   devex reference-framework weights (`d_j²/w_j`). A full O(ncols) scan
+//!   runs only to (re)fill the candidate list; ordinary iterations re-price
 //!   just the candidates. Bland's anti-cycling rule falls back to a full
 //!   first-eligible scan, exactly like the dense engine;
-//! * the eta file is **refactorized periodically** — after a pivot-count
-//!   budget or when its fill-in outgrows the matrix — not only at
-//!   basis-restore time. Refactorization also recomputes the basic values
-//!   from the original data, resetting accumulated round-off.
+//! * the factorization is **refreshed on measured fill growth**. The eta
+//!   engine refactorizes on a short pivot budget (its whole representation
+//!   *is* the file). The LU engine refactorizes only when its update file's
+//!   accumulated fill outgrows twice the factors' own non-zeros (with a
+//!   floor that lets short solves finish entirely on the trivial basis plus
+//!   etas) — i.e. cadence keyed off observed fill growth, not a fixed small
+//!   constant. Refactorization also recomputes the basic values from the
+//!   original data, resetting accumulated round-off.
 //!
 //! Per-iteration cost is therefore one BTRAN + a handful of sparse dot
 //! products + one FTRAN + O(m) value updates, instead of an O(m·ncols) dense
-//! tableau sweep. On the band-diagonal `[A | I]` skeletons the ITNE encoding
-//! produces (each over-approximation window touches only a window of
-//! neurons), this is what makes warm reoptimization profitable at *every*
-//! problem size — the dense engine had to gate large conv windows cold via
-//! `SolveOptions::warm_start_cell_limit`.
+//! tableau sweep — and on long pivot runs the LU engine's solves stay short
+//! where the eta file used to degrade into constant refactorization.
 //!
 //! Semantics (two-phase method, bounded variables, bound flips, tolerances,
-//! ratio-test tie-breaking, Dantzig→Bland switching) deliberately mirror the
-//! dense engine; the proptests run every random skeleton through both and
-//! assert identical optima.
+//! ratio-test tie-breaking, pricing→Bland switching) deliberately mirror the
+//! dense engine; the proptests run every random skeleton through all three
+//! engines and assert identical optima.
 
 use std::sync::Arc;
 
 use crate::error::SolveError;
-use crate::model::{Model, Sense};
-use crate::options::SolveOptions;
+use crate::lu::LuFactors;
+use crate::model::{Cmp, Model, Sense};
+use crate::options::{Engine, Pricing, SolveOptions, TelemetryClock};
 use crate::simplex::{
     finish_values, initial_value, slack_bounds, solve_unconstrained, Basis, ColState,
-    ResolveOutcome, WarmOutcome,
+    EngineCounters, ResolveOutcome, WarmOutcome,
 };
 use crate::{DualCertificate, Solution};
 
 const INF: f64 = f64::INFINITY;
 
 /// Immutable compressed-sparse-column storage of the structural constraint
-/// matrix `A` (m rows × n structural columns). Built once per [`Model`];
+/// matrix `A` (m rows × n structural columns). Built once per [`Skeleton`];
 /// slack and artificial columns are implicit unit vectors and never stored.
 #[derive(Clone, Debug)]
 pub(crate) struct SparseMatrix {
@@ -60,14 +79,13 @@ pub(crate) struct SparseMatrix {
 }
 
 impl SparseMatrix {
-    /// Builds the CSC form of `model`'s constraint rows. Entries within a
-    /// column are ordered by row index; exact zeros are dropped.
-    pub(crate) fn from_model(model: &Model) -> Self {
-        let n = model.cols.len();
-        let m = model.rows.len();
+    /// Builds the CSC form of the given term rows. Entries within a column
+    /// are ordered by row index; exact zeros are dropped.
+    pub(crate) fn from_rows(n: usize, rows: &[&[(usize, f64)]]) -> Self {
+        let m = rows.len();
         let mut col_ptr = vec![0usize; n + 1];
-        for row in &model.rows {
-            for &(v, c) in &row.terms {
+        for row in rows {
+            for &(v, c) in *row {
                 if c != 0.0 {
                     col_ptr[v + 1] += 1;
                 }
@@ -80,8 +98,8 @@ impl SparseMatrix {
         let mut row_idx = vec![0usize; nnz];
         let mut values = vec![0.0f64; nnz];
         let mut cursor = col_ptr.clone();
-        for (r, row) in model.rows.iter().enumerate() {
-            for &(v, c) in &row.terms {
+        for (r, row) in rows.iter().enumerate() {
+            for &(v, c) in *row {
                 if c != 0.0 {
                     let k = cursor[v];
                     row_idx[k] = r;
@@ -96,6 +114,13 @@ impl SparseMatrix {
             row_idx,
             values,
         }
+    }
+
+    /// CSC form of `model`'s constraint rows, one internal row per model row.
+    #[cfg(test)]
+    pub(crate) fn from_model(model: &Model) -> Self {
+        let rows: Vec<&[(usize, f64)]> = model.rows.iter().map(|r| r.terms.as_slice()).collect();
+        Self::from_rows(model.cols.len(), &rows)
     }
 
     fn col(&self, j: usize) -> impl Iterator<Item = (usize, f64)> + '_ {
@@ -117,11 +142,133 @@ impl SparseMatrix {
     }
 }
 
-/// The product-form-of-inverse representation of `B⁻¹` as a sequence of
-/// elementary eta matrices: `B⁻¹ = E_k · … · E_1`. Each eta records the
-/// pivot row, the pivot element, and the off-pivot non-zeros of the FTRAN'd
-/// entering column; everything is stored in flat contiguous arrays so FTRAN
-/// and BTRAN stream linearly through memory (this is the engine's innermost
+/// Where an internal row came from in the model.
+#[derive(Copy, Clone, Debug)]
+enum RowOrigin {
+    /// Internal row `k` is model row `i`, slack bounds from its comparator.
+    Single(usize),
+    /// Internal row `k` folds the adjacent model pair `a·x ≤ rhs_le` (row
+    /// `le`) and `a·x ≥ rhs_ge` (row `ge`) over *identical* terms into one
+    /// row `a·x + s = rhs_le` with `s ∈ [0, rhs_le − rhs_ge]` — a range row
+    /// whose slack carries both sides as variable bounds.
+    Range { le: usize, ge: usize },
+}
+
+/// The compiled constraint skeleton one sparse solve (or a whole
+/// branch-and-bound tree / resident sweep over one model) works against:
+/// the CSC matrix of internal rows, their right-hand sides and slack bounds,
+/// and the mapping back to model rows for dual expansion.
+///
+/// Folding (LU engine only) is purely an internal reformulation: primal
+/// values, objective, and the *expanded* duals are exactly what the unfolded
+/// problem produces, which is what keeps the certcheck contract intact.
+pub(crate) struct Skeleton {
+    mat: SparseMatrix,
+    rhs: Vec<f64>,
+    slack_lo: Vec<f64>,
+    slack_hi: Vec<f64>,
+    origin: Vec<RowOrigin>,
+    m_model: usize,
+}
+
+impl Skeleton {
+    /// Compiles `model`'s rows. With `fold` on, adjacent `≤`/`≥` pairs over
+    /// identical terms with `rhs_le ≥ rhs_ge` become range rows; a *crossed*
+    /// pair (`rhs_le < rhs_ge`, trivially infeasible) is left unfolded so
+    /// phase 1 reports infeasibility exactly like the other engines.
+    pub(crate) fn build(model: &Model, fold: bool) -> Self {
+        let m_model = model.rows.len();
+        let mut origin = Vec::with_capacity(m_model);
+        let mut rhs = Vec::with_capacity(m_model);
+        let mut slack_lo = Vec::with_capacity(m_model);
+        let mut slack_hi = Vec::with_capacity(m_model);
+        let mut rep_rows: Vec<&[(usize, f64)]> = Vec::with_capacity(m_model);
+        let mut r = 0;
+        while r < m_model {
+            if fold && r + 1 < m_model {
+                let pair = match (model.rows[r].cmp, model.rows[r + 1].cmp) {
+                    (Cmp::Le, Cmp::Ge) => Some((r, r + 1)),
+                    (Cmp::Ge, Cmp::Le) => Some((r + 1, r)),
+                    _ => None,
+                };
+                if let Some((le, ge)) = pair {
+                    let (lrow, grow) = (&model.rows[le], &model.rows[ge]);
+                    if lrow.terms == grow.terms && lrow.rhs >= grow.rhs {
+                        origin.push(RowOrigin::Range { le, ge });
+                        rhs.push(lrow.rhs);
+                        slack_lo.push(0.0);
+                        slack_hi.push(lrow.rhs - grow.rhs);
+                        rep_rows.push(&lrow.terms);
+                        r += 2;
+                        continue;
+                    }
+                }
+            }
+            let row = &model.rows[r];
+            let (l, h) = slack_bounds(row.cmp);
+            origin.push(RowOrigin::Single(r));
+            rhs.push(row.rhs);
+            slack_lo.push(l);
+            slack_hi.push(h);
+            rep_rows.push(&row.terms);
+            r += 1;
+        }
+        let mat = SparseMatrix::from_rows(model.cols.len(), &rep_rows);
+        Skeleton {
+            mat,
+            rhs,
+            slack_lo,
+            slack_hi,
+            origin,
+            m_model,
+        }
+    }
+
+    /// Internal row count (`≤` the model's row count when folding fired).
+    pub(crate) fn m(&self) -> usize {
+        self.origin.len()
+    }
+
+    /// The representative model-row terms of internal row `k` (a range row's
+    /// two sides have identical terms by construction).
+    fn row_terms<'a>(&self, model: &'a Model, k: usize) -> &'a [(usize, f64)] {
+        match self.origin[k] {
+            RowOrigin::Single(i) => &model.rows[i].terms,
+            RowOrigin::Range { le, .. } => &model.rows[le].terms,
+        }
+    }
+
+    /// Expands internal duals to model row order. A range row's dual lands
+    /// on the side it prices: `y ≤ 0` is a `≤`-shadow price (internal slack
+    /// at its lower bound), `y > 0` a `≥`-shadow price (slack at its upper
+    /// bound, where the bound `rhs_le − (rhs_le − rhs_ge) = rhs_ge` is the
+    /// binding one); the partner row gets `0`. Under the checker's
+    /// sign-clamping (`≤` rows keep `min(y,0)`, `≥` rows `max(y,0)`) the
+    /// expanded vector certifies exactly the internal Lagrangian bound.
+    fn expand_duals(&self, y: &[f64]) -> Vec<f64> {
+        let mut out = vec![0.0f64; self.m_model];
+        for (k, o) in self.origin.iter().enumerate() {
+            match *o {
+                RowOrigin::Single(i) => out[i] = y[k],
+                RowOrigin::Range { le, ge } => {
+                    if y[k] <= 0.0 {
+                        out[le] = y[k];
+                    } else {
+                        out[ge] = y[k];
+                    }
+                }
+            }
+        }
+        out
+    }
+}
+
+/// The product-form-of-inverse representation of `B⁻¹` (or, under
+/// [`Engine::Lu`], of the *update* since the last LU refactorization) as a
+/// sequence of elementary eta matrices: each pivot appends one eta, and
+/// systems are solved by running a vector through the file — forward for
+/// FTRAN, backward for BTRAN. Everything is stored in flat contiguous arrays
+/// so both passes stream linearly through memory (the engine's innermost
 /// loop — one of each per simplex iteration).
 #[derive(Clone, Debug)]
 struct EtaFile {
@@ -212,24 +359,122 @@ impl EtaFile {
     }
 }
 
+/// A Forrest–Tomlin column replacement rewrites every stored `U` entry past
+/// the leaving position, so its cost is the tail size, not the spike size.
+/// Replacements whose tail is longer than this go through a product-form
+/// eta instead (cost proportional to the spike alone); short-tail
+/// replacements — the common case on the slack-heavy certifier bases, where
+/// the leaving column sits at or near the end of `U` — stay in-place and
+/// keep the factors exact with zero file growth.
+const FT_TAIL_MAX: usize = 32;
+
+/// The basis-inverse representation, per engine. Under [`Engine::Eta`]
+/// every pivot since the solve began lives in a product-form eta file.
+/// Under [`Engine::Lu`] the LU factors carry the basis: cheap pivots fold
+/// in via Forrest–Tomlin column replacement (factors stay exact, nothing
+/// grows), expensive ones append to a product-form eta file *on top of* the
+/// factors until the next refactorization discards it.
+// One `Inverse` exists per solver core, so the variant-size skew costs a few
+// hundred bytes total; boxing `LuFactors` would instead put a pointer chase
+// on every FTRAN/BTRAN of the hot path.
+#[allow(clippy::large_enum_variant)]
+enum Inverse {
+    Eta(EtaFile),
+    Lu { lu: LuFactors, etas: EtaFile },
+}
+
+impl Inverse {
+    /// `v ← B⁻¹·v`.
+    fn ftran(&mut self, v: &mut [f64]) {
+        match self {
+            Inverse::Eta(etas) => etas.ftran(v),
+            Inverse::Lu { lu, etas } => {
+                lu.ftran(v);
+                etas.ftran(v);
+            }
+        }
+    }
+
+    /// `yᵀ ← yᵀ·B⁻¹`.
+    fn btran(&mut self, y: &mut [f64]) {
+        match self {
+            Inverse::Eta(etas) => etas.btran(y),
+            Inverse::Lu { lu, etas } => {
+                etas.btran(y);
+                lu.btran(y);
+            }
+        }
+    }
+
+    /// Folds the pivot at `row` into the inverse: the eta engine appends the
+    /// pivot eta of the FTRAN'd column `w`; the LU engine replaces the
+    /// column in the factors (Forrest–Tomlin, using the spike its FTRAN
+    /// saved) when that is cheap, and appends a product-form eta otherwise.
+    /// Once an eta exists the factors no longer see later pivots, so every
+    /// subsequent fold must stay in the file until a refactorization.
+    /// Returns `false` when the updated factors are numerically unusable and
+    /// the caller must refactorize before the next solve.
+    fn fold_pivot(&mut self, row: usize, w: &[f64], pivot_tol: f64) -> bool {
+        match self {
+            Inverse::Eta(etas) => {
+                etas.push_from_column(row, w);
+                true
+            }
+            Inverse::Lu { lu, etas } => {
+                if !lu.is_trivial() && etas.len() == 0 && lu.replace_cost(row) <= FT_TAIL_MAX {
+                    lu.replace_column(row, pivot_tol)
+                } else {
+                    etas.push_from_column(row, w);
+                    true
+                }
+            }
+        }
+    }
+
+    /// Updates applied since the last refactorization (eta-file length for
+    /// the eta engine, column replacements plus file etas for the LU
+    /// engine).
+    fn update_len(&self) -> usize {
+        match self {
+            Inverse::Eta(etas) => etas.len(),
+            Inverse::Lu { lu, etas } => lu.update_len() + etas.len(),
+        }
+    }
+
+    /// Stored fill accumulated since the last refactorization — the
+    /// measured growth the refactorization trigger watches.
+    fn update_nnz(&self) -> usize {
+        match self {
+            Inverse::Eta(etas) => etas.nnz(),
+            Inverse::Lu { lu, etas } => lu.update_fill() + etas.nnz(),
+        }
+    }
+}
+
 enum StepOutcome {
     Optimal,
     Unbounded,
     Progress { degenerate: bool },
 }
 
+/// Devex weights above this are reset to the unit framework: the weights are
+/// only *relative* pivot-steering scores, and letting them grow unbounded
+/// eventually drowns the ranking in round-off.
+const DEVEX_RESET: f64 = 1e12;
+
 /// The revised-simplex working state. Column index space matches the dense
-/// engine: `[0, n)` structural, `[n, n+m)` slack, `[n+m, ncols)` artificial.
+/// engine: `[0, n)` structural, `[n, n+m)` slack, `[n+m, ncols)` artificial
+/// (`m` counts *internal* rows — range folding may make it smaller than the
+/// model's row count).
 struct Core {
-    mat: Arc<SparseMatrix>,
-    rhs: Vec<f64>,
+    skel: Arc<Skeleton>,
     lo: Vec<f64>,
     hi: Vec<f64>,
     xval: Vec<f64>,
     state: Vec<ColState>,
     /// Column occupying each basis row (`B⁻¹·A_basis[r] = e_r`).
     basis: Vec<usize>,
-    etas: EtaFile,
+    inverse: Inverse,
     /// `(row, sign)` of each artificial column, in column order.
     arts: Vec<(usize, f64)>,
     n: usize,
@@ -244,12 +489,22 @@ struct Core {
     y: Vec<f64>,
     /// Partial-pricing candidate list.
     candidates: Vec<usize>,
+    pricing: Pricing,
+    /// Devex reference-framework weights, length `ncols` (all `≥ 1`).
+    devex: Vec<f64>,
+    clock: Option<TelemetryClock>,
     pivots: u64,
     refactorizations: u64,
     eta_peak: usize,
     pivots_since_refactor: u64,
     refactor_every: u64,
     eta_nnz_cap: usize,
+    /// A Forrest–Tomlin update produced an unusable diagonal: the factors
+    /// must be rebuilt before the next FTRAN/BTRAN.
+    needs_refactor: bool,
+    refactor_ns: u64,
+    solve_ns: u64,
+    lu_fill: u64,
     feas_tol: f64,
     opt_tol: f64,
     pivot_tol: f64,
@@ -271,11 +526,23 @@ impl Core {
         }
     }
 
+    fn clock_now(&self) -> Option<u64> {
+        self.clock.as_ref().map(|c| c.now_ns())
+    }
+
+    fn add_solve_time(&mut self, t0: Option<u64>) {
+        if let (Some(c), Some(t0)) = (&self.clock, t0) {
+            self.solve_ns += c.now_ns().saturating_sub(t0);
+        }
+    }
+
     /// `w ← B⁻¹·A_q` (the entering column for ratio test and eta append).
     fn compute_w(&mut self, q: usize) {
         self.w.fill(0.0);
-        Self::scatter_col(&self.mat, &self.arts, self.n, q, &mut self.w);
-        self.etas.ftran(&mut self.w);
+        Self::scatter_col(&self.skel.mat, &self.arts, self.n, q, &mut self.w);
+        let t0 = self.clock_now();
+        self.inverse.ftran(&mut self.w);
+        self.add_solve_time(t0);
     }
 
     /// `y ← c_B·B⁻¹` (the dual prices the reduced costs are measured
@@ -284,14 +551,16 @@ impl Core {
         for r in 0..self.m {
             self.y[r] = self.costs[self.basis[r]];
         }
-        self.etas.btran(&mut self.y);
+        let t0 = self.clock_now();
+        self.inverse.btran(&mut self.y);
+        self.add_solve_time(t0);
     }
 
     /// Reduced cost `d_j = c_j − y·A_j` via one sparse dot product.
     fn reduced_cost(&self, j: usize) -> f64 {
         let mut d = self.costs[j];
         if j < self.n {
-            for (r, a) in self.mat.col(j) {
+            for (r, a) in self.skel.mat.col(j) {
                 d -= self.y[r] * a;
             }
         } else if j < self.art_start {
@@ -333,8 +602,18 @@ impl Core {
         }
     }
 
+    /// Pricing rank of an eligible column: plain `|d_j|` under Dantzig,
+    /// `d_j²/w_j` under devex. Eligibility (`score > opt_tol`) is shared, so
+    /// the rule steers the pivot path but never changes termination.
+    fn rank(&self, j: usize, score: f64) -> f64 {
+        match self.pricing {
+            Pricing::Dantzig => score,
+            Pricing::Devex => score * score / self.devex[j],
+        }
+    }
+
     /// Candidate-list cap: a small slice of the column space, enough to keep
-    /// Dantzig-quality entering choices without a full scan per iteration.
+    /// high-quality entering choices without a full scan per iteration.
     fn candidate_cap(limit: usize) -> usize {
         (limit / 8).clamp(8, 64)
     }
@@ -377,9 +656,10 @@ impl Core {
             let dj = self.reduced_cost(j);
             if let Some((dir, score)) = self.direction(j, dj) {
                 if score > self.opt_tol {
+                    let rank = self.rank(j, score);
                     match best {
-                        Some((_, _, s)) if s >= score => {}
-                        _ => best = Some((j, dir, score)),
+                        Some((_, _, s)) if s >= rank => {}
+                        _ => best = Some((j, dir, rank)),
                     }
                 }
             }
@@ -390,7 +670,7 @@ impl Core {
         }
 
         // Major iteration: full scan, refill the candidate list with the
-        // highest-scoring eligible columns (deterministic order).
+        // highest-ranked eligible columns (deterministic order).
         let mut scored: Vec<(usize, f64, f64)> = Vec::new();
         for j in 0..limit {
             if self.state[j] == ColState::Basic {
@@ -399,7 +679,7 @@ impl Core {
             let dj = self.reduced_cost(j);
             if let Some((dir, score)) = self.direction(j, dj) {
                 if score > self.opt_tol {
-                    scored.push((j, dir, score));
+                    scored.push((j, dir, self.rank(j, score)));
                 }
             }
         }
@@ -407,14 +687,37 @@ impl Core {
             self.candidates.clear();
             return None;
         }
-        // total_cmp, not partial_cmp: a NaN score must not silently collapse
-        // the ordering and steer pivot choice (lint rule float-cmp). Scores
+        // total_cmp, not partial_cmp: a NaN rank must not silently collapse
+        // the ordering and steer pivot choice (lint rule float-cmp). Ranks
         // here are positive and finite, for which the two orders coincide.
         scored.sort_by(|a, b| b.2.total_cmp(&a.2).then(a.0.cmp(&b.0)));
         scored.truncate(Self::candidate_cap(limit));
         self.candidates = scored.iter().map(|&(j, _, _)| j).collect();
         let (j, dir, _) = scored[0];
         Some((j, dir))
+    }
+
+    /// Devex weight maintenance for a basis change at row `r` with entering
+    /// column `q` (expects `w = B⁻¹·A_q` and must run *before* the basis
+    /// heading mutates). This is the *cheap* reference-framework variant:
+    /// only the leaving variable's weight is refreshed
+    /// (`w_p ← max(w_q/α_r², 1)`, the exact devex value for the column that
+    /// just left), other non-basic weights keep their last value until the
+    /// framework resets. The full Forrest–Goldfarb update needs the pivot
+    /// row `e_r·B⁻¹N` — an extra BTRAN plus a pricing pass per pivot, which
+    /// measured ~1.8× slower end-to-end on the Table I nets for a ~4% pivot
+    /// reduction. Stale weights still bias pricing toward columns with
+    /// historically large tableau entries, which is devex's point.
+    fn update_devex(&mut self, r: usize, q: usize) {
+        let alpha_r = self.w[r];
+        if alpha_r == 0.0 {
+            return;
+        }
+        let wq = self.devex[q].max(1.0);
+        self.devex[self.basis[r]] = (wq / (alpha_r * alpha_r)).max(1.0);
+        if self.devex[self.basis[r]] > DEVEX_RESET {
+            self.devex.fill(1.0);
+        }
     }
 
     /// One simplex iteration: price, FTRAN, ratio test, then bound-flip or
@@ -479,6 +782,9 @@ impl Core {
                 StepOutcome::Progress { degenerate: false }
             }
             Some((r, to_lower)) => {
+                if self.pricing == Pricing::Devex {
+                    self.update_devex(r, q);
+                }
                 for i in 0..self.m {
                     let a = self.w[i];
                     if a != 0.0 {
@@ -508,12 +814,17 @@ impl Core {
         }
     }
 
-    /// Appends the eta of a pivot at row `r` with entering column `q`
-    /// (expects `self.w = B⁻¹·A_q`) and updates the heading and counters.
+    /// Folds the pivot at row `r` with entering column `q` into the inverse
+    /// (expects `self.w = B⁻¹·A_q`, freshly FTRAN'd) and updates the heading
+    /// and counters. If the update leaves the factors numerically unusable
+    /// (a near-singular Forrest–Tomlin diagonal), the basis heading is still
+    /// advanced and a refactorization is forced before the next solve.
     fn apply_pivot(&mut self, r: usize, q: usize) {
         debug_assert!(self.w[r].abs() > 0.0, "zero pivot");
-        self.etas.push_from_column(r, &self.w);
-        self.eta_peak = self.eta_peak.max(self.etas.len());
+        if !self.inverse.fold_pivot(r, &self.w, self.pivot_tol) {
+            self.needs_refactor = true;
+        }
+        self.eta_peak = self.eta_peak.max(self.inverse.update_len());
         self.state[q] = ColState::Basic;
         self.basis[r] = q;
         self.pivots += 1;
@@ -521,23 +832,39 @@ impl Core {
     }
 
     fn should_refactorize(&self) -> bool {
-        self.pivots_since_refactor >= self.refactor_every || self.etas.nnz() > self.eta_nnz_cap
+        self.needs_refactor
+            || self.pivots_since_refactor >= self.refactor_every
+            || self.inverse.update_nnz() > self.eta_nnz_cap
     }
 
-    /// Rebuilds the eta file from the original data for the current basic
-    /// column set, then recomputes the basic values exactly. Returns `false`
-    /// when the basis is singular with respect to the matrix or the
-    /// recomputed point is primal infeasible beyond tolerance (warm restores
-    /// reject; mid-solve callers treat it as a numerical failure).
-    ///
-    /// Unit (slack/artificial) columns are eliminated first — they pivot with
-    /// no fill — then structural columns by ascending non-zero count; within
-    /// each column the pivot row is the largest remaining magnitude, ties to
-    /// the lowest row. The row↔column pairing may change; only the column
-    /// *set* is meaningful, and the heading is rebuilt to match.
+    /// Rebuilds the basis-inverse representation from the original data for
+    /// the current basic column set, then recomputes the basic values
+    /// exactly. Returns `false` when the basis is singular with respect to
+    /// the matrix or the recomputed point is primal infeasible beyond
+    /// tolerance (warm restores reject; mid-solve callers treat it as a
+    /// numerical failure).
     fn refactorize(&mut self) -> bool {
-        let m = self.m;
-        self.etas.clear();
+        let t0 = self.clock_now();
+        let rebuilt = match self.inverse {
+            Inverse::Eta(_) => self.refactorize_eta(),
+            Inverse::Lu { .. } => self.refactorize_lu(),
+        };
+        let ok = rebuilt && {
+            self.refactorizations += 1;
+            self.pivots_since_refactor = 0;
+            self.needs_refactor = false;
+            self.recompute_basic_values()
+        };
+        if let (Some(c), Some(t0)) = (&self.clock, t0) {
+            self.refactor_ns += c.now_ns().saturating_sub(t0);
+        }
+        ok
+    }
+
+    /// The current basic columns in elimination order: unit (slack /
+    /// artificial) columns first — they pivot with no fill — then structural
+    /// columns by ascending non-zero count (static Markowitz-style ordering).
+    fn elimination_order(&self) -> Vec<usize> {
         let mut unit: Vec<usize> = self
             .basis
             .iter()
@@ -547,14 +874,33 @@ impl Core {
         unit.sort_unstable();
         let mut structural: Vec<usize> =
             self.basis.iter().copied().filter(|&j| j < self.n).collect();
-        structural.sort_by_key(|&j| (self.mat.col_nnz(j), j));
+        structural.sort_by_key(|&j| (self.skel.mat.col_nnz(j), j));
+        unit.extend(structural);
+        unit
+    }
 
+    /// Eta-engine refactorization: Gauss-Jordan elimination of the basis
+    /// columns back into a fresh eta file. Within each column the pivot row
+    /// is the largest remaining magnitude, ties to the lowest row. The
+    /// row↔column pairing may change; only the column *set* is meaningful,
+    /// and the heading is rebuilt to match.
+    fn refactorize_eta(&mut self) -> bool {
+        let m = self.m;
+        // Extract the file so the rebuild can FTRAN through it while
+        // scattering into `self.w` (disjoint borrows of `self`).
+        let mut etas = match std::mem::replace(&mut self.inverse, Inverse::Eta(EtaFile::new())) {
+            Inverse::Eta(e) => e,
+            Inverse::Lu { .. } => unreachable!("eta refactorization of an LU inverse"),
+        };
+        etas.clear();
+        let order = self.elimination_order();
         let mut eliminated = vec![false; m];
         let mut new_basis = vec![usize::MAX; m];
-        for &j in unit.iter().chain(structural.iter()) {
+        let mut ok = true;
+        for &j in &order {
             self.w.fill(0.0);
-            Self::scatter_col(&self.mat, &self.arts, self.n, j, &mut self.w);
-            self.etas.ftran(&mut self.w);
+            Self::scatter_col(&self.skel.mat, &self.arts, self.n, j, &mut self.w);
+            etas.ftran(&mut self.w);
             let mut best: Option<(usize, f64)> = None;
             for (r, &done) in eliminated.iter().enumerate() {
                 if done {
@@ -565,19 +911,72 @@ impl Core {
                     best = Some((r, a));
                 }
             }
-            let Some((r, mag)) = best else { return false };
+            let Some((r, mag)) = best else {
+                ok = false;
+                break;
+            };
             if mag <= self.pivot_tol {
-                return false;
+                ok = false;
+                break;
             }
-            self.etas.push_from_column(r, &self.w);
+            etas.push_from_column(r, &self.w);
             eliminated[r] = true;
             new_basis[r] = j;
         }
+        self.eta_peak = self.eta_peak.max(etas.len());
+        self.inverse = Inverse::Eta(etas);
+        if ok {
+            self.basis = new_basis;
+        }
+        ok
+    }
+
+    /// LU-engine refactorization: a fresh sparse LU factorization of the
+    /// basis matrix ([`LuFactors::factorize`] — threshold partial pivoting
+    /// with the Markowitz row-weight tie-break), discarding the update eta
+    /// file. The fill trigger (`eta_nnz_cap`) is re-derived from the
+    /// *measured* fill of these factors, so cadence tracks the basis the
+    /// solve actually has rather than a tuned constant.
+    fn refactorize_lu(&mut self) -> bool {
+        let m = self.m;
+        let order = self.elimination_order();
+        let mut col_ptr = Vec::with_capacity(m + 1);
+        let mut entries: Vec<(usize, f64)> = Vec::new();
+        let mut row_weight = vec![0usize; m];
+        col_ptr.push(0);
+        for &j in &order {
+            if j < self.n {
+                for (r, a) in self.skel.mat.col(j) {
+                    entries.push((r, a));
+                    row_weight[r] += 1;
+                }
+            } else if j < self.art_start {
+                let r = j - self.n;
+                entries.push((r, 1.0));
+                row_weight[r] += 1;
+            } else {
+                let (r, s) = self.arts[j - self.art_start];
+                entries.push((r, s));
+                row_weight[r] += 1;
+            }
+            col_ptr.push(entries.len());
+        }
+        let Some(lu) = LuFactors::factorize(m, &col_ptr, &entries, &row_weight, self.pivot_tol)
+        else {
+            return false;
+        };
+        let mut new_basis = vec![usize::MAX; m];
+        for (k, &r) in lu.pivot_rows().iter().enumerate() {
+            new_basis[r] = order[k];
+        }
         self.basis = new_basis;
-        self.eta_peak = self.eta_peak.max(self.etas.len());
-        self.refactorizations += 1;
-        self.pivots_since_refactor = 0;
-        self.recompute_basic_values()
+        self.lu_fill = self.lu_fill.max(lu.nnz() as u64);
+        self.eta_nnz_cap = lu_growth_cap(&lu);
+        self.inverse = Inverse::Lu {
+            lu,
+            etas: EtaFile::new(),
+        };
+        true
     }
 
     /// `x_B ← B⁻¹·(b − N·x_N)` from the original data, clamping round-off
@@ -585,7 +984,7 @@ impl Core {
     /// beyond tolerance.
     fn recompute_basic_values(&mut self) -> bool {
         self.w.fill(0.0);
-        self.w[..self.m].copy_from_slice(&self.rhs);
+        self.w[..self.m].copy_from_slice(&self.skel.rhs);
         for j in 0..self.ncols {
             if self.state[j] == ColState::Basic {
                 continue;
@@ -595,7 +994,7 @@ impl Core {
                 continue;
             }
             if j < self.n {
-                for (r, a) in self.mat.col(j) {
+                for (r, a) in self.skel.mat.col(j) {
                     self.w[r] -= a * x;
                 }
             } else if j < self.art_start {
@@ -605,7 +1004,7 @@ impl Core {
                 self.w[r] -= s * x;
             }
         }
-        self.etas.ftran(&mut self.w);
+        self.inverse.ftran(&mut self.w);
         for r in 0..self.m {
             let b = self.basis[r];
             let v = self.w[r];
@@ -617,8 +1016,8 @@ impl Core {
         true
     }
 
-    /// Runs the simplex loop for one phase until optimality, refactorizing
-    /// the eta file whenever the trigger fires.
+    /// Runs the simplex loop for one phase until optimality, refreshing the
+    /// factorization whenever the trigger fires.
     fn optimize(&mut self, phase2: bool, cap: u64) -> Result<(), SolveError> {
         let mut degen_streak = 0u32;
         let mut bland = false;
@@ -657,8 +1056,9 @@ impl Core {
 
     /// Pivots basic artificial variables (all at value 0) out of the basis;
     /// rows that admit no replacement keep their frozen artificial, exactly
-    /// like the dense engine.
-    fn drive_out_artificials(&mut self) {
+    /// like the dense engine. Returns `false` on an unrecoverable
+    /// refactorization failure after a rejected Forrest–Tomlin update.
+    fn drive_out_artificials(&mut self) -> bool {
         for r in 0..self.m {
             if self.basis[r] < self.art_start {
                 continue;
@@ -666,7 +1066,7 @@ impl Core {
             // ρ = e_r·B⁻¹, so ρ·A_j is the tableau entry (r, j).
             self.y.fill(0.0);
             self.y[r] = 1.0;
-            self.etas.btran(&mut self.y);
+            self.inverse.btran(&mut self.y);
             let mut best: Option<(usize, f64)> = None;
             for j in 0..self.art_start {
                 if self.state[j] == ColState::Basic || self.lo[j] == self.hi[j] {
@@ -686,20 +1086,31 @@ impl Core {
                 self.state[leaving] = ColState::AtLower;
                 self.xval[leaving] = 0.0;
                 self.apply_pivot(r, j);
+                // The next row's BTRAN must not run through factors a
+                // rejected update left stale.
+                if self.needs_refactor && !self.refactorize() {
+                    return false;
+                }
             }
         }
+        true
     }
 
-    /// `ρ·A_j` where `ρ` currently sits in `self.y` (drive-out helper).
+    /// `ρ·A_j` where `ρ` currently sits in `self.y` (drive-out and devex
+    /// helper; handles every column class because the phase-1 candidate list
+    /// may hold artificials).
     fn reduced_cost_entry(&self, j: usize) -> f64 {
         if j < self.n {
             let mut a = 0.0;
-            for (r, v) in self.mat.col(j) {
+            for (r, v) in self.skel.mat.col(j) {
                 a += self.y[r] * v;
             }
             a
-        } else {
+        } else if j < self.art_start {
             self.y[j - self.n]
+        } else {
+            let (r, s) = self.arts[j - self.art_start];
+            s * self.y[r]
         }
     }
 
@@ -708,6 +1119,7 @@ impl Core {
         for c in self.costs.iter_mut().skip(self.art_start) {
             *c = 1.0;
         }
+        self.devex.fill(1.0);
     }
 
     fn set_phase2_costs(&mut self, model: &Model) {
@@ -717,6 +1129,7 @@ impl Core {
             self.costs[v] += if flip { -c } else { c };
         }
         self.candidates.clear();
+        self.devex.fill(1.0);
     }
 
     fn freeze_artificials(&mut self) {
@@ -730,46 +1143,60 @@ impl Core {
     /// Recomputes the dual certificate at the current (phase-2-terminated)
     /// basis: one BTRAN pass for `yᵀ = c_Bᵀ·B⁻¹` plus one sparse dot product
     /// per structural column. Rows are never negated in this engine, so `y`
-    /// prices the model's own row orientation directly.
-    fn certificate(&self) -> DualCertificate {
+    /// prices the internal row orientation directly; range-folded duals are
+    /// expanded back to model row order by [`Skeleton::expand_duals`].
+    fn certificate(&mut self) -> DualCertificate {
         let mut y = vec![0.0f64; self.m];
         for (r, yr) in y.iter_mut().enumerate() {
             *yr = self.costs[self.basis[r]];
         }
-        self.etas.btran(&mut y);
+        self.inverse.btran(&mut y);
         let mut reduced = Vec::with_capacity(self.n);
         for j in 0..self.n {
             let mut d = self.costs[j];
-            for (r, a) in self.mat.col(j) {
+            for (r, a) in self.skel.mat.col(j) {
                 d -= y[r] * a;
             }
             reduced.push(d);
         }
         DualCertificate {
-            row_duals: y,
+            row_duals: self.skel.expand_duals(&y),
             reduced_costs: reduced,
         }
     }
 
+    fn counters(&self) -> EngineCounters {
+        EngineCounters {
+            pivots: self.pivots,
+            refactorizations: self.refactorizations,
+            eta_len: self.eta_peak as u64,
+            refactor_time_ns: self.refactor_ns,
+            ftran_btran_time_ns: self.solve_ns,
+            lu_fill_nnz: self.lu_fill,
+        }
+    }
+
     fn finish(
-        &self,
+        &mut self,
         model: &Model,
         var_bounds: &[(f64, f64)],
         emit: bool,
     ) -> Result<Solution, SolveError> {
+        let cert = emit.then(|| self.certificate());
         finish_values(
             model,
             var_bounds,
             self.xval[..self.n].to_vec(),
-            self.pivots,
-            self.refactorizations,
-            self.eta_peak as u64,
-            emit.then(|| self.certificate()),
+            self.counters(),
+            cert,
         )
     }
 
     /// Extracts a reusable [`Basis`] snapshot, or `None` when an artificial
-    /// column is still basic (redundant row).
+    /// column is still basic (redundant row). `m` is the *internal* row
+    /// count, so a snapshot taken under range folding only restores into an
+    /// engine that folds the same way (others reject it shape-first and
+    /// fall back cold).
     fn snapshot(&self) -> Option<Basis> {
         if self.basis.iter().any(|&b| b >= self.art_start) {
             return None;
@@ -783,30 +1210,49 @@ impl Core {
     }
 }
 
-/// Auto refactorization cadence: small LPs usually terminate before the
-/// budget (no mid-solve refactorization overhead at all); large ones
-/// refactorize often enough to keep BTRAN/FTRAN short and round-off fresh.
-fn refactor_budget(opts: &SolveOptions, m: usize) -> u64 {
+/// Fill-growth refactorization trigger of the LU engine: rebuild once the
+/// updates have accumulated twice the stored fill of the factors themselves
+/// (eta entries plus net `U` growth), with a floor sized so the certifier's
+/// short solves — tens of thousands of LPs that finish within a few hundred
+/// pivots — complete entirely on the trivial starting basis plus the update
+/// file and never pay a factorization at all. Only genuinely long pivot
+/// runs cross the trigger, and for those the cap is growth-relative, so
+/// dense-ish bases refresh early instead of dragging an ever-longer
+/// representation through every FTRAN/BTRAN.
+fn lu_growth_cap(lu: &LuFactors) -> usize {
+    (2 * lu.nnz()).max(8192)
+}
+
+/// Auto refactorization cadence. The eta engine must refresh frequently —
+/// its whole inverse is the file, and refactorization replays the entire
+/// basis through it. The LU engine's real trigger is measured update-file
+/// fill growth against the factors (`eta_nnz_cap`, re-derived per
+/// refactorization), so its pivot budget is only a drift backstop and can be
+/// orders of magnitude longer.
+fn refactor_budget(opts: &SolveOptions, m: usize, engine: Engine) -> u64 {
     if opts.refactor_interval > 0 {
         opts.refactor_interval
-    } else {
+    } else if engine == Engine::Eta {
         ((m as u64) / 2).clamp(64, 256)
+    } else {
+        (m as u64 * 8).max(2000)
     }
 }
 
 /// Builds the initial working state (columns, resting values, slack-or-
-/// artificial starting basis) for `model` under `var_bounds`. The arithmetic
-/// mirrors the dense engine's setup except that rows are never negated:
-/// an artificial covering a negative residual gets a `−1` coefficient,
-/// represented as a seed eta so the starting `B⁻¹` stays exact.
+/// artificial starting basis) for `model` under `var_bounds` against the
+/// compiled `skel`. The arithmetic mirrors the dense engine's setup except
+/// that rows are never negated: an artificial covering a negative residual
+/// gets a `−1` coefficient, represented exactly in the starting inverse
+/// (a seed eta or a `−1` LU diagonal).
 fn build_core(
     model: &Model,
     var_bounds: &[(f64, f64)],
     opts: &SolveOptions,
-    mat: Arc<SparseMatrix>,
+    skel: Arc<Skeleton>,
 ) -> (Core, f64) {
     let n = model.cols.len();
-    let m = model.rows.len();
+    let m = skel.m();
     let tol = opts.tolerances;
 
     let mut lo = Vec::with_capacity(n + 2 * m);
@@ -820,10 +1266,9 @@ fn build_core(
         xval.push(v);
         state.push(s);
     }
-    for row in &model.rows {
-        let (l, h) = slack_bounds(row.cmp);
-        lo.push(l);
-        hi.push(h);
+    for k in 0..m {
+        lo.push(skel.slack_lo[k]);
+        hi.push(skel.slack_hi[k]);
         xval.push(0.0); // placeholder; set below
         state.push(ColState::AtLower); // placeholder
     }
@@ -832,10 +1277,11 @@ fn build_core(
     let mut arts: Vec<(usize, f64)> = Vec::new();
     let mut art_values: Vec<f64> = Vec::new();
     let mut art_sum = 0.0;
-    for (r, row) in model.rows.iter().enumerate() {
-        let activity: f64 = row.terms.iter().map(|&(v, c)| c * xval[v]).sum();
-        let v = row.rhs - activity; // required slack value
-        let sc = n + r;
+    for k in 0..m {
+        let terms = skel.row_terms(model, k);
+        let activity: f64 = terms.iter().map(|&(v, c)| c * xval[v]).sum();
+        let v = skel.rhs[k] - activity; // required slack value
+        let sc = n + k;
         if v >= lo[sc] && v <= hi[sc] {
             xval[sc] = v;
             state[sc] = ColState::Basic;
@@ -849,7 +1295,7 @@ fn build_core(
                 ColState::AtUpper
             };
             let resid = v - sv;
-            arts.push((r, resid.signum()));
+            arts.push((k, resid.signum()));
             art_values.push(resid.abs());
             art_sum += resid.abs();
             basis.push(usize::MAX); // fixed up below
@@ -858,31 +1304,51 @@ fn build_core(
 
     let art_start = n + m;
     let ncols = art_start + arts.len();
-    let mut etas = EtaFile::new();
-    for (k, &(r, sign)) in arts.iter().enumerate() {
+    for (k, &(r, _)) in arts.iter().enumerate() {
         lo.push(0.0);
         hi.push(INF);
         xval.push(art_values[k]);
         state.push(ColState::Basic);
         basis[r] = art_start + k;
-        // Starting basis B = diag(±1): a −1 artificial is inverted by one
-        // entry-free seed eta, keeping B⁻¹ exact from the first iteration.
-        if sign < 0.0 {
-            etas.push_unit(r, -1.0);
-        }
     }
 
-    let rhs: Vec<f64> = model.rows.iter().map(|row| row.rhs).collect();
-    let eta_nnz_cap = 8 * (mat.nnz() + m) + 512;
+    // Starting basis B = diag(±1): the −1 artificials are inverted exactly
+    // from the first iteration — one entry-free seed eta on the eta engine,
+    // a −1 diagonal of the identity LU on the LU engine.
+    let neg_rows: Vec<usize> = arts
+        .iter()
+        .filter(|&&(_, sign)| sign < 0.0)
+        .map(|&(r, _)| r)
+        .collect();
+    let (inverse, eta_nnz_cap, lu_fill) = if opts.engine == Engine::Eta {
+        let mut etas = EtaFile::new();
+        for &r in &neg_rows {
+            etas.push_unit(r, -1.0);
+        }
+        (Inverse::Eta(etas), 8 * (skel.mat.nnz() + m) + 512, 0u64)
+    } else {
+        let lu = LuFactors::identity(m, &neg_rows);
+        let cap = lu_growth_cap(&lu);
+        let fill = lu.nnz() as u64;
+        (
+            Inverse::Lu {
+                lu,
+                etas: EtaFile::new(),
+            },
+            cap,
+            fill,
+        )
+    };
+
+    let refactor_every = refactor_budget(opts, m, opts.engine);
     let core = Core {
-        mat,
-        rhs,
+        skel,
         lo,
         hi,
         xval,
         state,
         basis,
-        etas,
+        inverse,
         arts,
         n,
         m,
@@ -892,17 +1358,29 @@ fn build_core(
         w: vec![0.0; m],
         y: vec![0.0; m],
         candidates: Vec::new(),
+        pricing: opts.pricing,
+        devex: vec![1.0; ncols],
+        clock: opts.telemetry.clone(),
         pivots: 0,
         refactorizations: 0,
         eta_peak: 0,
         pivots_since_refactor: 0,
-        refactor_every: refactor_budget(opts, m),
+        refactor_every,
         eta_nnz_cap,
+        needs_refactor: false,
+        refactor_ns: 0,
+        solve_ns: 0,
+        lu_fill,
         feas_tol: tol.feasibility,
         opt_tol: tol.optimality,
         pivot_tol: tol.pivot,
     };
     (core, art_sum)
+}
+
+/// Whether `opts.engine` folds range-row pairs into bounded slacks.
+fn folds(opts: &SolveOptions) -> bool {
+    opts.engine == Engine::Lu
 }
 
 /// Cold two-phase solve, returning the terminated [`Core`] for snapshotting
@@ -911,10 +1389,9 @@ fn solve_core(
     model: &Model,
     var_bounds: &[(f64, f64)],
     opts: &SolveOptions,
-    mat: Option<Arc<SparseMatrix>>,
+    skel: Option<Arc<Skeleton>>,
 ) -> Result<(Solution, Option<Core>), SolveError> {
     let n = model.cols.len();
-    let m = model.rows.len();
     debug_assert_eq!(var_bounds.len(), n);
 
     for &(lo, hi) in var_bounds {
@@ -922,13 +1399,13 @@ fn solve_core(
             return Err(SolveError::Infeasible);
         }
     }
-    if m == 0 {
+    if model.rows.is_empty() {
         return solve_unconstrained(model, var_bounds).map(|s| (s, None));
     }
 
-    let mat = mat.unwrap_or_else(|| Arc::new(SparseMatrix::from_model(model)));
-    let (mut core, art_sum) = build_core(model, var_bounds, opts, mat);
-    let cap = opts.pivot_cap(m, core.ncols);
+    let skel = skel.unwrap_or_else(|| Arc::new(Skeleton::build(model, folds(opts))));
+    let (mut core, art_sum) = build_core(model, var_bounds, opts, skel);
+    let cap = opts.pivot_cap(core.m, core.ncols);
 
     if art_sum > 0.0 {
         core.set_phase1_costs();
@@ -937,7 +1414,11 @@ fn solve_core(
         if remaining > core.feas_tol.max(1e-7) {
             return Err(SolveError::Infeasible);
         }
-        core.drive_out_artificials();
+        if !core.drive_out_artificials() {
+            return Err(SolveError::Numerical(
+                "basis became singular or infeasible at refactorization".into(),
+            ));
+        }
     }
     core.freeze_artificials();
 
@@ -969,14 +1450,15 @@ fn solve_core(
 /// the variable bounds violates some row — i.e. the LP is infeasible.
 /// Returns `None` when the model is in fact feasible, when infeasibility
 /// comes from a crossed variable bound (`lo > hi`, no row ray exists), or
-/// when phase 1 itself fails to terminate cleanly.
+/// when phase 1 itself fails to terminate cleanly. Runs unfolded so the
+/// witness keeps the legacy one-dual-per-model-row shape.
 pub(crate) fn infeasibility_duals(model: &Model, opts: &SolveOptions) -> Option<Vec<f64>> {
     let var_bounds: Vec<(f64, f64)> = model.cols.iter().map(|c| (c.lo, c.hi)).collect();
     if model.rows.is_empty() || var_bounds.iter().any(|&(lo, hi)| lo > hi) {
         return None;
     }
-    let mat = Arc::new(SparseMatrix::from_model(model));
-    let (mut core, art_sum) = build_core(model, &var_bounds, opts, mat);
+    let skel = Arc::new(Skeleton::build(model, false));
+    let (mut core, art_sum) = build_core(model, &var_bounds, opts, skel);
     if art_sum == 0.0 {
         return None; // starting basis already feasible — nothing to witness
     }
@@ -992,14 +1474,17 @@ pub(crate) fn infeasibility_duals(model: &Model, opts: &SolveOptions) -> Option<
     Some(core.certificate().row_duals)
 }
 
-/// Sparse counterpart of [`crate::simplex`]'s cold LP entry point.
+/// Sparse counterpart of [`crate::simplex`]'s cold LP entry point. A caller
+/// holding a compiled [`Skeleton`] for this model (branch-and-bound, batch
+/// sweeps) passes it to skip recompilation; it must have been built with
+/// this engine's folding mode.
 pub(crate) fn solve_bounded(
     model: &Model,
     var_bounds: &[(f64, f64)],
     opts: &SolveOptions,
-    mat: Option<Arc<SparseMatrix>>,
+    skel: Option<Arc<Skeleton>>,
 ) -> Result<Solution, SolveError> {
-    solve_core(model, var_bounds, opts, mat).map(|(sol, _)| sol)
+    solve_core(model, var_bounds, opts, skel).map(|(sol, _)| sol)
 }
 
 /// Cold solve that also extracts a [`Basis`] snapshot.
@@ -1022,6 +1507,15 @@ pub(crate) struct SparseResident {
 }
 
 impl SparseResident {
+    /// Which engine this resident's inverse belongs to (a resident built
+    /// under one engine must not serve a sweep that requested another).
+    pub(crate) fn engine(&self) -> Engine {
+        match self.core.inverse {
+            Inverse::Eta(_) => Engine::Eta,
+            Inverse::Lu { .. } => Engine::Lu,
+        }
+    }
+
     /// Reoptimizes under `model`'s current objective (phase 2 only).
     pub(crate) fn resolve(
         &mut self,
@@ -1029,13 +1523,19 @@ impl SparseResident {
         opts: &SolveOptions,
     ) -> Result<ResolveOutcome, SolveError> {
         let c = &mut self.core;
-        if model.cols.len() != c.n || model.rows.len() != c.m {
+        if model.cols.len() != c.n || model.rows.len() != c.skel.m_model {
             return Ok(ResolveOutcome::Rejected { wasted_pivots: 0 });
         }
         c.set_phase2_costs(model);
         c.pivots = 0; // per-solve counters
         c.refactorizations = 0;
-        c.eta_peak = c.etas.len();
+        c.eta_peak = c.inverse.update_len();
+        c.refactor_ns = 0;
+        c.solve_ns = 0;
+        c.lu_fill = match &c.inverse {
+            Inverse::Eta(_) => 0,
+            Inverse::Lu { lu, .. } => lu.nnz() as u64,
+        };
         match c.optimize(true, opts.pivot_cap(c.m, c.ncols)) {
             Ok(()) => {}
             Err(SolveError::Unbounded) => return Err(SolveError::Unbounded),
@@ -1078,9 +1578,13 @@ pub(crate) fn solve_warm(
     warm: &Basis,
 ) -> Result<WarmOutcome, SolveError> {
     let n = model.cols.len();
-    let m = model.rows.len();
     let tol = opts.tolerances;
-    if warm.n != n || warm.m != m || m == 0 || warm.state.len() != n + m || warm.rows.len() != m {
+    if warm.n != n || model.rows.is_empty() {
+        return Ok(WarmOutcome::Rejected);
+    }
+    let skel = Arc::new(Skeleton::build(model, folds(opts)));
+    let m = skel.m();
+    if warm.m != m || warm.state.len() != n + m || warm.rows.len() != m {
         return Ok(WarmOutcome::Rejected);
     }
     let var_bounds: Vec<(f64, f64)> = model.cols.iter().map(|c| (c.lo, c.hi)).collect();
@@ -1097,10 +1601,9 @@ pub(crate) fn solve_warm(
         lo.push(l);
         hi.push(h);
     }
-    for row in &model.rows {
-        let (l, h) = slack_bounds(row.cmp);
-        lo.push(l);
-        hi.push(h);
+    for k in 0..m {
+        lo.push(skel.slack_lo[k]);
+        hi.push(skel.slack_hi[k]);
     }
 
     // Non-basic columns rest exactly at their recorded bound; a recorded
@@ -1134,17 +1637,30 @@ pub(crate) fn solve_warm(
         return Ok(WarmOutcome::Rejected);
     }
 
-    let mat = Arc::new(SparseMatrix::from_model(model));
-    let eta_nnz_cap = 8 * (mat.nnz() + m) + 512;
+    let (inverse, eta_nnz_cap) = if opts.engine == Engine::Eta {
+        (Inverse::Eta(EtaFile::new()), 8 * (skel.mat.nnz() + m) + 512)
+    } else {
+        // Placeholder factors; the restore refactorization below replaces
+        // them with the LU of the recorded column set.
+        let lu = LuFactors::identity(m, &[]);
+        let cap = lu_growth_cap(&lu);
+        (
+            Inverse::Lu {
+                lu,
+                etas: EtaFile::new(),
+            },
+            cap,
+        )
+    };
+    let refactor_every = refactor_budget(opts, m, opts.engine);
     let mut core = Core {
-        mat,
-        rhs: model.rows.iter().map(|row| row.rhs).collect(),
+        skel,
         lo,
         hi,
         xval,
         state,
         basis: warm.rows.clone(),
-        etas: EtaFile::new(),
+        inverse,
         arts: Vec::new(),
         n,
         m,
@@ -1154,12 +1670,19 @@ pub(crate) fn solve_warm(
         w: vec![0.0; m],
         y: vec![0.0; m],
         candidates: Vec::new(),
+        pricing: opts.pricing,
+        devex: vec![1.0; ncols],
+        clock: opts.telemetry.clone(),
         pivots: 0,
         refactorizations: 0,
         eta_peak: 0,
         pivots_since_refactor: 0,
-        refactor_every: refactor_budget(opts, m),
+        refactor_every,
         eta_nnz_cap,
+        needs_refactor: false,
+        refactor_ns: 0,
+        solve_ns: 0,
+        lu_fill: 0,
         feas_tol: tol.feasibility,
         opt_tol: tol.optimality,
         pivot_tol: tol.pivot,
@@ -1190,11 +1713,17 @@ pub(crate) fn solve_warm(
 
 #[cfg(test)]
 mod tests {
-    use crate::{BatchSolver, Cmp, Engine, LinExpr, Model, Sense, SolveError, SolveOptions};
+    use super::Skeleton;
+    use crate::{
+        BatchSolver, Cmp, Engine, LinExpr, Model, Pricing, Sense, SolveError, SolveOptions,
+    };
 
-    fn opts() -> SolveOptions {
+    /// Both sparse engines, for tests that loop the same property over each.
+    const SPARSE_ENGINES: [Engine; 2] = [Engine::Lu, Engine::Eta];
+
+    fn opts(engine: Engine) -> SolveOptions {
         SolveOptions {
-            engine: Engine::Sparse,
+            engine,
             ..Default::default()
         }
     }
@@ -1231,10 +1760,32 @@ mod tests {
         (m, vars)
     }
 
+    /// A band LP whose every constraint is a `≤`/`≥` *pair* over identical
+    /// terms — the `[A | I]` interval-row shape range folding targets.
+    fn range_band_lp(n: usize, band: usize, seed: u64) -> (Model, Vec<crate::VarId>) {
+        let mut next = rng(seed);
+        let mut m = Model::new();
+        let vars: Vec<_> = (0..n).map(|_| m.add_var(-1.0, 1.0)).collect();
+        for r in 0..n {
+            let lo = r.saturating_sub(band / 2);
+            let hi = (lo + band).min(n);
+            let terms: Vec<_> = vars[lo..hi].iter().map(|&v| (v, next())).collect();
+            let width = 0.5 + next().abs();
+            let center = next();
+            let e = LinExpr::from_terms(terms.iter().copied(), 0.0);
+            m.add_constraint(e, Cmp::Le, center + width);
+            let e = LinExpr::from_terms(terms.iter().copied(), 0.0);
+            m.add_constraint(e, Cmp::Ge, center - width);
+        }
+        let obj = LinExpr::from_terms(vars.iter().map(|&v| (v, next())), 0.0);
+        m.set_objective(Sense::Maximize, obj);
+        (m, vars)
+    }
+
     #[test]
     fn textbook_problems_match_dense_engine() {
         // The dense engine's unit suite distilled into an engine-agreement
-        // check: every model solves to the same objective on both engines.
+        // check: every model solves to the same objective on all engines.
         let build: Vec<fn() -> Model> = vec![
             || {
                 let mut m = Model::new();
@@ -1293,72 +1844,223 @@ mod tests {
                 m.set_objective(Sense::Maximize, x + y);
                 m
             },
+            || {
+                // An interval pair the LU engine folds into one range row.
+                let mut m = Model::new();
+                let x = m.add_var(-2.0, 2.0);
+                let y = m.add_var(-2.0, 2.0);
+                m.add_constraint(x + y, Cmp::Le, 1.5);
+                m.add_constraint(x + y, Cmp::Ge, -0.5);
+                m.set_objective(Sense::Maximize, 2.0 * x - y);
+                m
+            },
         ];
         for (i, mk) in build.iter().enumerate() {
             let m = mk();
-            let sparse = m
-                .solve_with(&opts())
-                .unwrap_or_else(|e| panic!("case {i} sparse: {e}"));
             let dense = m
-                .solve_with(&SolveOptions {
-                    engine: Engine::Dense,
-                    ..Default::default()
-                })
+                .solve_with(&opts(Engine::Dense))
                 .unwrap_or_else(|e| panic!("case {i} dense: {e}"));
-            assert!(
-                (sparse.objective - dense.objective).abs() < 1e-6,
-                "case {i}: sparse {} vs dense {}",
-                sparse.objective,
-                dense.objective
-            );
+            for engine in SPARSE_ENGINES {
+                let sparse = m
+                    .solve_with(&opts(engine))
+                    .unwrap_or_else(|e| panic!("case {i} {engine:?}: {e}"));
+                assert!(
+                    (sparse.objective - dense.objective).abs() < 1e-6,
+                    "case {i}: {engine:?} {} vs dense {}",
+                    sparse.objective,
+                    dense.objective
+                );
+            }
         }
     }
 
     #[test]
     fn infeasible_and_unbounded_detected() {
-        let mut m = Model::new();
-        let x = m.add_var(0.0, 1.0);
-        m.add_constraint(2.0 * x, Cmp::Ge, 3.0);
-        m.set_objective(Sense::Maximize, 1.0 * x);
-        assert_eq!(m.solve_with(&opts()).unwrap_err(), SolveError::Infeasible);
+        for engine in SPARSE_ENGINES {
+            let mut m = Model::new();
+            let x = m.add_var(0.0, 1.0);
+            m.add_constraint(2.0 * x, Cmp::Ge, 3.0);
+            m.set_objective(Sense::Maximize, 1.0 * x);
+            assert_eq!(
+                m.solve_with(&opts(engine)).unwrap_err(),
+                SolveError::Infeasible,
+                "{engine:?}"
+            );
 
-        let mut m = Model::new();
-        let x = m.add_var(0.0, f64::INFINITY);
-        let y = m.add_var(0.0, f64::INFINITY);
-        m.add_constraint(x - y, Cmp::Le, 1.0);
-        m.set_objective(Sense::Maximize, x + y);
-        assert_eq!(m.solve_with(&opts()).unwrap_err(), SolveError::Unbounded);
+            let mut m = Model::new();
+            let x = m.add_var(0.0, f64::INFINITY);
+            let y = m.add_var(0.0, f64::INFINITY);
+            m.add_constraint(x - y, Cmp::Le, 1.0);
+            m.set_objective(Sense::Maximize, x + y);
+            assert_eq!(
+                m.solve_with(&opts(engine)).unwrap_err(),
+                SolveError::Unbounded,
+                "{engine:?}"
+            );
+        }
     }
 
-    /// The eta-file refactorization-equivalence property: rebuilding the
+    /// A crossed `≤`/`≥` pair (`rhs_le < rhs_ge`) is trivially infeasible;
+    /// folding must leave it alone so phase 1 reports the infeasibility like
+    /// every other engine (a folded slack with `hi < lo` would be rejected
+    /// for the wrong reason).
+    #[test]
+    fn crossed_range_pair_stays_infeasible() {
+        for engine in [Engine::Lu, Engine::Eta, Engine::Dense] {
+            let mut m = Model::new();
+            let x = m.add_var(-5.0, 5.0);
+            let y = m.add_var(-5.0, 5.0);
+            m.add_constraint(x + y, Cmp::Le, 1.0);
+            m.add_constraint(x + y, Cmp::Ge, 2.0);
+            m.set_objective(Sense::Maximize, 1.0 * x);
+            assert_eq!(
+                m.solve_with(&opts(engine)).unwrap_err(),
+                SolveError::Infeasible,
+                "{engine:?}"
+            );
+        }
+    }
+
+    /// The skeleton compiler folds exactly the adjacent identical-term
+    /// `≤`/`≥` pairs and nothing else.
+    #[test]
+    fn skeleton_folds_range_pairs() {
+        let (m, _) = range_band_lp(10, 3, 0xF01D);
+        let folded = Skeleton::build(&m, true);
+        assert_eq!(folded.m(), 10, "every pair folds: {}", folded.m());
+        let unfolded = Skeleton::build(&m, false);
+        assert_eq!(unfolded.m(), 20);
+
+        // A crossed pair must not fold.
+        let mut m = Model::new();
+        let x = m.add_var(0.0, 1.0);
+        m.add_constraint(2.0 * x, Cmp::Le, 0.0);
+        m.add_constraint(2.0 * x, Cmp::Ge, 1.0);
+        assert_eq!(Skeleton::build(&m, true).m(), 2);
+
+        // Differing terms must not fold.
+        let mut m = Model::new();
+        let x = m.add_var(0.0, 1.0);
+        let y = m.add_var(0.0, 1.0);
+        m.add_constraint(x + y, Cmp::Le, 1.0);
+        m.add_constraint(x + 2.0 * y, Cmp::Ge, 0.0);
+        assert_eq!(Skeleton::build(&m, true).m(), 2);
+    }
+
+    /// Range folding is an internal reformulation: the LU engine must reach
+    /// the same optimum as the unfolding engines on interval-row models,
+    /// with a working basis that shows the fold actually fired.
+    #[test]
+    fn range_folding_matches_unfolded_engines() {
+        for seed in [0x11u64, 0x22, 0x33] {
+            let (m, _) = range_band_lp(24, 4, seed);
+            let dense = m.solve_with(&opts(Engine::Dense)).expect("dense solves");
+            let eta = m.solve_with(&opts(Engine::Eta)).expect("eta solves");
+            let lu = m.solve_with(&opts(Engine::Lu)).expect("lu solves");
+            assert_close(eta.objective, dense.objective);
+            assert_close(lu.objective, dense.objective);
+            for (a, b) in lu.values().iter().zip(dense.values()) {
+                assert!(
+                    (a - b).abs() < 1e-6,
+                    "seed {seed}: values diverged {a} vs {b}"
+                );
+            }
+        }
+    }
+
+    /// LU and eta engines must agree exactly on plain band problems too —
+    /// same optimum, same returned point.
+    #[test]
+    fn lu_and_eta_engines_agree_on_band_problems() {
+        for seed in [1u64, 0xBEEF, 0xD00D] {
+            let (m, _) = band_lp(50, 5, seed);
+            let eta = m.solve_with(&opts(Engine::Eta)).expect("eta solves");
+            let lu = m.solve_with(&opts(Engine::Lu)).expect("lu solves");
+            assert_close(lu.objective, eta.objective);
+            for (a, b) in lu.values().iter().zip(eta.values()) {
+                assert!(
+                    (a - b).abs() < 1e-6,
+                    "seed {seed}: values diverged {a} vs {b}"
+                );
+            }
+        }
+    }
+
+    /// Devex pricing steers the pivot path, never the optimum.
+    #[test]
+    fn devex_and_dantzig_reach_same_optimum() {
+        for engine in SPARSE_ENGINES {
+            for seed in [7u64, 0xACE] {
+                let (m, _) = band_lp(40, 5, seed);
+                let devex = m
+                    .solve_with(&SolveOptions {
+                        pricing: Pricing::Devex,
+                        ..opts(engine)
+                    })
+                    .expect("devex solves");
+                let dantzig = m
+                    .solve_with(&SolveOptions {
+                        pricing: Pricing::Dantzig,
+                        ..opts(engine)
+                    })
+                    .expect("dantzig solves");
+                assert_close(devex.objective, dantzig.objective);
+            }
+        }
+    }
+
+    /// A problem whose optimum is reached purely by bound-to-bound flips:
+    /// the slack row never binds, so no basis change (pivot) is needed —
+    /// the bounded-variable method must notice and report zero pivots.
+    #[test]
+    fn bound_flips_alone_reach_the_optimum() {
+        for engine in SPARSE_ENGINES {
+            let mut m = Model::new();
+            let vars: Vec<_> = (0..12).map(|_| m.add_var(-1.0, 1.0)).collect();
+            let e = LinExpr::from_terms(vars.iter().map(|&v| (v, 1.0)), 0.0);
+            m.add_constraint(e, Cmp::Le, 1000.0);
+            let obj = LinExpr::from_terms(vars.iter().map(|&v| (v, 1.0)), 0.0);
+            m.set_objective(Sense::Maximize, obj);
+            let sol = m.solve_with(&opts(engine)).expect("solves");
+            assert_close(sol.objective, 12.0);
+            assert_eq!(sol.stats.pivots, 0, "{engine:?}: {:?}", sol.stats);
+        }
+    }
+
+    /// The refactorization-equivalence property: rebuilding the
     /// factorization after *every* pivot (`refactor_interval = 1`) must
     /// reach the same optimum as the lazy default — refactorization is a
     /// representation change, never a semantic one.
     #[test]
     fn refactorization_is_equivalence_preserving() {
-        let (m, _) = band_lp(40, 5, 0xE7A);
-        let lazy = m.solve_with(&opts()).expect("lazy solves");
-        let eager = m
-            .solve_with(&SolveOptions {
-                refactor_interval: 1,
-                ..opts()
-            })
-            .expect("eager solves");
-        assert_close(eager.objective, lazy.objective);
-        assert!(
-            eager.stats.refactorizations > 0,
-            "interval 1 never refactorized: {:?}",
-            eager.stats
-        );
-        assert!(
-            lazy.stats.refactorizations < eager.stats.refactorizations,
-            "lazy path refactorized as often as eager: {:?} vs {:?}",
-            lazy.stats,
-            eager.stats
-        );
-        // Values agree too, not just objectives.
-        for (a, b) in eager.values().iter().zip(lazy.values()) {
-            assert!((a - b).abs() < 1e-6, "values diverged: {a} vs {b}");
+        for engine in SPARSE_ENGINES {
+            let (m, _) = band_lp(40, 5, 0xE7A);
+            let lazy = m.solve_with(&opts(engine)).expect("lazy solves");
+            let eager = m
+                .solve_with(&SolveOptions {
+                    refactor_interval: 1,
+                    ..opts(engine)
+                })
+                .expect("eager solves");
+            assert_close(eager.objective, lazy.objective);
+            assert!(
+                eager.stats.refactorizations > 0,
+                "{engine:?}: interval 1 never refactorized: {:?}",
+                eager.stats
+            );
+            assert!(
+                lazy.stats.refactorizations < eager.stats.refactorizations,
+                "{engine:?}: lazy path refactorized as often as eager: {:?} vs {:?}",
+                lazy.stats,
+                eager.stats
+            );
+            // Values agree too, not just objectives.
+            for (a, b) in eager.values().iter().zip(lazy.values()) {
+                assert!(
+                    (a - b).abs() < 1e-6,
+                    "{engine:?}: values diverged: {a} vs {b}"
+                );
+            }
         }
     }
 
@@ -1379,25 +2081,31 @@ mod tests {
                 })
                 .collect()
         };
-        let run = |interval: u64| -> Vec<f64> {
-            let (mut m, vars) = band_lp(30, 4, 0xBEE);
-            let o = SolveOptions {
-                refactor_interval: interval,
-                ..opts()
+        for engine in SPARSE_ENGINES {
+            let run = |interval: u64| -> Vec<f64> {
+                let (mut m, vars) = band_lp(30, 4, 0xBEE);
+                let o = SolveOptions {
+                    refactor_interval: interval,
+                    ..opts(engine)
+                };
+                let mut batch = BatchSolver::new(&mut m);
+                objectives
+                    .iter()
+                    .map(|(sense, cs)| {
+                        let e =
+                            LinExpr::from_terms(vars.iter().copied().zip(cs.iter().copied()), 0.0);
+                        batch.solve(*sense, e, &o).expect("solves").objective
+                    })
+                    .collect()
             };
-            let mut batch = BatchSolver::new(&mut m);
-            objectives
-                .iter()
-                .map(|(sense, cs)| {
-                    let e = LinExpr::from_terms(vars.iter().copied().zip(cs.iter().copied()), 0.0);
-                    batch.solve(*sense, e, &o).expect("solves").objective
-                })
-                .collect()
-        };
-        let lazy = run(0);
-        let eager = run(1);
-        for (a, b) in eager.iter().zip(&lazy) {
-            assert!((a - b).abs() < 1e-6, "sweep diverged: {a} vs {b}");
+            let lazy = run(0);
+            let eager = run(1);
+            for (a, b) in eager.iter().zip(&lazy) {
+                assert!(
+                    (a - b).abs() < 1e-6,
+                    "{engine:?}: sweep diverged: {a} vs {b}"
+                );
+            }
         }
     }
 
@@ -1408,7 +2116,7 @@ mod tests {
             let mat = super::SparseMatrix::from_model(&m);
             mat.nnz() as u64
         };
-        let o = opts();
+        let o = opts(Engine::Lu);
         let mut batch = BatchSolver::new(&mut m);
         let mut last = None;
         for k in 0..8 {
@@ -1427,19 +2135,45 @@ mod tests {
         assert!(sol.stats.eta_len > 0, "eta length not reported");
     }
 
+    /// The injected telemetry clock fills the timing counters; without one
+    /// they stay zero (the kernel itself is clock-free).
+    #[test]
+    fn telemetry_clock_fills_timing_counters() {
+        use std::sync::atomic::{AtomicU64, Ordering};
+        use std::sync::Arc;
+        let (m, _) = band_lp(40, 5, 0x71C);
+        let ticks = Arc::new(AtomicU64::new(0));
+        let t = ticks.clone();
+        let o = SolveOptions {
+            telemetry: Some(crate::TelemetryClock::new(move || {
+                // Deterministic fake clock: one "nanosecond" per read.
+                t.fetch_add(1, Ordering::Relaxed)
+            })),
+            ..opts(Engine::Lu)
+        };
+        let timed = m.solve_with(&o).expect("solves");
+        assert!(
+            timed.stats.ftran_btran_time_ns > 0,
+            "no solve time recorded: {:?}",
+            timed.stats
+        );
+        assert!(timed.stats.lu_fill_nnz > 0, "no LU fill: {:?}", timed.stats);
+        let untimed = m.solve_with(&opts(Engine::Lu)).expect("solves");
+        assert_eq!(untimed.stats.ftran_btran_time_ns, 0);
+        assert_eq!(untimed.stats.refactor_time_ns, 0);
+        assert_close(timed.objective, untimed.objective);
+    }
+
     #[test]
     fn large_band_problem_solves_within_pivot_budget() {
         // A conv-window-sized skeleton: 220 rows, bandwidth 7. The dense
-        // engine pays O(m·ncols) per pivot here; the sparse engine must
+        // engine pays O(m·ncols) per pivot here; the sparse engines must
         // still agree with it exactly.
         let (m, _) = band_lp(220, 7, 0xC06);
-        let sparse = m.solve_with(&opts()).expect("sparse solves");
-        let dense = m
-            .solve_with(&SolveOptions {
-                engine: Engine::Dense,
-                ..Default::default()
-            })
-            .expect("dense solves");
-        assert_close(sparse.objective, dense.objective);
+        let dense = m.solve_with(&opts(Engine::Dense)).expect("dense solves");
+        for engine in SPARSE_ENGINES {
+            let sparse = m.solve_with(&opts(engine)).expect("sparse solves");
+            assert_close(sparse.objective, dense.objective);
+        }
     }
 }

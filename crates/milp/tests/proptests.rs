@@ -9,14 +9,71 @@
 //!   solves on every objective of randomly generated *feasible* skeletons —
 //!   including when a restore is rejected and falls back to a cold solve.
 
+use itne_certcheck::{verify_bound, RowCmp, RowRef};
 use itne_milp::{BatchSolver, Cmp, Engine, LinExpr, Model, Sense, SolveError, SolveOptions};
 use proptest::prelude::*;
+
+/// Every LP engine, differentially tested against each other below. The LU
+/// engine folds `≤/≥` range pairs into bounded slacks, so it exercises a
+/// genuinely different internal row space than the eta and dense arms.
+const ENGINES: [Engine; 3] = [Engine::Lu, Engine::Eta, Engine::Dense];
 
 fn engine_opts(engine: Engine) -> SolveOptions {
     SolveOptions {
         engine,
         ..Default::default()
     }
+}
+
+// Mirror of the certifier's outward pad-and-snap (`itne_core::query`): pad
+// by an absolute-plus-relative slack dominating simplex round-off, then snap
+// outward onto the 2⁻³⁰ dyadic grid. Engines that take different pivot paths
+// to the same optimum land within a few ulps of each other, so their snapped
+// bounds must be *bitwise* equal — the property the golden suite relies on.
+const SOUND_SLACK: f64 = 1e-7;
+const BOUND_GRID: f64 = 1.0 / (1024.0 * 1024.0 * 1024.0);
+
+fn snap_bound(v: f64, sense: Sense) -> f64 {
+    let (padded, up) = match sense {
+        Sense::Maximize => (v + SOUND_SLACK + v.abs() * 1e-9, true),
+        Sense::Minimize => (v - SOUND_SLACK - v.abs() * 1e-9, false),
+    };
+    let q = padded / BOUND_GRID;
+    let q = if up { q.ceil() } else { q.floor() };
+    q * BOUND_GRID
+}
+
+/// Validates the solution's dual certificate against its own snapped claim
+/// in exact arithmetic, exactly as the certifier would under
+/// `ITNE_CHECK_CERTS=1`.
+fn certificate_checks(model: &Model, sol: &itne_milp::Solution) -> bool {
+    let Some(cert) = sol.certificate() else {
+        return false;
+    };
+    let rows: Vec<RowRef<'_>> = (0..model.num_constraints())
+        .map(|r| RowRef {
+            terms: model.row_terms(r),
+            cmp: match model.row_cmp(r) {
+                Cmp::Le => RowCmp::Le,
+                Cmp::Ge => RowCmp::Ge,
+                Cmp::Eq => RowCmp::Eq,
+            },
+            rhs: model.row_rhs(r),
+        })
+        .collect();
+    let bounds: Vec<(f64, f64)> = (0..model.num_vars()).map(|j| model.bounds_at(j)).collect();
+    let sense = model.objective_sense().unwrap_or(Sense::Minimize);
+    verify_bound(
+        model.num_vars(),
+        &rows,
+        &bounds,
+        model.objective_terms(),
+        model.objective_constant(),
+        sense == Sense::Maximize,
+        &cert.row_duals,
+        snap_bound(sol.objective, sense),
+    )
+    .is_valid()
 }
 
 #[derive(Debug, Clone)]
@@ -354,54 +411,81 @@ proptest! {
         prop_assert_eq!(st.warm_hits + st.warm_misses + st.cold_solves, st.solves);
     }
 
-    /// Differential property of the engine rewrite: the dense tableau and
-    /// the sparse revised simplex (PFI eta file, partial pricing, periodic
-    /// refactorization) must agree on every random skeleton — same optimum
-    /// to solver tolerance, and the same verdict on solvability.
+    /// Differential property of the engine rewrite: the dense tableau, the
+    /// eta-file revised simplex, and the LU-factorized engine (with its
+    /// range-row folding) must agree on every random skeleton — the same
+    /// verdict on solvability, *bitwise-identical* snapped certified bounds,
+    /// and a dual certificate that validates the snapped claim in exact
+    /// arithmetic on every arm.
     #[test]
-    fn dense_and_sparse_engines_agree(lp in random_lp()) {
+    fn all_engines_agree_with_checkable_certificates(lp in random_lp()) {
         let (model, _) = build(&lp);
-        let dense = model.solve_with(&engine_opts(Engine::Dense));
-        let sparse = model.solve_with(&engine_opts(Engine::Sparse));
-        match (&dense, &sparse) {
-            (Ok(d), Ok(s)) => prop_assert!(
-                (d.objective - s.objective).abs() < 1e-6,
-                "dense {} vs sparse {}", d.objective, s.objective),
-            (Err(SolveError::Infeasible), Err(SolveError::Infeasible)) => {}
-            _ => prop_assert!(false,
-                "engines disagree on solvability: dense {:?} vs sparse {:?}",
-                dense.as_ref().map(|s| s.objective),
-                sparse.as_ref().map(|s| s.objective)),
+        let results: Vec<_> = ENGINES.iter()
+            .map(|&e| model.solve_with(&engine_opts(e)))
+            .collect();
+        match &results[0] {
+            Ok(first) => {
+                let want = snap_bound(first.objective, lp.sense);
+                for (engine, res) in ENGINES.iter().zip(&results) {
+                    prop_assert!(res.is_ok(),
+                        "{engine:?} failed ({:?}) where {:?} solved",
+                        res.as_ref().err(), ENGINES[0]);
+                    let sol = res.as_ref().unwrap();
+                    let got = snap_bound(sol.objective, lp.sense);
+                    prop_assert!(got.to_bits() == want.to_bits(),
+                        "{engine:?} snapped bound {got} differs from {want}");
+                    prop_assert!(sol.is_certified(),
+                        "{engine:?} optimal LP solve must carry a certificate");
+                    prop_assert!(certificate_checks(&model, sol),
+                        "{engine:?} certificate fails on its snapped claim");
+                }
+            }
+            Err(SolveError::Infeasible) => {
+                for (engine, res) in ENGINES.iter().zip(&results) {
+                    prop_assert!(
+                        matches!(res, Err(SolveError::Infeasible)),
+                        "{engine:?} says {:?} where {:?} says infeasible",
+                        res.as_ref().map(|s| s.objective), ENGINES[0]);
+                }
+            }
+            Err(e) => prop_assert!(false, "unexpected solver error: {e}"),
         }
     }
 
     /// The same differential property through the warm-started sweep path:
-    /// a sparse-engine `BatchSolver` sweep (resident reoptimization, eta
-    /// refactorizations and all) matches a dense-engine sweep objective by
-    /// objective on every feasible skeleton.
+    /// `BatchSolver` sweeps (resident reoptimization, refactorizations and
+    /// all) on each engine match objective by objective on every feasible
+    /// skeleton — again with bitwise-identical snapped bounds and checkable
+    /// certificates on every arm.
     #[test]
-    fn sparse_and_dense_warm_sweeps_agree(s in feasible_sweep()) {
-        let run = |engine: Engine| -> Vec<Result<f64, SolveError>> {
+    fn warm_sweeps_agree_across_all_engines(s in feasible_sweep()) {
+        let run = |engine: Engine| {
             let (mut model, vars) = build_sweep_model(&s);
             let opts = engine_opts(engine);
             let mut batch = BatchSolver::new(&mut model);
             s.objectives.iter().map(|(sense, cs)| {
                 let e = LinExpr::from_terms(
                     vars.iter().copied().zip(cs.iter().copied()), 0.0);
-                batch.solve(*sense, e, &opts).map(|sol| sol.objective)
-            }).collect()
+                let sol = batch.solve(*sense, e, &opts)?;
+                if !sol.is_certified() || !certificate_checks(batch.model(), &sol) {
+                    return Err(SolveError::Numerical("certificate check".into()));
+                }
+                Ok(snap_bound(sol.objective, *sense))
+            }).collect::<Vec<Result<f64, SolveError>>>()
         };
-        let sparse = run(Engine::Sparse);
-        let dense = run(Engine::Dense);
-        for (i, (sp, de)) in sparse.iter().zip(&dense).enumerate() {
-            match (sp, de) {
-                (Ok(a), Ok(b)) => prop_assert!(
-                    (a - b).abs() < 1e-6,
-                    "objective {i}: sparse {a} vs dense {b}"),
-                (Err(_), Err(_)) => {}
-                _ => prop_assert!(false,
-                    "objective {i}: engines disagree on solvability \
-                     (sparse {sp:?} vs dense {de:?})"),
+        let arms: Vec<_> = ENGINES.iter().map(|&e| run(e)).collect();
+        for (engine, arm) in ENGINES.iter().zip(&arms).skip(1) {
+            for (i, (got, want)) in arm.iter().zip(&arms[0]).enumerate() {
+                match (got, want) {
+                    (Ok(a), Ok(b)) => prop_assert!(
+                        a.to_bits() == b.to_bits(),
+                        "objective {i}: {engine:?} snapped {a} vs {:?} {b}",
+                        ENGINES[0]),
+                    (Err(_), Err(_)) => {}
+                    _ => prop_assert!(false,
+                        "objective {i}: {engine:?} {got:?} vs {:?} {want:?}",
+                        ENGINES[0]),
+                }
             }
         }
     }
