@@ -1,0 +1,155 @@
+//! Criterion micro-bench of the 4-lane chunked FTRAN/BTRAN kernels
+//! (`itne_milp::kernel`) against straight scalar loops, on the access
+//! pattern the solvers actually run: a band-structured sparse triangular
+//! sweep at 100/300/600 rows.
+//!
+//! * `lp_kernel_ftran` — forward substitution shape: per column, a scalar
+//!   pivot divide then an indexed *scatter* (`v[idx[e]] -= val[e] * t`),
+//!   the inner loop of `LuFactors::ftran` / `EtaFile::ftran`.
+//! * `lp_kernel_btran` — transposed shape: per column, an indexed *gather*
+//!   dot (`Σ val[e] · y[idx[e]]`), the inner loop of `btran` and of
+//!   structural-column pricing.
+//!
+//! The chunked kernels are bitwise-compatible drop-ins (scatter touches
+//! distinct indices, so order is free; the gather's fixed reduction tree is
+//! absorbed by the bound snap — see `crates/milp/src/kernel.rs`), so the
+//! only question is wall-clock, which is what this bench tracks across PRs.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use itne_milp::kernel;
+use std::hint::black_box;
+
+/// Deterministic xorshift64 stream of values in `[-1, 1)`.
+fn rng(seed: u64) -> impl FnMut() -> f64 {
+    let mut state = seed | 1;
+    move || {
+        state ^= state << 13;
+        state ^= state >> 7;
+        state ^= state << 17;
+        ((state >> 11) as f64 / (1u64 << 53) as f64) * 2.0 - 1.0
+    }
+}
+
+/// A lower-band sparse matrix in the flat CSC layout the LU/eta files use:
+/// column `j` holds `band` off-diagonal entries below row `j` (clipped at
+/// `n`), mimicking the L factor / eta file of a band LP.
+struct BandCols {
+    n: usize,
+    col_ptr: Vec<usize>,
+    idx: Vec<usize>,
+    val: Vec<f64>,
+}
+
+fn band_cols(n: usize, band: usize, seed: u64) -> BandCols {
+    let mut next = rng(seed);
+    let (mut col_ptr, mut idx, mut val) = (vec![0usize], Vec::new(), Vec::new());
+    for j in 0..n {
+        for i in (j + 1)..(j + 1 + band).min(n) {
+            idx.push(i);
+            val.push(next() * 0.5);
+        }
+        col_ptr.push(idx.len());
+    }
+    BandCols {
+        n,
+        col_ptr,
+        idx,
+        val,
+    }
+}
+
+/// One FTRAN-shaped forward pass: pivot divide, then scatter the column.
+fn ftran_pass(m: &BandCols, v: &mut [f64], scatter: impl Fn(&mut [f64], &[usize], &[f64], f64)) {
+    for j in 0..m.n {
+        let t = v[j];
+        if t == 0.0 {
+            continue;
+        }
+        let (e0, e1) = (m.col_ptr[j], m.col_ptr[j + 1]);
+        scatter(v, &m.idx[e0..e1], &m.val[e0..e1], t);
+    }
+}
+
+/// One BTRAN-shaped backward pass: gather-dot each column into its row.
+fn btran_pass(m: &BandCols, y: &mut [f64], dot: impl Fn(&[f64], &[usize], &[f64]) -> f64) {
+    for j in (0..m.n).rev() {
+        let (e0, e1) = (m.col_ptr[j], m.col_ptr[j + 1]);
+        let s = dot(y, &m.idx[e0..e1], &m.val[e0..e1]);
+        y[j] -= s;
+    }
+}
+
+fn scalar_scatter(v: &mut [f64], idx: &[usize], val: &[f64], t: f64) {
+    for (&i, &x) in idx.iter().zip(val) {
+        v[i] -= x * t;
+    }
+}
+
+fn scalar_dot(x: &[f64], idx: &[usize], val: &[f64]) -> f64 {
+    let mut s = 0.0;
+    for (&i, &v) in idx.iter().zip(val) {
+        s += x[i] * v;
+    }
+    s
+}
+
+fn bench_ftran(c: &mut Criterion) {
+    let mut g = c.benchmark_group("lp_kernel_ftran");
+    g.warm_up_time(std::time::Duration::from_millis(500));
+    g.measurement_time(std::time::Duration::from_secs(3));
+    g.sample_size(10);
+    for n in [100usize, 300, 600] {
+        let m = band_cols(n, 9, 42);
+        let rhs: Vec<f64> = {
+            let mut next = rng(7);
+            (0..n).map(|_| next()).collect()
+        };
+        g.bench_with_input(BenchmarkId::new("scalar", n), &m, |b, m| {
+            b.iter(|| {
+                let mut v = rhs.clone();
+                ftran_pass(m, &mut v, scalar_scatter);
+                black_box(v[m.n - 1])
+            })
+        });
+        g.bench_with_input(BenchmarkId::new("chunked", n), &m, |b, m| {
+            b.iter(|| {
+                let mut v = rhs.clone();
+                ftran_pass(m, &mut v, kernel::scatter_sub);
+                black_box(v[m.n - 1])
+            })
+        });
+    }
+    g.finish();
+}
+
+fn bench_btran(c: &mut Criterion) {
+    let mut g = c.benchmark_group("lp_kernel_btran");
+    g.warm_up_time(std::time::Duration::from_millis(500));
+    g.measurement_time(std::time::Duration::from_secs(3));
+    g.sample_size(10);
+    for n in [100usize, 300, 600] {
+        let m = band_cols(n, 9, 43);
+        let rhs: Vec<f64> = {
+            let mut next = rng(11);
+            (0..n).map(|_| next()).collect()
+        };
+        g.bench_with_input(BenchmarkId::new("scalar", n), &m, |b, m| {
+            b.iter(|| {
+                let mut y = rhs.clone();
+                btran_pass(m, &mut y, scalar_dot);
+                black_box(y[0])
+            })
+        });
+        g.bench_with_input(BenchmarkId::new("chunked", n), &m, |b, m| {
+            b.iter(|| {
+                let mut y = rhs.clone();
+                btran_pass(m, &mut y, kernel::dot_gather);
+                black_box(y[0])
+            })
+        });
+    }
+    g.finish();
+}
+
+criterion_group!(benches, bench_ftran, bench_btran);
+criterion_main!(benches);

@@ -37,6 +37,9 @@ use std::time::Instant;
 #[derive(Serialize)]
 struct Row {
     net: String,
+    /// Certifier worker threads (pinned to 1: the ablation isolates solver
+    /// work, and the default now follows the hardware).
+    threads: usize,
     /// PR 2 baseline: dense engine, warm starts gated at 2²⁰ cells.
     dense_s: f64,
     /// Sparse engine, warm starts disabled.
@@ -94,18 +97,20 @@ enum Arm {
 
 fn run(bench: &BenchNet, arm: Arm) -> (GlobalReport, f64) {
     let is_conv = bench.layers.starts_with("Conv");
+    // Single-threaded so the timing isolates solver work — the certifier's
+    // default thread count now follows the hardware, so it must be pinned.
     let mut opts = if is_conv {
-        // Match table1's conv settings (single-threaded here so the timing
-        // isolates solver work).
         CertifyOptions {
             window: 3,
             refine: 0,
+            threads: 1,
             ..Default::default()
         }
     } else {
         CertifyOptions {
             window: 2,
             refine: 0,
+            threads: 1,
             ..Default::default()
         }
     };
@@ -215,6 +220,7 @@ fn main() {
         let equal = bits(&cold) == bits(&warm) && bits(&dense) == bits(&warm);
         let row = Row {
             net: name.clone(),
+            threads: 1,
             dense_s,
             cold_s,
             warm_s,

@@ -9,8 +9,14 @@
 //!
 //! ```text
 //! cargo run --release -p itne_bench --bin table1 \
-//!     [-- --quick] [-- --budget <secs>] [-- --json <path>]
+//!     [-- --quick] [-- --budget <secs>] [-- --json <path>] [-- --threads <n>]
 //! ```
+//!
+//! `--threads <n>` overrides the certifier's worker-thread count for every
+//! row (the default follows the hardware, capped at 8 — see
+//! `CertifyOptions`); the count actually used is recorded per row in the
+//! JSON, so `BENCH_table1.json` captures scaling across PRs. Bounds are
+//! bit-identical at any count; only `t_ours_s` moves.
 //!
 //! `--json <path>` writes the machine-readable rows (wall-times, pivot and
 //! warm-start counters, refactorizations, ε̄ values *and* their exact bit
@@ -36,6 +42,9 @@ struct Row {
     id: usize,
     layers: String,
     neurons: usize,
+    /// Certifier worker threads used for the `t_ours_s` run. ε̄ and its bit
+    /// pattern are invariant in this; only the wall-clock moves.
+    threads: usize,
     t_split_s: Option<f64>,
     t_milp_s: Option<f64>,
     t_ours_s: f64,
@@ -85,6 +94,13 @@ fn main() {
         .and_then(|v| v.parse::<u64>().ok())
         .unwrap_or(if quick { 15 } else { 120 });
     let budget = Duration::from_secs(budget);
+    let threads = args
+        .iter()
+        .position(|a| a == "--threads")
+        .and_then(|i| args.get(i + 1))
+        .and_then(|v| v.parse::<usize>().ok())
+        .filter(|&t| (1..=64).contains(&t))
+        .unwrap_or_else(|| CertifyOptions::default().threads);
 
     let mut table = Table::new(
         "Table I: global robustness certification across network sizes",
@@ -103,7 +119,7 @@ fn main() {
     let mut rows = Vec::new();
 
     for bench in table1_nets(quick) {
-        let row = run_row(&bench, budget, quick);
+        let row = run_row(&bench, budget, quick, threads);
         table.row(&[
             row.id.to_string(),
             row.layers.clone(),
@@ -156,7 +172,7 @@ fn fmt_time(t: Option<f64>, exact: bool, budget: Duration) -> String {
     }
 }
 
-fn run_row(bench: &BenchNet, budget: Duration, quick: bool) -> Row {
+fn run_row(bench: &BenchNet, budget: Duration, quick: bool, threads: usize) -> Row {
     let BenchNet {
         id,
         layers,
@@ -173,6 +189,7 @@ fn run_row(bench: &BenchNet, budget: Duration, quick: bool) -> Row {
         id: *id,
         layers: layers.clone(),
         neurons: net.hidden_neurons(),
+        threads,
         ..Default::default()
     };
     let is_conv = layers.starts_with("Conv");
@@ -183,7 +200,7 @@ fn run_row(bench: &BenchNet, budget: Duration, quick: bool) -> Row {
         CertifyOptions {
             window: 3,
             refine: 30,
-            threads: 2,
+            threads,
             ..Default::default()
         }
     } else {
@@ -198,7 +215,7 @@ fn run_row(bench: &BenchNet, budget: Duration, quick: bool) -> Row {
         CertifyOptions {
             window: 2,
             refine,
-            threads: 2,
+            threads,
             ..Default::default()
         }
     };

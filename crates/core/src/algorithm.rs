@@ -7,6 +7,13 @@
 //! sub-networks, encodes them, and derives the ranges `(y, Δy)` via
 //! `LpRelaxY` then `(x, Δx)` via `LpRelaxX`. The final layer's `Δx` ranges
 //! yield `ε̄ = max(|Δx⁽ⁿ⁾.lo|, |Δx⁽ⁿ⁾.hi|)` per output.
+//!
+//! Parallelism runs on the deterministic work-stealing executor in
+//! [`crate::schedule`]: each neuron contributes an `LpRelaxY` sweep task
+//! that may spawn its `LpRelaxX` follow-up, idle workers steal units from
+//! busy ones (so one expensive conv-window neuron no longer idles the rest
+//! of the pool at the layer barrier), and results merge back by neuron
+//! index — bit-identical bounds at every thread count and steal schedule.
 
 use crate::bounds::TwinBounds;
 use crate::encode::{
@@ -18,11 +25,10 @@ use crate::ibp::ibp_twin;
 use crate::interval::{distance_relaxation_bounds, relu_distance_range, Interval};
 use crate::query::{lp_relax_x, lp_relax_y, QueryStats};
 use crate::refine::select_refined;
+use crate::schedule::{run_steal, Step};
 use crate::subnet::SubNetwork;
 use itne_milp::{Engine, SolveOptions};
 use itne_nn::{AffineNetwork, Network};
-use std::sync::atomic::{AtomicUsize, Ordering};
-use std::sync::Mutex;
 use std::time::{Duration, Instant};
 
 /// Configuration of the certification engine.
@@ -47,15 +53,20 @@ pub struct CertifyOptions {
     /// form (pure engineering; results are identical — see the
     /// `closed_form_equals_lp` test).
     pub closed_form_x: bool,
-    /// Worker threads for the per-neuron loop (1 = serial). Results are
-    /// identical for every thread count: neurons of a layer only read the
-    /// previous layers' bounds, and each neuron's own sub-problem is solved
-    /// in isolation (each worker runs its own warm-start chains, so batching
-    /// composes with parallelism with no shared solver state).
+    /// Worker threads for the per-neuron loop (1 = serial). Work runs on
+    /// the deterministic work-stealing executor ([`crate::schedule`]): each
+    /// neuron's `LpRelaxY` sweep and `LpRelaxX` follow-up are separate task
+    /// units, idle workers steal queued units from busy ones, and results
+    /// merge back by neuron index — so bounds are bit-identical for every
+    /// thread count and steal schedule. Neurons of a layer only read the
+    /// previous layers' bounds, and each worker runs its own warm-start
+    /// chains, so batching composes with parallelism with no shared solver
+    /// state.
     ///
     /// [`CertifyOptions::default`] reads the `ITNE_TEST_THREADS` environment
-    /// variable (once, at first use) so CI can re-run the whole test suite
-    /// with the parallel path exercised; unset or invalid means 1.
+    /// variable (once, at first use) so CI can pin the whole test suite to a
+    /// specific count; unset or invalid falls back to the machine's
+    /// available parallelism, capped at 8.
     pub threads: usize,
     /// Validate every certified LP bound in exact rational arithmetic
     /// against the solver's dual certificate before trusting it; a failed
@@ -74,8 +85,11 @@ pub struct CertifyOptions {
 }
 
 /// Default worker-thread count: `ITNE_TEST_THREADS` when set to a sane
-/// value, else 1. Read once — the certifier is deterministic across thread
-/// counts, so this only changes *how* the suite runs, never its results.
+/// value, else the machine's available parallelism capped at 8 (the
+/// per-neuron loop saturates around there on the paper's workloads; beyond
+/// it the extra workers mostly contend for memory bandwidth). Read once —
+/// the certifier is deterministic across thread counts, so this only
+/// changes *how* a run executes, never its results.
 fn default_threads() -> usize {
     static THREADS: std::sync::OnceLock<usize> = std::sync::OnceLock::new();
     *THREADS.get_or_init(|| {
@@ -83,7 +97,11 @@ fn default_threads() -> usize {
             .ok()
             .and_then(|v| v.parse::<usize>().ok())
             .filter(|&t| (1..=64).contains(&t))
-            .unwrap_or(1)
+            .unwrap_or_else(|| {
+                std::thread::available_parallelism()
+                    .map(|n| n.get().min(8))
+                    .unwrap_or(1)
+            })
     })
 }
 
@@ -305,137 +323,161 @@ pub fn propagate(
 
     for li in 0..aff.layers.len() {
         let width = aff.layers[li].width();
-        let results = if opts.threads <= 1 {
-            (0..width)
-                .map(|j| process_neuron(aff, &bounds, li, j, delta, opts, &solver))
-                .collect::<Vec<_>>()
-        } else {
-            parallel_layer(aff, &bounds, li, width, delta, opts, &solver)
-        };
-        for r in results {
-            bounds.y[li][r.j] = r.y;
-            bounds.dy[li][r.j] = r.dy;
-            bounds.x[li][r.j] = r.x;
-            bounds.dx[li][r.j] = r.dx;
-            stats.query.absorb(r.stats);
-            stats.subproblems += r.subproblems;
-            stats.closed_form_hits += r.closed_form;
+        let initial: Vec<LayerTask<'_>> = (0..width).map(|j| LayerTask::Sweep { j }).collect();
+        let (results, accs) = run_steal(opts.threads, initial, width, |task, acc| {
+            run_task(aff, &bounds, li, delta, opts, &solver, task, acc)
+        });
+        for (j, r) in results.into_iter().enumerate() {
+            bounds.y[li][j] = r.y;
+            bounds.dy[li][j] = r.dy;
+            bounds.x[li][j] = r.x;
+            bounds.dx[li][j] = r.dx;
+        }
+        // Worker order, but every merge is order-insensitive (saturating
+        // sums / maxes), so the totals are schedule-invariant.
+        for acc in accs {
+            stats.query.absorb(acc.stats);
+            stats.subproblems = stats.subproblems.saturating_add(acc.subproblems);
+            stats.closed_form_hits = stats.closed_form_hits.saturating_add(acc.closed_form);
         }
     }
     (bounds, stats)
 }
 
+/// One schedulable unit of the per-layer loop: a neuron's `LpRelaxY` sweep,
+/// or the `LpRelaxX` follow-up it spawned (kept separate so an idle worker
+/// can steal the X part of a neighboring neuron while its Y owner is still
+/// deep in another unit).
+enum LayerTask<'a> {
+    Sweep {
+        j: usize,
+    },
+    Post {
+        j: usize,
+        sub: SubNetwork<'a>,
+        yr: Interval,
+        dyr: Interval,
+    },
+}
+
+/// The per-neuron ranges a task chain finishes with; merged into
+/// [`TwinBounds`] by neuron index (the task's slot).
 struct NeuronResult {
-    j: usize,
     y: Interval,
     dy: Interval,
     x: Interval,
     dx: Interval,
+}
+
+/// Per-worker telemetry accumulator, merged once at the join instead of
+/// per-neuron through a shared lock.
+#[derive(Default)]
+struct WorkerAcc {
     stats: QueryStats,
     subproblems: u64,
     closed_form: u64,
 }
 
-fn parallel_layer(
-    aff: &AffineNetwork,
+/// Lines 5-11 of Algorithm 1 as scheduler steps. `Sweep` decomposes,
+/// encodes and runs `LpRelaxY`; it finishes the neuron inline when no
+/// `LpRelaxX` solve is needed (affine layer, or the provably-equal closed
+/// form) and otherwise spawns the `Post` follow-up carrying the fresh
+/// `(y, Δy)` ranges into the `LpRelaxX` solve.
+#[allow(clippy::too_many_arguments)]
+fn run_task<'a>(
+    aff: &'a AffineNetwork,
     bounds: &TwinBounds,
     li: usize,
-    width: usize,
     delta: f64,
     opts: &CertifyOptions,
     solver: &SolveOptions,
-) -> Vec<NeuronResult> {
-    let next = AtomicUsize::new(0);
-    let out = Mutex::new(Vec::with_capacity(width));
-    std::thread::scope(|s| {
-        for _ in 0..opts.threads {
-            s.spawn(|| {
-                let mut local = Vec::new();
-                loop {
-                    let j = next.fetch_add(1, Ordering::Relaxed);
-                    if j >= width {
-                        break;
-                    }
-                    local.push(process_neuron(aff, bounds, li, j, delta, opts, solver));
-                }
-                out.lock().expect("no panics hold this lock").extend(local);
-            });
-        }
-    });
-    out.into_inner().expect("scope joined all threads")
-}
-
-/// Lines 5-11 of Algorithm 1 for one neuron: decompose, encode, `LpRelaxY`,
-/// then `LpRelaxX` (or its provably-equal closed form).
-fn process_neuron(
-    aff: &AffineNetwork,
-    bounds: &TwinBounds,
-    li: usize,
-    j: usize,
-    delta: f64,
-    opts: &CertifyOptions,
-    solver: &SolveOptions,
-) -> NeuronResult {
+    task: LayerTask<'a>,
+    acc: &mut WorkerAcc,
+) -> Step<LayerTask<'a>, NeuronResult> {
     let enc_opts = opts.encode_options(delta);
-    let mut stats = QueryStats::default();
-    let sub = SubNetwork::decompose(aff, li, j, opts.window);
+    match task {
+        LayerTask::Sweep { j } => {
+            let sub = SubNetwork::decompose(aff, li, j, opts.window);
 
-    // --- LpRelaxY: ranges of (y, Δy). ---
-    let mut enc_y = encode_subnet(&sub, bounds, TargetKind::PreActivation, &enc_opts);
-    let (yr, dyr) = lp_relax_y(
-        &mut enc_y,
-        bounds.y[li][j],
-        bounds.dy[li][j],
-        solver,
-        opts.check_certificates,
-        &mut stats,
-    );
-    let mut subproblems = 1;
+            // --- LpRelaxY: ranges of (y, Δy). ---
+            let mut enc_y = encode_subnet(&sub, bounds, TargetKind::PreActivation, &enc_opts);
+            let (yr, dyr) = lp_relax_y(
+                &mut enc_y,
+                bounds.y[li][j],
+                bounds.dy[li][j],
+                solver,
+                opts.check_certificates,
+                &mut acc.stats,
+            );
+            acc.subproblems = acc.subproblems.saturating_add(1);
 
-    // --- LpRelaxX: ranges of (x, Δx). ---
-    let relu = aff.layers[li].relu;
-    let (xr, dxr, closed) = if !relu {
-        (yr, dyr, 0)
-    } else if opts.closed_form_x && closed_form_applies(&sub, bounds, yr, dyr, opts, &enc_opts) {
-        let (x, dx) = closed_form_x(yr, dyr, opts.encoding);
-        (x, dx, 1)
-    } else {
-        subproblems += 1;
-        // Thread the freshly-derived target ranges through so the target's
-        // own relaxation uses them rather than the stale stored ones.
-        let over = TargetOverride {
-            y: yr,
-            dy: dyr,
-            x: yr.relu(),
-            dx: fallback_dx(yr, dyr, opts.encoding),
-        };
-        let mut enc_x = encode_subnet_with(
-            &sub,
-            bounds,
-            TargetKind::PostActivation,
-            &enc_opts,
-            Some(over),
-        );
-        let (x, dx) = lp_relax_x(
-            &mut enc_x,
-            over.x,
-            over.dx,
-            solver,
-            opts.check_certificates,
-            &mut stats,
-        );
-        (x, dx, 0)
-    };
+            let relu = aff.layers[li].relu;
+            if !relu {
+                Step::Done {
+                    slot: j,
+                    result: NeuronResult {
+                        y: yr,
+                        dy: dyr,
+                        x: yr,
+                        dx: dyr,
+                    },
+                }
+            } else if opts.closed_form_x
+                && closed_form_applies(&sub, bounds, yr, dyr, opts, &enc_opts)
+            {
+                acc.closed_form = acc.closed_form.saturating_add(1);
+                let (x, dx) = closed_form_x(yr, dyr, opts.encoding);
+                Step::Done {
+                    slot: j,
+                    result: NeuronResult {
+                        y: yr,
+                        dy: dyr,
+                        x,
+                        dx,
+                    },
+                }
+            } else {
+                Step::Follow(LayerTask::Post { j, sub, yr, dyr })
+            }
+        }
 
-    NeuronResult {
-        j,
-        y: yr,
-        dy: dyr,
-        x: xr,
-        dx: dxr,
-        stats,
-        subproblems,
-        closed_form: closed,
+        // --- LpRelaxX: ranges of (x, Δx). ---
+        LayerTask::Post { j, sub, yr, dyr } => {
+            acc.subproblems = acc.subproblems.saturating_add(1);
+            // Thread the freshly-derived target ranges through so the
+            // target's own relaxation uses them rather than the stale
+            // stored ones.
+            let over = TargetOverride {
+                y: yr,
+                dy: dyr,
+                x: yr.relu(),
+                dx: fallback_dx(yr, dyr, opts.encoding),
+            };
+            let mut enc_x = encode_subnet_with(
+                &sub,
+                bounds,
+                TargetKind::PostActivation,
+                &enc_opts,
+                Some(over),
+            );
+            let (x, dx) = lp_relax_x(
+                &mut enc_x,
+                over.x,
+                over.dx,
+                solver,
+                opts.check_certificates,
+                &mut acc.stats,
+            );
+            Step::Done {
+                slot: j,
+                result: NeuronResult {
+                    y: yr,
+                    dy: dyr,
+                    x,
+                    dx,
+                },
+            }
+        }
     }
 }
 
@@ -607,22 +649,84 @@ mod tests {
         }
     }
 
-    /// Parallel execution returns the same bounds as serial.
+    /// Parallel execution returns bit-identical bounds at every thread
+    /// count, with schedule-invariant work counters.
     #[test]
     fn parallel_matches_serial() {
         let net = fig1_network();
-        let serial = certify_global(&net, &DOM, 0.1, &CertifyOptions::default()).unwrap();
-        let parallel = certify_global(
-            &net,
-            &DOM,
-            0.1,
-            &CertifyOptions {
-                threads: 4,
-                ..Default::default()
-            },
-        )
-        .unwrap();
-        assert_eq!(serial.epsilons, parallel.epsilons);
+        let serial_opts = CertifyOptions {
+            threads: 1,
+            ..Default::default()
+        };
+        let serial = certify_global(&net, &DOM, 0.1, &serial_opts).unwrap();
+        for threads in [2usize, 3, 8] {
+            let parallel = certify_global(
+                &net,
+                &DOM,
+                0.1,
+                &CertifyOptions {
+                    threads,
+                    ..Default::default()
+                },
+            )
+            .unwrap();
+            for (a, b) in serial.epsilons.iter().zip(&parallel.epsilons) {
+                assert_eq!(a.to_bits(), b.to_bits(), "threads = {threads}");
+            }
+            assert_eq!(
+                serial.stats.subproblems, parallel.stats.subproblems,
+                "threads = {threads}"
+            );
+            assert_eq!(
+                serial.stats.query.solves, parallel.stats.query.solves,
+                "threads = {threads}"
+            );
+        }
+    }
+
+    proptest::proptest! {
+        #![proptest_config(proptest::test_runner::Config::with_cases(12))]
+        /// Forced randomized steal schedules (the scheduler's fake-steal
+        /// hook) are invisible: ε̄ bits and all bound bits equal the serial
+        /// run for every seed.
+        #[test]
+        fn randomized_steal_schedules_are_invisible(seed in 0u64..u64::MAX) {
+            let net = fig1_network();
+            let serial = certify_global(
+                &net,
+                &DOM,
+                0.1,
+                &CertifyOptions {
+                    threads: 1,
+                    ..Default::default()
+                },
+            )
+            .unwrap();
+            crate::schedule::set_test_steal_seed(Some(seed));
+            let stolen = certify_global(
+                &net,
+                &DOM,
+                0.1,
+                &CertifyOptions {
+                    threads: 3,
+                    ..Default::default()
+                },
+            );
+            crate::schedule::set_test_steal_seed(None);
+            let stolen = stolen.unwrap();
+            for (a, b) in serial.epsilons.iter().zip(&stolen.epsilons) {
+                proptest::prop_assert_eq!(a.to_bits(), b.to_bits());
+            }
+            for (sa, sb) in [
+                (&serial.bounds.dx, &stolen.bounds.dx),
+                (&serial.bounds.dy, &stolen.bounds.dy),
+            ] {
+                for (ia, ib) in sa.iter().flatten().zip(sb.iter().flatten()) {
+                    proptest::prop_assert_eq!(ia.lo.to_bits(), ib.lo.to_bits());
+                    proptest::prop_assert_eq!(ia.hi.to_bits(), ib.hi.to_bits());
+                }
+            }
+        }
     }
 
     /// Refinement tightens monotonically toward the exact 0.2.

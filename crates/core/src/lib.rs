@@ -55,6 +55,7 @@ pub mod local;
 pub mod oneshot;
 pub mod query;
 pub mod refine;
+mod schedule;
 pub mod split;
 pub mod subnet;
 

@@ -126,22 +126,28 @@ pub struct QueryStats {
 }
 
 impl QueryStats {
-    /// Accumulates another counter set.
+    /// Accumulates another counter set. Saturating rather than wrapping:
+    /// these are telemetry merged from per-worker accumulators at thread
+    /// joins, and a pegged counter on a pathological run must degrade to
+    /// "at least this much", never to a small wrapped lie (or a panic in
+    /// debug builds) inside an otherwise-sound certification.
     pub fn absorb(&mut self, other: QueryStats) {
-        self.solves += other.solves;
-        self.pivots += other.pivots;
-        self.nodes += other.nodes;
-        self.fallbacks += other.fallbacks;
-        self.warm_hits += other.warm_hits;
-        self.warm_misses += other.warm_misses;
-        self.pivots_saved += other.pivots_saved;
-        self.refactorizations += other.refactorizations;
+        self.solves = self.solves.saturating_add(other.solves);
+        self.pivots = self.pivots.saturating_add(other.pivots);
+        self.nodes = self.nodes.saturating_add(other.nodes);
+        self.fallbacks = self.fallbacks.saturating_add(other.fallbacks);
+        self.warm_hits = self.warm_hits.saturating_add(other.warm_hits);
+        self.warm_misses = self.warm_misses.saturating_add(other.warm_misses);
+        self.pivots_saved = self.pivots_saved.saturating_add(other.pivots_saved);
+        self.refactorizations = self.refactorizations.saturating_add(other.refactorizations);
         self.eta_len = self.eta_len.max(other.eta_len);
         self.nnz = self.nnz.max(other.nnz);
-        self.certs_checked += other.certs_checked;
-        self.cert_failures += other.cert_failures;
-        self.refactor_time_ns += other.refactor_time_ns;
-        self.ftran_btran_time_ns += other.ftran_btran_time_ns;
+        self.certs_checked = self.certs_checked.saturating_add(other.certs_checked);
+        self.cert_failures = self.cert_failures.saturating_add(other.cert_failures);
+        self.refactor_time_ns = self.refactor_time_ns.saturating_add(other.refactor_time_ns);
+        self.ftran_btran_time_ns = self
+            .ftran_btran_time_ns
+            .saturating_add(other.ftran_btran_time_ns);
         self.lu_fill_nnz = self.lu_fill_nnz.max(other.lu_fill_nnz);
     }
 
@@ -149,9 +155,9 @@ impl QueryStats {
     /// and pivot counts are *not* taken from the batch — they are already
     /// accounted per query — only the counters unique to batching.
     fn absorb_batch(&mut self, batch: BatchStats) {
-        self.warm_hits += batch.warm_hits;
-        self.warm_misses += batch.warm_misses;
-        self.pivots_saved += batch.pivots_saved;
+        self.warm_hits = self.warm_hits.saturating_add(batch.warm_hits);
+        self.warm_misses = self.warm_misses.saturating_add(batch.warm_misses);
+        self.pivots_saved = self.pivots_saved.saturating_add(batch.pivots_saved);
     }
 }
 

@@ -141,7 +141,10 @@ pub fn select_refined(
             }
         }
     }
-    scored.sort_by(|a, b| b.0.total_cmp(&a.0).then(a.1.cmp(&b.1)).then(a.2.cmp(&b.2)));
+    // Unstable sort is safe here: the comparator breaks score ties by
+    // (layer, neuron), so it is already a total order — no two distinct
+    // entries compare equal, and the result is identical to a stable sort.
+    scored.sort_unstable_by(|a, b| b.0.total_cmp(&a.0).then(a.1.cmp(&b.1)).then(a.2.cmp(&b.2)));
     RefinedSet::from_pairs(
         scored
             .into_iter()

@@ -64,6 +64,7 @@
 mod batch;
 mod branch_bound;
 mod error;
+pub mod kernel;
 mod linexpr;
 mod lu;
 mod model;

@@ -48,6 +48,8 @@
 //! bit-reproducible run to run — the property the golden ε̄ bit-locks rest
 //! on.
 
+use crate::kernel;
+
 /// Threshold-pivoting acceptance factor: a pivot candidate must be at least
 /// this fraction of the column's maximum unpivoted magnitude.
 const PIVOT_THRESHOLD: f64 = 0.1;
@@ -226,9 +228,8 @@ impl LuFactors {
             for t in 0..k {
                 let xt = x[lu.pivot_row[t]];
                 if xt != 0.0 {
-                    for e in lu.l_ptr[t]..lu.l_ptr[t + 1] {
-                        x[lu.l_idx[e]] -= lu.l_val[e] * xt;
-                    }
+                    let (e0, e1) = (lu.l_ptr[t], lu.l_ptr[t + 1]);
+                    kernel::scatter_sub(&mut x, &lu.l_idx[e0..e1], &lu.l_val[e0..e1], xt);
                 }
             }
             // Threshold partial pivoting over the unpivoted rows.
@@ -335,17 +336,14 @@ impl LuFactors {
         for t in 0..self.m {
             let xt = v[self.pivot_row[t]];
             if xt != 0.0 {
-                for e in self.l_ptr[t]..self.l_ptr[t + 1] {
-                    v[self.l_idx[e]] -= self.l_val[e] * xt;
-                }
+                let (e0, e1) = (self.l_ptr[t], self.l_ptr[t + 1]);
+                kernel::scatter_sub(v, &self.l_idx[e0..e1], &self.l_val[e0..e1], xt);
             }
         }
         for g in 0..self.ft_target.len() {
-            let mut s = v[self.ft_target[g]];
-            for e in self.ft_ptr[g]..self.ft_ptr[g + 1] {
-                s -= self.ft_mul[e] * v[self.ft_src[e]];
-            }
-            v[self.ft_target[g]] = s;
+            let (e0, e1) = (self.ft_ptr[g], self.ft_ptr[g + 1]);
+            v[self.ft_target[g]] -=
+                kernel::dot_gather(v, &self.ft_src[e0..e1], &self.ft_mul[e0..e1]);
         }
         self.spike.copy_from_slice(v);
         for k in (0..self.m).rev() {
@@ -353,9 +351,14 @@ impl LuFactors {
             if s != 0.0 {
                 let z = s / self.u_diag[k];
                 v[self.u_row[k]] = z;
-                for e in self.u_ptr[k]..self.u_ptr[k + 1] {
-                    v[self.u_row[self.u_idx[e]]] -= self.u_val[e] * z;
-                }
+                let (e0, e1) = (self.u_ptr[k], self.u_ptr[k + 1]);
+                kernel::scatter_sub_mapped(
+                    v,
+                    &self.u_row,
+                    &self.u_idx[e0..e1],
+                    &self.u_val[e0..e1],
+                    z,
+                );
             }
         }
     }
@@ -371,10 +374,9 @@ impl LuFactors {
             return;
         }
         for k in 0..self.m {
-            let mut s = y[self.u_row[k]];
-            for e in self.u_ptr[k]..self.u_ptr[k + 1] {
-                s -= self.u_val[e] * self.work[self.u_idx[e]];
-            }
+            let (e0, e1) = (self.u_ptr[k], self.u_ptr[k + 1]);
+            let s = y[self.u_row[k]]
+                - kernel::dot_gather(&self.work, &self.u_idx[e0..e1], &self.u_val[e0..e1]);
             self.work[k] = if s != 0.0 { s / self.u_diag[k] } else { 0.0 };
         }
         for k in 0..self.m {
@@ -383,16 +385,14 @@ impl LuFactors {
         for g in (0..self.ft_target.len()).rev() {
             let t = y[self.ft_target[g]];
             if t != 0.0 {
-                for e in self.ft_ptr[g]..self.ft_ptr[g + 1] {
-                    y[self.ft_src[e]] -= self.ft_mul[e] * t;
-                }
+                let (e0, e1) = (self.ft_ptr[g], self.ft_ptr[g + 1]);
+                kernel::scatter_sub(y, &self.ft_src[e0..e1], &self.ft_mul[e0..e1], t);
             }
         }
         for t in (0..self.m).rev() {
-            let mut s = y[self.pivot_row[t]];
-            for e in self.l_ptr[t]..self.l_ptr[t + 1] {
-                s -= self.l_val[e] * y[self.l_idx[e]];
-            }
+            let (e0, e1) = (self.l_ptr[t], self.l_ptr[t + 1]);
+            let s = y[self.pivot_row[t]]
+                - kernel::dot_gather(y, &self.l_idx[e0..e1], &self.l_val[e0..e1]);
             y[self.pivot_row[t]] = s;
         }
     }

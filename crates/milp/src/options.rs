@@ -222,6 +222,18 @@ pub struct SolveOptions {
     /// (`Stats::{refactor_time_ns, ftran_btran_time_ns}`). See
     /// [`TelemetryClock`]; `None` (the default) keeps the counters at zero.
     pub telemetry: Option<TelemetryClock>,
+    /// Worker threads for branch-and-bound subtree exploration (`0` or `1` =
+    /// the serial depth-first search). With more, the tree is explored in
+    /// deterministic *waves*: the frontier's node relaxations are claimed
+    /// dynamically by the workers (so a cheap subtree never idles a worker
+    /// waiting on an expensive sibling), results merge back **in node index
+    /// order**, and all incumbent/pruning/branching decisions happen in that
+    /// sequential merge — so the search tree, the returned solution, and
+    /// every [`crate::Stats`] counter are bit-identical at any thread count.
+    /// Sparse engines only; [`Engine::Dense`] always runs serial. The
+    /// default stays serial because the certifier already parallelizes
+    /// across neurons — turning both levels on oversubscribes the machine.
+    pub steal: usize,
 }
 
 impl Default for SolveOptions {
@@ -238,6 +250,7 @@ impl Default for SolveOptions {
             emit_certificates: true,
             refactor_interval: 0,
             telemetry: None,
+            steal: 1,
         }
     }
 }

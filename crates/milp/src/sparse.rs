@@ -56,6 +56,7 @@
 use std::sync::Arc;
 
 use crate::error::SolveError;
+use crate::kernel;
 use crate::lu::LuFactors;
 use crate::model::{Cmp, Model, Sense};
 use crate::options::{Engine, Pricing, SolveOptions, TelemetryClock};
@@ -130,6 +131,14 @@ impl SparseMatrix {
             .iter()
             .copied()
             .zip(self.values[lo..hi].iter().copied())
+    }
+
+    /// Column `j` as parallel `(row indices, values)` slices — the shape the
+    /// chunked pricing kernel consumes directly.
+    fn col_slices(&self, j: usize) -> (&[usize], &[f64]) {
+        let lo = self.col_ptr[j];
+        let hi = self.col_ptr[j + 1];
+        (&self.row_idx[lo..hi], &self.values[lo..hi])
     }
 
     fn col_nnz(&self, j: usize) -> usize {
@@ -333,27 +342,27 @@ impl EtaFile {
         self.ptr.push(self.idx.len());
     }
 
-    /// `v ← B⁻¹·v` (apply etas first-to-last).
+    /// `v ← B⁻¹·v` (apply etas first-to-last). The off-pivot scatter runs
+    /// through the chunked kernel — bit-identical to the scalar loop, since
+    /// each target row is written exactly once per eta.
     fn ftran(&self, v: &mut [f64]) {
         for k in 0..self.rows.len() {
             let t = v[self.rows[k]];
             if t != 0.0 {
                 let t = t / self.pivots[k];
                 v[self.rows[k]] = t;
-                for e in self.ptr[k]..self.ptr[k + 1] {
-                    v[self.idx[e]] -= self.val[e] * t;
-                }
+                let (e0, e1) = (self.ptr[k], self.ptr[k + 1]);
+                kernel::scatter_sub(v, &self.idx[e0..e1], &self.val[e0..e1], t);
             }
         }
     }
 
-    /// `yᵀ ← yᵀ·B⁻¹` (apply etas last-to-first).
+    /// `yᵀ ← yᵀ·B⁻¹` (apply etas last-to-first). The gather reduction uses
+    /// the chunked kernel's fixed-order reduction tree (see [`crate::kernel`]).
     fn btran(&self, y: &mut [f64]) {
         for k in (0..self.rows.len()).rev() {
-            let mut s = y[self.rows[k]];
-            for e in self.ptr[k]..self.ptr[k + 1] {
-                s -= y[self.idx[e]] * self.val[e];
-            }
+            let (e0, e1) = (self.ptr[k], self.ptr[k + 1]);
+            let s = y[self.rows[k]] - kernel::dot_gather(y, &self.idx[e0..e1], &self.val[e0..e1]);
             y[self.rows[k]] = s / self.pivots[k];
         }
     }
@@ -556,13 +565,13 @@ impl Core {
         self.add_solve_time(t0);
     }
 
-    /// Reduced cost `d_j = c_j − y·A_j` via one sparse dot product.
+    /// Reduced cost `d_j = c_j − y·A_j` via one sparse dot product, chunked
+    /// through the pricing kernel's fixed-order reduction tree.
     fn reduced_cost(&self, j: usize) -> f64 {
         let mut d = self.costs[j];
         if j < self.n {
-            for (r, a) in self.skel.mat.col(j) {
-                d -= self.y[r] * a;
-            }
+            let (rows, vals) = self.skel.mat.col_slices(j);
+            d -= kernel::dot_gather(&self.y, rows, vals);
         } else if j < self.art_start {
             d -= self.y[j - self.n];
         } else {
@@ -1101,11 +1110,8 @@ impl Core {
     /// may hold artificials).
     fn reduced_cost_entry(&self, j: usize) -> f64 {
         if j < self.n {
-            let mut a = 0.0;
-            for (r, v) in self.skel.mat.col(j) {
-                a += self.y[r] * v;
-            }
-            a
+            let (rows, vals) = self.skel.mat.col_slices(j);
+            kernel::dot_gather(&self.y, rows, vals)
         } else if j < self.art_start {
             self.y[j - self.n]
         } else {
