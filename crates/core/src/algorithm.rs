@@ -17,14 +17,15 @@
 
 use crate::bounds::TwinBounds;
 use crate::encode::{
-    encode_subnet, encode_subnet_with, EncodeOptions, EncodingKind, Relaxation, TargetKind,
-    TargetOverride,
+    encode_subnet, encode_subnet_with, refined_for, EncodeOptions, EncodingKind, Relaxation,
+    TargetKind, TargetOverride,
 };
 use crate::error::CertifyError;
-use crate::ibp::ibp_twin;
+use crate::ibp::{ibp_twin, ibp_twin_from_values, ValuePreBounds};
 use crate::interval::{distance_relaxation_bounds, relu_distance_range, Interval};
-use crate::query::{lp_relax_x, lp_relax_y, QueryStats};
+use crate::query::{lp_relax_x, lp_relax_x_resident, lp_relax_y, lp_relax_y_resident, QueryStats};
 use crate::refine::select_refined;
+use crate::resident::{NeuronCache, ResidentState};
 use crate::schedule::{run_steal, Step};
 use crate::subnet::SubNetwork;
 use itne_milp::{Engine, SolveOptions};
@@ -267,7 +268,7 @@ pub fn certify_global_affine(
     })
 }
 
-fn validate(
+pub(crate) fn validate(
     aff: &AffineNetwork,
     domain: &[(f64, f64)],
     delta: f64,
@@ -312,26 +313,59 @@ pub fn propagate(
     delta: f64,
     opts: &CertifyOptions,
 ) -> (TwinBounds, CertifyStats) {
+    propagate_cached(aff, domain, delta, opts, None, None)
+}
+
+/// [`propagate`] with optional resident cache state. With `pre = None` and
+/// `resident = None` this *is* the one-shot path, bit for bit. `pre` skips
+/// the δ-independent half of the IBP seed (it must come from
+/// [`crate::ibp::ibp_values`] over the same network and domain); `resident`
+/// reuses per-neuron encodings and basis snapshots across calls and stores
+/// the updated state back, which is the engine behind
+/// [`crate::resident::certify_global_resident`].
+pub(crate) fn propagate_cached(
+    aff: &AffineNetwork,
+    domain: &[Interval],
+    delta: f64,
+    opts: &CertifyOptions,
+    pre: Option<&ValuePreBounds>,
+    mut resident: Option<&mut ResidentState>,
+) -> (TwinBounds, CertifyStats) {
     // IBP seeds every range soundly (Algorithm 1 lines 1-2 plus the
     // pre-pass that makes the relaxation ranges and big-M constants valid).
-    let mut bounds = ibp_twin(aff, domain, delta);
+    let mut bounds = match pre {
+        Some(p) => ibp_twin_from_values(aff, domain, delta, p),
+        None => ibp_twin(aff, domain, delta),
+    };
     if opts.encoding == EncodingKind::Btne {
         bounds.decouple_distances();
     }
+    let caching = resident.is_some();
     let mut stats = CertifyStats::default();
     let solver = opts.solver_options();
 
     for li in 0..aff.layers.len() {
         let width = aff.layers[li].width();
-        let initial: Vec<LayerTask<'_>> = (0..width).map(|j| LayerTask::Sweep { j }).collect();
+        let caches: Vec<Option<Box<NeuronCache>>> = match resident.as_deref_mut() {
+            Some(r) => r.take_layer(li, width),
+            None => (0..width).map(|_| None).collect(),
+        };
+        let initial: Vec<LayerTask<'_>> = caches
+            .into_iter()
+            .enumerate()
+            .map(|(j, cache)| LayerTask::Sweep { j, cache })
+            .collect();
         let (results, accs) = run_steal(opts.threads, initial, width, |task, acc| {
-            run_task(aff, &bounds, li, delta, opts, &solver, task, acc)
+            run_task(aff, &bounds, li, delta, opts, &solver, caching, task, acc)
         });
         for (j, r) in results.into_iter().enumerate() {
             bounds.y[li][j] = r.y;
             bounds.dy[li][j] = r.dy;
             bounds.x[li][j] = r.x;
             bounds.dx[li][j] = r.dx;
+            if let Some(rs) = resident.as_deref_mut() {
+                rs.put(li, j, r.cache);
+            }
         }
         // Worker order, but every merge is order-insensitive (saturating
         // sums / maxes), so the totals are schedule-invariant.
@@ -347,26 +381,32 @@ pub fn propagate(
 /// One schedulable unit of the per-layer loop: a neuron's `LpRelaxY` sweep,
 /// or the `LpRelaxX` follow-up it spawned (kept separate so an idle worker
 /// can steal the X part of a neighboring neuron while its Y owner is still
-/// deep in another unit).
+/// deep in another unit). Each unit carries the neuron's resident cache by
+/// value (`None` on the one-shot path), so cached state needs no locking:
+/// exactly one worker owns a neuron's cache at any time.
 enum LayerTask<'a> {
     Sweep {
         j: usize,
+        cache: Option<Box<NeuronCache>>,
     },
     Post {
         j: usize,
         sub: SubNetwork<'a>,
         yr: Interval,
         dyr: Interval,
+        cache: Option<Box<NeuronCache>>,
     },
 }
 
 /// The per-neuron ranges a task chain finishes with; merged into
-/// [`TwinBounds`] by neuron index (the task's slot).
+/// [`TwinBounds`] by neuron index (the task's slot), the cache handed back
+/// to the [`ResidentState`].
 struct NeuronResult {
     y: Interval,
     dy: Interval,
     x: Interval,
     dx: Interval,
+    cache: Option<Box<NeuronCache>>,
 }
 
 /// Per-worker telemetry accumulator, merged once at the join instead of
@@ -391,24 +431,49 @@ fn run_task<'a>(
     delta: f64,
     opts: &CertifyOptions,
     solver: &SolveOptions,
+    caching: bool,
     task: LayerTask<'a>,
     acc: &mut WorkerAcc,
 ) -> Step<LayerTask<'a>, NeuronResult> {
     let enc_opts = opts.encode_options(delta);
     match task {
-        LayerTask::Sweep { j } => {
+        LayerTask::Sweep { j, mut cache } => {
             let sub = SubNetwork::decompose(aff, li, j, opts.window);
 
             // --- LpRelaxY: ranges of (y, Δy). ---
-            let mut enc_y = encode_subnet(&sub, bounds, TargetKind::PreActivation, &enc_opts);
-            let (yr, dyr) = lp_relax_y(
-                &mut enc_y,
-                bounds.y[li][j],
-                bounds.dy[li][j],
-                solver,
-                opts.check_certificates,
-                &mut acc.stats,
-            );
+            let (yr, dyr) = if caching {
+                let nc = cache.get_or_insert_with(Default::default);
+                let refined = refined_for(&sub, bounds, TargetKind::PreActivation, &enc_opts);
+                let sc = crate::resident::prepare_subcache(
+                    &mut nc.y,
+                    &sub,
+                    bounds,
+                    TargetKind::PreActivation,
+                    &enc_opts,
+                    None,
+                    refined,
+                    &mut acc.stats,
+                );
+                lp_relax_y_resident(
+                    &mut sc.enc,
+                    bounds.y[li][j],
+                    bounds.dy[li][j],
+                    solver,
+                    opts.check_certificates,
+                    &mut sc.bases,
+                    &mut acc.stats,
+                )
+            } else {
+                let mut enc_y = encode_subnet(&sub, bounds, TargetKind::PreActivation, &enc_opts);
+                lp_relax_y(
+                    &mut enc_y,
+                    bounds.y[li][j],
+                    bounds.dy[li][j],
+                    solver,
+                    opts.check_certificates,
+                    &mut acc.stats,
+                )
+            };
             acc.subproblems = acc.subproblems.saturating_add(1);
 
             let relu = aff.layers[li].relu;
@@ -420,6 +485,7 @@ fn run_task<'a>(
                         dy: dyr,
                         x: yr,
                         dx: dyr,
+                        cache,
                     },
                 }
             } else if opts.closed_form_x
@@ -434,15 +500,28 @@ fn run_task<'a>(
                         dy: dyr,
                         x,
                         dx,
+                        cache,
                     },
                 }
             } else {
-                Step::Follow(LayerTask::Post { j, sub, yr, dyr })
+                Step::Follow(LayerTask::Post {
+                    j,
+                    sub,
+                    yr,
+                    dyr,
+                    cache,
+                })
             }
         }
 
         // --- LpRelaxX: ranges of (x, Δx). ---
-        LayerTask::Post { j, sub, yr, dyr } => {
+        LayerTask::Post {
+            j,
+            sub,
+            yr,
+            dyr,
+            mut cache,
+        } => {
             acc.subproblems = acc.subproblems.saturating_add(1);
             // Thread the freshly-derived target ranges through so the
             // target's own relaxation uses them rather than the stale
@@ -453,21 +532,45 @@ fn run_task<'a>(
                 x: yr.relu(),
                 dx: fallback_dx(yr, dyr, opts.encoding),
             };
-            let mut enc_x = encode_subnet_with(
-                &sub,
-                bounds,
-                TargetKind::PostActivation,
-                &enc_opts,
-                Some(over),
-            );
-            let (x, dx) = lp_relax_x(
-                &mut enc_x,
-                over.x,
-                over.dx,
-                solver,
-                opts.check_certificates,
-                &mut acc.stats,
-            );
+            let (x, dx) = if caching {
+                let nc = cache.get_or_insert_with(Default::default);
+                let refined = refined_for(&sub, bounds, TargetKind::PostActivation, &enc_opts);
+                let sc = crate::resident::prepare_subcache(
+                    &mut nc.x,
+                    &sub,
+                    bounds,
+                    TargetKind::PostActivation,
+                    &enc_opts,
+                    Some(over),
+                    refined,
+                    &mut acc.stats,
+                );
+                lp_relax_x_resident(
+                    &mut sc.enc,
+                    over.x,
+                    over.dx,
+                    solver,
+                    opts.check_certificates,
+                    &mut sc.bases,
+                    &mut acc.stats,
+                )
+            } else {
+                let mut enc_x = encode_subnet_with(
+                    &sub,
+                    bounds,
+                    TargetKind::PostActivation,
+                    &enc_opts,
+                    Some(over),
+                );
+                lp_relax_x(
+                    &mut enc_x,
+                    over.x,
+                    over.dx,
+                    solver,
+                    opts.check_certificates,
+                    &mut acc.stats,
+                )
+            };
             Step::Done {
                 slot: j,
                 result: NeuronResult {
@@ -475,6 +578,7 @@ fn run_task<'a>(
                     dy: dyr,
                     x,
                     dx,
+                    cache,
                 },
             }
         }

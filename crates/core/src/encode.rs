@@ -15,12 +15,26 @@
 //! otherwise it is relaxed (triangle for value relations, Eq. 6 for distance
 //! relations). Stable neurons (sign of the pre-activation provably fixed)
 //! always use exact linear equalities — the "degenerate" ReLU cases of §II-C.
+//!
+//! # One body, two sinks
+//!
+//! The encoder body is generic over a [`ModelSink`]: a [`FreshSink`] appends
+//! variables and rows to a new [`Model`], while a [`ReuseSink`] replays the
+//! identical sequence of emissions *onto an existing model*, overwriting
+//! bounds, coefficients and right-hand sides in place and verifying at every
+//! step that the stored structure (variable types, row supports, comparison
+//! operators) matches what the replay produces. Because both sinks receive
+//! the same values from the same code, a successful replay leaves the model
+//! bit-identical to a fresh build — that is what lets the resident engine
+//! cache encodings across queries and re-parameterize them for a new δ
+//! instead of rebuilding. Every row is assembled in one reusable scratch
+//! [`LinExpr`], so neither path allocates per constraint.
 
 use crate::bounds::TwinBounds;
 use crate::interval::{distance_relaxation_bounds, Interval};
 use crate::refine::{select_refined, RefinedSet};
 use crate::subnet::SubNetwork;
-use itne_milp::{Cmp, LinExpr, Model, VarId};
+use itne_milp::{Cmp, LinExpr, Model, VarId, VarType};
 
 /// Slack added to variable bounds and big-M constants so that LP tolerances
 /// never cut off true optima.
@@ -108,7 +122,7 @@ pub struct NeuronVars {
 }
 
 /// An encoded sub-network: the optimization model plus the variable map.
-#[derive(Debug)]
+#[derive(Clone, Debug)]
 pub struct EncodedSubNet {
     /// The LP/MILP model (objective unset; queries set it).
     pub model: Model,
@@ -144,6 +158,22 @@ pub struct TargetOverride {
     pub dx: Interval,
 }
 
+/// The refined-neuron set the encoder would use for this sub-problem: empty
+/// under [`Relaxation::Exact`] (everything is exact anyway), the selective-
+/// refinement pick under [`Relaxation::Lpr`]. Hoisted out of the encoder so
+/// callers keying encoding caches on the refined set compute it exactly once.
+pub(crate) fn refined_for(
+    sub: &SubNetwork<'_>,
+    bounds: &TwinBounds,
+    target: TargetKind,
+    opts: &EncodeOptions,
+) -> RefinedSet {
+    match opts.relax {
+        Relaxation::Exact => RefinedSet::new(),
+        Relaxation::Lpr => select_refined(sub, bounds, target, opts),
+    }
+}
+
 /// Encodes a sub-network against known `bounds`.
 ///
 /// All variable bounds, big-M constants and relaxation ranges come from
@@ -166,15 +196,193 @@ pub fn encode_subnet_with(
     opts: &EncodeOptions,
     target_override: Option<TargetOverride>,
 ) -> EncodedSubNet {
+    let refined = refined_for(sub, bounds, target, opts);
+    encode_subnet_refined(sub, bounds, target, opts, target_override, &refined)
+}
+
+/// [`encode_subnet_with`] against a refined set the caller already computed
+/// (cache-key reuse; see [`refined_for`]).
+pub(crate) fn encode_subnet_refined(
+    sub: &SubNetwork<'_>,
+    bounds: &TwinBounds,
+    target: TargetKind,
+    opts: &EncodeOptions,
+    target_override: Option<TargetOverride>,
+    refined: &RefinedSet,
+) -> EncodedSubNet {
+    let mut sink = FreshSink {
+        model: Model::new(),
+    };
+    let (vars, enc) = encode_into(
+        &mut sink,
+        sub,
+        bounds,
+        target,
+        opts,
+        target_override,
+        refined,
+    );
+    EncodedSubNet {
+        model: sink.model,
+        vars,
+        binaries: enc.binaries,
+        refined: if opts.relax == Relaxation::Lpr {
+            enc.refined
+        } else {
+            0
+        },
+        relaxed: enc.relaxed,
+    }
+}
+
+/// Replays the encoding onto `prev`'s existing model, overwriting variable
+/// bounds, row coefficients and right-hand sides in place. Returns `true` on
+/// a structural match — the model is then bit-identical to a fresh
+/// [`encode_subnet_refined`] build for the same inputs, without a single row
+/// allocation. Returns `false` when the stored structure no longer matches
+/// (a ReLU phase flipped, the refined set changed shape, a degenerate
+/// relaxation appeared); **the model is garbage in that case** and the
+/// caller must discard `prev` and encode fresh.
+pub(crate) fn reencode_subnet(
+    prev: &mut EncodedSubNet,
+    sub: &SubNetwork<'_>,
+    bounds: &TwinBounds,
+    target: TargetKind,
+    opts: &EncodeOptions,
+    target_override: Option<TargetOverride>,
+    refined: &RefinedSet,
+) -> bool {
+    let stored_vars = prev.model.num_vars();
+    let stored_rows = prev.model.num_constraints();
+    let mut sink = ReuseSink {
+        model: &mut prev.model,
+        vcur: 0,
+        rcur: 0,
+        ok: true,
+    };
+    let (vars, enc) = encode_into(
+        &mut sink,
+        sub,
+        bounds,
+        target,
+        opts,
+        target_override,
+        refined,
+    );
+    if !(sink.ok && sink.vcur == stored_vars && sink.rcur == stored_rows) {
+        return false;
+    }
+    prev.vars = vars;
+    prev.binaries = enc.binaries;
+    prev.refined = if opts.relax == Relaxation::Lpr {
+        enc.refined
+    } else {
+        0
+    };
+    prev.relaxed = enc.relaxed;
+    true
+}
+
+/// Destination of encoder emissions. Implementations must hand back variable
+/// ids consistent with [`Model`] creation order; the encoder itself never
+/// looks at the model.
+trait ModelSink {
+    /// Emits a continuous variable with the given bounds.
+    fn var(&mut self, lo: f64, hi: f64) -> VarId;
+    /// Emits a binary indicator variable.
+    fn binary(&mut self) -> VarId;
+    /// Overwrites the bounds of a variable emitted earlier this pass.
+    fn bounds(&mut self, v: VarId, lo: f64, hi: f64);
+    /// Emits the constraint `expr cmp rhs`, consuming the scratch buffer's
+    /// contents (the buffer comes back cleared for the next row).
+    fn row(&mut self, expr: &mut LinExpr, cmp: Cmp, rhs: f64);
+}
+
+/// Appends to a fresh model.
+struct FreshSink {
+    model: Model,
+}
+
+impl ModelSink for FreshSink {
+    fn var(&mut self, lo: f64, hi: f64) -> VarId {
+        self.model.add_var(lo, hi)
+    }
+    fn binary(&mut self) -> VarId {
+        self.model.add_binary()
+    }
+    fn bounds(&mut self, v: VarId, lo: f64, hi: f64) {
+        self.model.set_bounds(v, lo, hi);
+    }
+    fn row(&mut self, expr: &mut LinExpr, cmp: Cmp, rhs: f64) {
+        self.model.add_constraint_buf(expr, cmp, rhs);
+        expr.clear();
+    }
+}
+
+/// Overwrites an existing model in creation order, verifying structure as it
+/// goes. Any mismatch flips `ok` and degrades to appending (the model is
+/// discarded on failure, so the appends only keep the replay's variable ids
+/// coherent until it finishes).
+struct ReuseSink<'m> {
+    model: &'m mut Model,
+    vcur: usize,
+    rcur: usize,
+    ok: bool,
+}
+
+impl ModelSink for ReuseSink<'_> {
+    fn var(&mut self, lo: f64, hi: f64) -> VarId {
+        let j = self.vcur;
+        self.vcur += 1;
+        match self.model.reparam_var(j, lo, hi, VarType::Continuous) {
+            Some(v) => v,
+            None => {
+                self.ok = false;
+                self.model.add_var(lo, hi)
+            }
+        }
+    }
+    fn binary(&mut self) -> VarId {
+        let j = self.vcur;
+        self.vcur += 1;
+        match self.model.reparam_var(j, 0.0, 1.0, VarType::Integer) {
+            Some(v) => v,
+            None => {
+                self.ok = false;
+                self.model.add_binary()
+            }
+        }
+    }
+    fn bounds(&mut self, v: VarId, lo: f64, hi: f64) {
+        self.model.set_bounds(v, lo, hi);
+    }
+    fn row(&mut self, expr: &mut LinExpr, cmp: Cmp, rhs: f64) {
+        let r = self.rcur;
+        self.rcur += 1;
+        if !self.model.reparam_row_buf(r, expr, cmp, rhs) {
+            self.ok = false;
+            self.model.add_constraint_buf(expr, cmp, rhs);
+        }
+        expr.clear();
+    }
+}
+
+/// The encoder body shared by both sinks. Emission order is the contract:
+/// a [`ReuseSink`] replay matches a [`FreshSink`] build variable-for-
+/// variable and row-for-row, or reports failure.
+fn encode_into<S: ModelSink>(
+    sink: &mut S,
+    sub: &SubNetwork<'_>,
+    bounds: &TwinBounds,
+    target: TargetKind,
+    opts: &EncodeOptions,
+    target_override: Option<TargetOverride>,
+    refined: &RefinedSet,
+) -> (Vec<Vec<NeuronVars>>, Counters) {
     let w = sub.window();
-    let mut model = Model::new();
     let mut vars: Vec<Vec<NeuronVars>> = Vec::with_capacity(w + 1);
     let mut enc = Counters::default();
-
-    let refined: RefinedSet = match opts.relax {
-        Relaxation::Exact => RefinedSet::new(), // everything is exact anyway
-        Relaxation::Lpr => select_refined(sub, bounds, target, opts),
-    };
+    let mut buf = LinExpr::new();
 
     // --- Level 0: sub-network inputs. ---
     let in_layer = sub.layer_at(1); // affine layer consuming level 0
@@ -184,28 +392,32 @@ pub fn encode_subnet_with(
     for &idx in &sub.cone.levels[0] {
         let xr = x_in[idx].inflate(BOUND_EPS);
         let mut nv = NeuronVars::default();
-        let x = model.add_var(xr.lo, xr.hi);
+        let x = sink.var(xr.lo, xr.hi);
         nv.x = Some(x);
         match opts.kind {
             EncodingKind::Single => {}
             EncodingKind::Itne => {
                 let dr = dx_in[idx].inflate(BOUND_EPS);
-                let dx = model.add_var(dr.lo, dr.hi);
+                let dx = sink.var(dr.lo, dr.hi);
                 nv.dx = Some(dx);
                 if sub.starts_at_input() {
                     // x̂ = x + Δx must stay inside the input domain X.
                     let dom = bounds.input[idx];
-                    model.add_constraint(x + dx, Cmp::Le, dom.hi + BOUND_EPS);
-                    model.add_constraint(x + dx, Cmp::Ge, dom.lo - BOUND_EPS);
+                    buf.add_term(x, 1.0).add_term(dx, 1.0);
+                    sink.row(&mut buf, Cmp::Le, dom.hi + BOUND_EPS);
+                    buf.add_term(x, 1.0).add_term(dx, 1.0);
+                    sink.row(&mut buf, Cmp::Ge, dom.lo - BOUND_EPS);
                 }
             }
             EncodingKind::Btne => {
-                let xh = model.add_var(xr.lo, xr.hi);
+                let xh = sink.var(xr.lo, xr.hi);
                 nv.xh = Some(xh);
                 if sub.starts_at_input() {
                     // ‖x̂ − x‖∞ ≤ δ, elementwise.
-                    model.add_constraint(xh - x, Cmp::Le, opts.delta);
-                    model.add_constraint(xh - x, Cmp::Ge, -opts.delta);
+                    buf.add_term(xh, 1.0).add_term(x, -1.0);
+                    sink.row(&mut buf, Cmp::Le, opts.delta);
+                    buf.add_term(xh, 1.0).add_term(x, -1.0);
+                    sink.row(&mut buf, Cmp::Ge, -opts.delta);
                 }
                 // Mid-network BTNE windows get no coupling: the distance
                 // information is lost, exactly as §II-D describes.
@@ -238,40 +450,40 @@ pub fn encode_subnet_with(
             let mut nv = NeuronVars::default();
 
             // y = Σ c·x_prev + b
-            let y = model.add_var(yr.lo, yr.hi);
+            let y = sink.var(yr.lo, yr.hi);
             nv.y = Some(y);
-            let mut ye: LinExpr = (1.0 * y).compact();
+            buf.add_term(y, 1.0);
             for &(pidx, c) in &row.terms {
                 let pos = prev_ids.binary_search(&pidx).expect("term inside cone");
-                ye.add_term(vars[k - 1][pos].x.expect("x always present"), -c);
+                buf.add_term(vars[k - 1][pos].x.expect("x always present"), -c);
             }
-            model.add_constraint(ye, Cmp::Eq, row.bias);
+            sink.row(&mut buf, Cmp::Eq, row.bias);
 
             match opts.kind {
                 EncodingKind::Itne => {
                     // Δy = Σ c·Δx_prev
-                    let dy = model.add_var(dyr.lo, dyr.hi);
+                    let dy = sink.var(dyr.lo, dyr.hi);
                     nv.dy = Some(dy);
-                    let mut de: LinExpr = (1.0 * dy).compact();
+                    buf.add_term(dy, 1.0);
                     for &(pidx, c) in &row.terms {
                         let pos = prev_ids.binary_search(&pidx).expect("term inside cone");
-                        de.add_term(vars[k - 1][pos].dx.expect("dx present under ITNE"), -c);
+                        buf.add_term(vars[k - 1][pos].dx.expect("dx present under ITNE"), -c);
                     }
-                    model.add_constraint(de, Cmp::Eq, 0.0);
+                    sink.row(&mut buf, Cmp::Eq, 0.0);
                 }
                 EncodingKind::Btne => {
                     // ŷ = Σ c·x̂_prev + b. The hat copy ranges over the same
                     // domain X, so its marginal range equals the original
                     // copy's — BTNE knows nothing tighter (no Δ variables).
                     let yhr = yr;
-                    let yh = model.add_var(yhr.lo, yhr.hi);
+                    let yh = sink.var(yhr.lo, yhr.hi);
                     nv.yh = Some(yh);
-                    let mut he: LinExpr = (1.0 * yh).compact();
+                    buf.add_term(yh, 1.0);
                     for &(pidx, c) in &row.terms {
                         let pos = prev_ids.binary_search(&pidx).expect("term inside cone");
-                        he.add_term(vars[k - 1][pos].xh.expect("xh present under BTNE"), -c);
+                        buf.add_term(vars[k - 1][pos].xh.expect("xh present under BTNE"), -c);
                     }
-                    model.add_constraint(he, Cmp::Eq, row.bias);
+                    sink.row(&mut buf, Cmp::Eq, row.bias);
                 }
                 EncodingKind::Single => {}
             }
@@ -289,7 +501,8 @@ pub fn encode_subnet_with(
                         enc.refined += 1;
                     }
                     encode_relu(
-                        &mut model,
+                        sink,
+                        &mut buf,
                         &mut nv,
                         Ranges {
                             y: yr0,
@@ -308,17 +521,7 @@ pub fn encode_subnet_with(
         vars.push(level);
     }
 
-    EncodedSubNet {
-        model,
-        vars,
-        binaries: enc.binaries,
-        refined: if opts.relax == Relaxation::Lpr {
-            enc.refined
-        } else {
-            0
-        },
-        relaxed: enc.relaxed,
-    }
+    (vars, enc)
 }
 
 #[derive(Default)]
@@ -358,8 +561,10 @@ struct Ranges {
 /// Encodes the activation of one neuron: `x = relu(y)` for the original copy
 /// and — depending on the encoding — either `x̂ = relu(ŷ)` (BTNE) or the
 /// distance relation `Δx = relu(y + Δy) − relu(y)` (ITNE).
-fn encode_relu(
-    model: &mut Model,
+#[allow(clippy::too_many_arguments)]
+fn encode_relu<S: ModelSink>(
+    sink: &mut S,
+    buf: &mut LinExpr,
     nv: &mut NeuronVars,
     ranges: Ranges,
     exact: bool,
@@ -372,9 +577,9 @@ fn encode_relu(
     let y = nv.y.expect("y exists");
 
     // --- Original copy: x = relu(y). ---
-    let x = model.add_var(xr.lo.max(0.0).min(xr.hi), xr.hi.max(0.0));
+    let x = sink.var(xr.lo.max(0.0).min(xr.hi), xr.hi.max(0.0));
     nv.x = Some(x);
-    encode_relu_value(model, x, (1.0 * y).compact(), yr, exact, enc);
+    encode_relu_value(sink, buf, x, y, yr, exact, enc);
 
     match opts.kind {
         EncodingKind::Single => {}
@@ -384,9 +589,9 @@ fn encode_relu(
             let yhr = yr;
             let xhr = yhr.relu().inflate(BOUND_EPS);
             let yh = nv.yh.expect("yh exists under BTNE");
-            let xh = model.add_var(xhr.lo.max(0.0).min(xhr.hi), xhr.hi.max(0.0));
+            let xh = sink.var(xhr.lo.max(0.0).min(xhr.hi), xhr.hi.max(0.0));
             nv.xh = Some(xh);
-            encode_relu_value(model, xh, (1.0 * yh).compact(), yhr, exact, enc);
+            encode_relu_value(sink, buf, xh, yh, yhr, exact, enc);
         }
         EncodingKind::Itne => {
             // --- Distance relation: Δx = relu(y + Δy) − relu(y). ---
@@ -401,47 +606,72 @@ fn encode_relu(
             .intersect(ranges.dx, 1e-9)
             .unwrap_or(ranges.dx)
             .inflate(BOUND_EPS);
-            let dx = model.add_var(dxr.lo, dxr.hi);
+            let dx = sink.var(dxr.lo, dxr.hi);
             nv.dx = Some(dx);
 
             match phase(yhr) {
                 // Hat copy provably active: x̂ = ŷ, i.e. x + Δx = y + Δy.
                 Phase::Active => {
-                    model.add_constraint(x + dx - y - dy, Cmp::Eq, 0.0);
+                    buf.add_term(x, 1.0)
+                        .add_term(dx, 1.0)
+                        .add_term(y, -1.0)
+                        .add_term(dy, -1.0);
+                    sink.row(buf, Cmp::Eq, 0.0);
                 }
                 // Hat copy provably inactive: x̂ = 0, i.e. x + Δx = 0.
                 Phase::Inactive => {
-                    model.add_constraint(x + dx, Cmp::Eq, 0.0);
+                    buf.add_term(x, 1.0).add_term(dx, 1.0);
+                    sink.row(buf, Cmp::Eq, 0.0);
                 }
                 Phase::Unstable => {
                     if exact {
                         // Exact big-M ReLU on the implicit x̂ = x + Δx.
-                        let zh = model.add_binary();
+                        let zh = sink.binary();
                         enc.binaries += 1;
-                        model.add_constraint(x + dx, Cmp::Ge, 0.0);
-                        model.add_constraint(x + dx - y - dy, Cmp::Ge, 0.0);
+                        buf.add_term(x, 1.0).add_term(dx, 1.0);
+                        sink.row(buf, Cmp::Ge, 0.0);
+                        buf.add_term(x, 1.0)
+                            .add_term(dx, 1.0)
+                            .add_term(y, -1.0)
+                            .add_term(dy, -1.0);
+                        sink.row(buf, Cmp::Ge, 0.0);
                         // x̂ ≤ ŷ + M(1 − z) with M = −ŷ.lo, i.e.
                         // x̂ − ŷ + M·z ≤ M.
                         let m_lo = -yhr.lo + BOUND_EPS;
-                        model.add_constraint(x + dx - y - dy + m_lo * zh, Cmp::Le, m_lo);
+                        buf.add_term(x, 1.0)
+                            .add_term(dx, 1.0)
+                            .add_term(y, -1.0)
+                            .add_term(dy, -1.0)
+                            .add_term(zh, m_lo);
+                        sink.row(buf, Cmp::Le, m_lo);
                         // x̂ ≤ ŷ.hi·z
-                        model.add_constraint(x + dx - (yhr.hi + BOUND_EPS) * zh, Cmp::Le, 0.0);
+                        buf.add_term(x, 1.0)
+                            .add_term(dx, 1.0)
+                            .add_term(zh, -(yhr.hi + BOUND_EPS));
+                        sink.row(buf, Cmp::Le, 0.0);
                     } else {
                         // Paper Eq. 6: l(u−Δy)/(u−l) ≤ Δx ≤ u(Δy−l)/(u−l),
                         // written in the fraction-free scaled form.
                         enc.relaxed += 1;
                         let (l, u) = distance_relaxation_bounds(dyr);
                         if u - l < DEGENERATE_TOL {
-                            model.set_bounds(dx, -BOUND_EPS, BOUND_EPS);
+                            sink.bounds(dx, -BOUND_EPS, BOUND_EPS);
                         } else {
                             let s = u - l;
-                            model.add_constraint(s * dx + l * dy, Cmp::Ge, l * u);
-                            model.add_constraint(s * dx - u * dy, Cmp::Le, -u * l);
+                            buf.add_term(dx, s).add_term(dy, l);
+                            sink.row(buf, Cmp::Ge, l * u);
+                            buf.add_term(dx, s).add_term(dy, -u);
+                            sink.row(buf, Cmp::Le, -u * l);
                         }
                         if opts.y_aware_distance {
                             // Hat-copy halves x̂ ≥ 0, x̂ ≥ ŷ (sound, tighter).
-                            model.add_constraint(x + dx, Cmp::Ge, 0.0);
-                            model.add_constraint(x + dx - y - dy, Cmp::Ge, 0.0);
+                            buf.add_term(x, 1.0).add_term(dx, 1.0);
+                            sink.row(buf, Cmp::Ge, 0.0);
+                            buf.add_term(x, 1.0)
+                                .add_term(dx, 1.0)
+                                .add_term(y, -1.0)
+                                .add_term(dy, -1.0);
+                            sink.row(buf, Cmp::Ge, 0.0);
                         }
                     }
                 }
@@ -450,40 +680,46 @@ fn encode_relu(
     }
 }
 
-/// Encodes `x = relu(ye)` for one copy, given the pre-activation range:
+/// Encodes `x = relu(y)` for one copy, given the pre-activation range:
 /// stable phases become equalities, unstable ones big-M (exact) or triangle
 /// (relaxed, paper Eq. 4).
-fn encode_relu_value(
-    model: &mut Model,
+fn encode_relu_value<S: ModelSink>(
+    sink: &mut S,
+    buf: &mut LinExpr,
     x: VarId,
-    ye: LinExpr,
+    y: VarId,
     yr: Interval,
     exact: bool,
     enc: &mut Counters,
 ) {
     match phase(yr) {
         Phase::Active => {
-            model.add_constraint(1.0 * x - ye, Cmp::Eq, 0.0);
+            buf.add_term(x, 1.0).add_term(y, -1.0);
+            sink.row(buf, Cmp::Eq, 0.0);
         }
         Phase::Inactive => {
-            model.set_bounds(x, 0.0, 0.0);
+            sink.bounds(x, 0.0, 0.0);
         }
         Phase::Unstable => {
             // x ≥ y and x ≥ 0 (the latter via the variable bound).
-            model.add_constraint(1.0 * x - ye.clone(), Cmp::Ge, 0.0);
+            buf.add_term(x, 1.0).add_term(y, -1.0);
+            sink.row(buf, Cmp::Ge, 0.0);
             if exact {
-                let z = model.add_binary();
+                let z = sink.binary();
                 enc.binaries += 1;
                 // x ≤ y + M(1 − z) with M = −y.lo, i.e. x − y + M·z ≤ M.
                 let m_lo = -yr.lo + BOUND_EPS;
-                model.add_constraint(1.0 * x - ye.clone() + m_lo * z, Cmp::Le, m_lo);
+                buf.add_term(x, 1.0).add_term(y, -1.0).add_term(z, m_lo);
+                sink.row(buf, Cmp::Le, m_lo);
                 // x ≤ y.hi·z
-                model.add_constraint(1.0 * x - (yr.hi + BOUND_EPS) * z, Cmp::Le, 0.0);
+                buf.add_term(x, 1.0).add_term(z, -(yr.hi + BOUND_EPS));
+                sink.row(buf, Cmp::Le, 0.0);
             } else {
                 // Triangle chord: (hi−lo)·x − hi·y ≤ −hi·lo.
                 enc.relaxed += 1;
                 let s = yr.hi - yr.lo;
-                model.add_constraint(s * x - yr.hi * ye, Cmp::Le, -yr.hi * yr.lo);
+                buf.add_term(x, s).add_term(y, -yr.hi);
+                sink.row(buf, Cmp::Le, -yr.hi * yr.lo);
             }
         }
     }
@@ -630,5 +866,87 @@ mod tests {
         m.set_objective(Sense::Maximize, 1.0 * t.x.unwrap());
         let hi = m.solve_with(&SolveOptions::default()).unwrap().objective;
         assert!((hi - 1.25).abs() < 1e-6, "max x⁽²⁾ = {hi}, paper says 1.25");
+    }
+
+    /// The reuse sink replay is bit-identical to a fresh build: encode under
+    /// one δ, re-parameterize under another, and compare against the fresh
+    /// encoding at the second δ, model datum by model datum.
+    #[test]
+    fn reencode_matches_fresh_encode_bitwise() {
+        let net = fig1_affine();
+        let domain = vec![Interval::new(-1.0, 1.0); 2];
+        let sub = SubNetwork::decompose(&net, 1, 0, 2);
+        for kind in [EncodingKind::Itne, EncodingKind::Btne, EncodingKind::Single] {
+            let mut opts = EncodeOptions {
+                kind,
+                relax: Relaxation::Lpr,
+                refine: 1,
+                delta: 0.1,
+                ..Default::default()
+            };
+            let b1 = ibp_twin(&net, &domain, 0.1);
+            let refined = refined_for(&sub, &b1, TargetKind::PostActivation, &opts);
+            let mut enc =
+                encode_subnet_refined(&sub, &b1, TargetKind::PostActivation, &opts, None, &refined);
+
+            // Same structure, new δ: replay must succeed and match fresh.
+            opts.delta = 0.05;
+            let b2 = ibp_twin(&net, &domain, 0.05);
+            let refined2 = refined_for(&sub, &b2, TargetKind::PostActivation, &opts);
+            if refined2 != refined {
+                // Refinement pick changed — a cache layer above would miss;
+                // nothing to assert here.
+                continue;
+            }
+            assert!(
+                reencode_subnet(
+                    &mut enc,
+                    &sub,
+                    &b2,
+                    TargetKind::PostActivation,
+                    &opts,
+                    None,
+                    &refined2,
+                ),
+                "replay must succeed when the skeleton is unchanged ({kind:?})"
+            );
+            let fresh = encode_subnet_refined(
+                &sub,
+                &b2,
+                TargetKind::PostActivation,
+                &opts,
+                None,
+                &refined2,
+            );
+            assert_models_identical(&enc.model, &fresh.model);
+            assert_eq!(enc.binaries, fresh.binaries);
+            assert_eq!(enc.refined, fresh.refined);
+            assert_eq!(enc.relaxed, fresh.relaxed);
+        }
+    }
+
+    fn assert_models_identical(a: &Model, b: &Model) {
+        assert_eq!(a.num_vars(), b.num_vars());
+        assert_eq!(a.num_constraints(), b.num_constraints());
+        for j in 0..a.num_vars() {
+            let (alo, ahi) = a.bounds_at(j);
+            let (blo, bhi) = b.bounds_at(j);
+            assert_eq!(alo.to_bits(), blo.to_bits(), "var {j} lo");
+            assert_eq!(ahi.to_bits(), bhi.to_bits(), "var {j} hi");
+        }
+        for r in 0..a.num_constraints() {
+            assert_eq!(a.row_cmp(r), b.row_cmp(r), "row {r} cmp");
+            assert_eq!(
+                a.row_rhs(r).to_bits(),
+                b.row_rhs(r).to_bits(),
+                "row {r} rhs"
+            );
+            let (ta, tb) = (a.row_terms(r), b.row_terms(r));
+            assert_eq!(ta.len(), tb.len(), "row {r} support");
+            for (&(va, ca), &(vb, cb)) in ta.iter().zip(tb) {
+                assert_eq!(va, vb, "row {r} var");
+                assert_eq!(ca.to_bits(), cb.to_bits(), "row {r} coef");
+            }
+        }
     }
 }

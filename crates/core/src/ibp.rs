@@ -11,6 +11,57 @@ use crate::bounds::TwinBounds;
 use crate::interval::{relu_distance_range, Interval};
 use itne_nn::AffineNetwork;
 
+/// The δ-independent half of the twin IBP pass: per-layer value ranges
+/// `y⁽ⁱ⁾`, `x⁽ⁱ⁾` under the input box alone. In [`ibp_twin`]'s recurrence the
+/// value chain never reads a distance interval, so it can be computed once
+/// per `(network, domain)` and reused across every perturbation bound δ —
+/// this is what the resident engine's model registry caches at registration
+/// time.
+#[derive(Clone, Debug, PartialEq)]
+pub struct ValuePreBounds {
+    /// Pre-activation value ranges, `y[i][j]`.
+    pub y: Vec<Vec<Interval>>,
+    /// Post-activation value ranges, `x[i][j]`.
+    pub x: Vec<Vec<Interval>>,
+}
+
+/// Computes the δ-independent value pre-bounds of `net` over `domain`
+/// (see [`ValuePreBounds`]). Bit-identical to the `y`/`x` planes that
+/// [`ibp_twin`] produces — the latter is now literally this pass followed by
+/// the distance pass.
+///
+/// # Panics
+///
+/// Panics if `domain.len()` differs from the network input dimension.
+pub fn ibp_values(net: &AffineNetwork, domain: &[Interval]) -> ValuePreBounds {
+    assert_eq!(
+        domain.len(),
+        net.input_dim,
+        "domain/input dimension mismatch"
+    );
+    let mut pre = ValuePreBounds {
+        y: Vec::with_capacity(net.layers.len()),
+        x: Vec::with_capacity(net.layers.len()),
+    };
+    for i in 0..net.layers.len() {
+        let relu = net.layers[i].relu;
+        let x_prev: &[Interval] = if i == 0 { domain } else { &pre.x[i - 1] };
+        let mut ys = Vec::with_capacity(net.layers[i].rows.len());
+        let mut xs = Vec::with_capacity(net.layers[i].rows.len());
+        for row in &net.layers[i].rows {
+            let mut y = Interval::point(row.bias);
+            for &(k, c) in &row.terms {
+                y = y.add(x_prev[k].scale(c));
+            }
+            xs.push(if relu { y.relu() } else { y });
+            ys.push(y);
+        }
+        pre.y.push(ys);
+        pre.x.push(xs);
+    }
+    pre
+}
+
 /// Propagates the input box `domain` and distance box `[-δ, δ]` through the
 /// network with interval arithmetic, including the interleaved distance
 /// ranges (`Δy` via the rows' linearity, `Δx` via the tight ReLU-distance
@@ -20,30 +71,55 @@ use itne_nn::AffineNetwork;
 ///
 /// Panics if `domain.len()` differs from the network input dimension.
 pub fn ibp_twin(net: &AffineNetwork, domain: &[Interval], delta: f64) -> TwinBounds {
+    let pre = ibp_values(net, domain);
+    ibp_twin_from_values(net, domain, delta, &pre)
+}
+
+/// [`ibp_twin`] with the δ-independent value half supplied by the caller:
+/// runs only the distance recurrence (`Δy` from the previous layer's `Δx`,
+/// `Δx` via the ReLU-distance corner formula against the cached `y`).
+/// With `pre = ibp_values(net, domain)` this is bit-identical to
+/// [`ibp_twin`]; supplying pre-bounds computed for a *different* network or
+/// domain is a caller bug and yields unsound results.
+///
+/// # Panics
+///
+/// Panics if `domain.len()` differs from the network input dimension or
+/// `pre` is shaped unlike `net`.
+pub fn ibp_twin_from_values(
+    net: &AffineNetwork,
+    domain: &[Interval],
+    delta: f64,
+    pre: &ValuePreBounds,
+) -> TwinBounds {
     assert_eq!(
         domain.len(),
         net.input_dim,
         "domain/input dimension mismatch"
     );
+    assert_eq!(pre.y.len(), net.layers.len(), "pre-bounds/network mismatch");
     let dinput = vec![Interval::symmetric(delta); net.input_dim];
     let mut b = TwinBounds::empty_like(net, domain.to_vec(), dinput);
 
     for i in 0..net.layers.len() {
         let relu = net.layers[i].relu;
+        assert_eq!(
+            pre.y[i].len(),
+            net.layers[i].width(),
+            "pre-bounds/network mismatch"
+        );
         // Split borrows: read layer i-1 (or input), write layer i.
-        let (x_prev, dx_prev): (Vec<Interval>, Vec<Interval>) =
-            (b.x_in(i).to_vec(), b.dx_in(i).to_vec());
+        let dx_prev: Vec<Interval> = b.dx_in(i).to_vec();
         for (j, row) in net.layers[i].rows.iter().enumerate() {
-            let mut y = Interval::point(row.bias);
+            let y = pre.y[i][j];
             let mut dy = Interval::point(0.0);
             for &(k, c) in &row.terms {
-                y = y.add(x_prev[k].scale(c));
                 dy = dy.add(dx_prev[k].scale(c));
             }
             let (x, dx) = if relu {
-                (y.relu(), relu_distance_range(y, dy))
+                (pre.x[i][j], relu_distance_range(y, dy))
             } else {
-                (y, dy)
+                (pre.x[i][j], dy)
             };
             b.y[i][j] = y;
             b.dy[i][j] = dy;
@@ -83,6 +159,76 @@ mod tests {
         close(b.dy[1][0], Interval::new(-0.3, 0.3));
         close(b.dx[1][0], Interval::new(-0.3, 0.3));
         assert!((b.epsilons()[0] - 0.3).abs() < 1e-12);
+    }
+
+    /// The split passes (cached δ-independent values + distance recurrence)
+    /// must reproduce the original single-pass recurrence bit-for-bit: the
+    /// registry serves `ValuePreBounds` computed once to every δ-query.
+    #[test]
+    fn value_prebound_split_is_bitwise_identical() {
+        let net = fig1_affine();
+        let domain = vec![Interval::new(-1.0, 1.0); 2];
+        // The historical one-pass recurrence, kept inline as the reference.
+        let one_pass = |delta: f64| {
+            let dinput = vec![Interval::symmetric(delta); net.input_dim];
+            let mut b = TwinBounds::empty_like(&net, domain.clone(), dinput);
+            for i in 0..net.layers.len() {
+                let relu = net.layers[i].relu;
+                let (x_prev, dx_prev): (Vec<Interval>, Vec<Interval>) =
+                    (b.x_in(i).to_vec(), b.dx_in(i).to_vec());
+                for (j, row) in net.layers[i].rows.iter().enumerate() {
+                    let mut y = Interval::point(row.bias);
+                    let mut dy = Interval::point(0.0);
+                    for &(k, c) in &row.terms {
+                        y = y.add(x_prev[k].scale(c));
+                        dy = dy.add(dx_prev[k].scale(c));
+                    }
+                    let (x, dx) = if relu {
+                        (y.relu(), relu_distance_range(y, dy))
+                    } else {
+                        (y, dy)
+                    };
+                    b.y[i][j] = y;
+                    b.dy[i][j] = dy;
+                    b.x[i][j] = x;
+                    b.dx[i][j] = dx;
+                }
+            }
+            b
+        };
+        let pre = ibp_values(&net, &domain);
+        let bits = |v: &Vec<Vec<Interval>>| -> Vec<(u64, u64)> {
+            v.iter()
+                .flatten()
+                .map(|i| (i.lo.to_bits(), i.hi.to_bits()))
+                .collect()
+        };
+        for delta in [0.0, 1e-6, 0.05, 0.1, 0.73] {
+            let split = ibp_twin_from_values(&net, &domain, delta, &pre);
+            let reference = one_pass(delta);
+            assert_eq!(
+                bits(&split.y),
+                bits(&reference.y),
+                "y diverged at δ={delta}"
+            );
+            assert_eq!(
+                bits(&split.dy),
+                bits(&reference.dy),
+                "dy diverged at δ={delta}"
+            );
+            assert_eq!(
+                bits(&split.x),
+                bits(&reference.x),
+                "x diverged at δ={delta}"
+            );
+            assert_eq!(
+                bits(&split.dx),
+                bits(&reference.dx),
+                "dx diverged at δ={delta}"
+            );
+            // And the public entry point is the same composition.
+            assert_eq!(ibp_twin(&net, &domain, delta), reference);
+        }
     }
 
     /// IBP must contain the values of any concrete twin execution.

@@ -55,6 +55,7 @@ pub mod local;
 pub mod oneshot;
 pub mod query;
 pub mod refine;
+pub mod resident;
 mod schedule;
 pub mod split;
 pub mod subnet;
@@ -68,4 +69,6 @@ pub use bounds::TwinBounds;
 pub use encode::{EncodingKind, Relaxation};
 pub use error::CertifyError;
 pub use exact::{exact_global, exact_global_affine, sampled_lower_bound};
+pub use ibp::{ibp_values, ValuePreBounds};
 pub use interval::Interval;
+pub use resident::{certify_global_resident, ResidentState};

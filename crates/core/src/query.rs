@@ -28,7 +28,7 @@ use crate::encode::EncodedSubNet;
 use crate::interval::Interval;
 use itne_certcheck::{verify_bound, RowCmp, RowRef};
 use itne_milp::{
-    BatchSolver, BatchStats, Cmp, LinExpr, Model, Sense, Solution, SolveOptions, StopWhen,
+    Basis, BatchSolver, BatchStats, Cmp, LinExpr, Model, Sense, Solution, SolveOptions, StopWhen,
 };
 
 /// Slack added to LP optima before use as bounds, absorbing solver
@@ -123,6 +123,17 @@ pub struct QueryStats {
     /// Peak LU fill (`L` + `U` stored non-zeros) observed in any single
     /// solve ([`itne_milp::Engine::Lu`] only).
     pub lu_fill_nnz: u64,
+    /// Resident sub-problem encodings reused in place: the cached constraint
+    /// skeleton matched and only bounds/RHS were re-parameterized
+    /// ([`crate::resident::ResidentState`]).
+    pub encoding_cache_hits: u64,
+    /// Resident encodings that could not be reused (first touch, refined-set
+    /// change, or a structural mismatch during replay) and were rebuilt.
+    pub encoding_cache_misses: u64,
+    /// Warm starts seeded from a basis stored by a *previous* query (the
+    /// resident basis store), as opposed to the within-sweep chain. A subset
+    /// of `warm_hits`.
+    pub cross_query_warm_hits: u64,
 }
 
 impl QueryStats {
@@ -149,6 +160,15 @@ impl QueryStats {
             .ftran_btran_time_ns
             .saturating_add(other.ftran_btran_time_ns);
         self.lu_fill_nnz = self.lu_fill_nnz.max(other.lu_fill_nnz);
+        self.encoding_cache_hits = self
+            .encoding_cache_hits
+            .saturating_add(other.encoding_cache_hits);
+        self.encoding_cache_misses = self
+            .encoding_cache_misses
+            .saturating_add(other.encoding_cache_misses);
+        self.cross_query_warm_hits = self
+            .cross_query_warm_hits
+            .saturating_add(other.cross_query_warm_hits);
     }
 
     /// Folds in the warm-start counters of one finished batch sweep. Solve
@@ -158,6 +178,10 @@ impl QueryStats {
         self.warm_hits = self.warm_hits.saturating_add(batch.warm_hits);
         self.warm_misses = self.warm_misses.saturating_add(batch.warm_misses);
         self.pivots_saved = self.pivots_saved.saturating_add(batch.pivots_saved);
+        // Seed hits are warm starts from a basis stored by an *earlier*
+        // query over the same encoding (only `BatchSolver::with_seed` sweeps
+        // can have them; plain batches report zero).
+        self.cross_query_warm_hits = self.cross_query_warm_hits.saturating_add(batch.seed_hits);
     }
 }
 
@@ -212,7 +236,7 @@ fn range_in_batch(
     // data behind `batch.model()` matches both certificates (the sense is
     // passed per side below).
     let lo = certified_bound(
-        batch,
+        batch.model(),
         lo_sol,
         Sense::Minimize,
         grid,
@@ -221,7 +245,7 @@ fn range_in_batch(
         stats,
     );
     let hi = certified_bound(
-        batch,
+        batch.model(),
         hi_sol,
         Sense::Maximize,
         grid,
@@ -283,8 +307,9 @@ fn directed_solve(
 ///    *snapped* claim is re-derived from the duals in exact rational
 ///    arithmetic; an unverifiable claim falls back to IBP and increments
 ///    [`QueryStats::cert_failures`].
+#[allow(clippy::too_many_arguments)]
 fn certified_bound(
-    batch: &BatchSolver<'_>,
+    model: &Model,
     sol: Option<Solution>,
     sense: Sense,
     grid: bool,
@@ -306,7 +331,7 @@ fn certified_bound(
     };
     if check && sol.is_certified() {
         stats.certs_checked += 1;
-        if !certificate_validates(batch.model(), &sol, sense, snapped) {
+        if !certificate_validates(model, &sol, sense, snapped) {
             stats.cert_failures += 1;
             stats.fallbacks += 1;
             return fallback_bound;
@@ -444,6 +469,188 @@ pub fn lp_relax_x(
     (xr, dxr)
 }
 
+/// Number of persistent basis slots a resident sub-problem keeps: one per
+/// directed objective, in the fixed order
+/// `[value min, value max, distance min, distance max]`.
+pub(crate) const BASIS_SLOTS: usize = 4;
+
+/// [`lp_relax_y`] against a resident encoding: identical objectives and the
+/// same certified-bound pipeline, but each directed solve starts from the
+/// basis the *previous query* stored for the same objective
+/// ([`BatchSolver::solve_slot`]) — already optimal when only δ moved, so hot
+/// queries pivot rarely — and writes its final basis back for the next one.
+/// The sweep shares one live engine: the first restore rebuilds it from its
+/// snapshot, later restores rebase it in place, paying a basis
+/// refactorization instead of a skeleton compile per solve. Results are
+/// bit-identical to [`lp_relax_y`]: warm starting never changes certified
+/// ranges.
+pub(crate) fn lp_relax_y_resident(
+    enc: &mut EncodedSubNet,
+    fallback_y: Interval,
+    fallback_dy: Interval,
+    solver: &SolveOptions,
+    check: bool,
+    bases: &mut [Option<Basis>; BASIS_SLOTS],
+    stats: &mut QueryStats,
+) -> (Interval, Interval) {
+    let t = enc.target_vars();
+    let y = t.y.expect("target has a pre-activation variable");
+    let dy_expr = if let Some(dy) = t.dy {
+        Some((1.0 * dy).compact())
+    } else {
+        t.yh.map(|yh| 1.0 * yh - 1.0 * y)
+    };
+    let (value_slots, distance_slots) = bases.split_at_mut(2);
+    let mut batch = BatchSolver::new(&mut enc.model);
+    let yr = range_in_slots(
+        &mut batch,
+        (1.0 * y).compact(),
+        fallback_y,
+        solver,
+        check,
+        value_slots,
+        stats,
+    );
+    let dyr = match dy_expr {
+        Some(e) => range_in_slots(
+            &mut batch,
+            e,
+            fallback_dy,
+            solver,
+            check,
+            distance_slots,
+            stats,
+        ),
+        None => Interval::point(0.0),
+    };
+    stats.absorb_batch(batch.stats());
+    (yr, dyr)
+}
+
+/// [`lp_relax_x`] against a resident encoding (see [`lp_relax_y_resident`]).
+pub(crate) fn lp_relax_x_resident(
+    enc: &mut EncodedSubNet,
+    fallback_x: Interval,
+    fallback_dx: Interval,
+    solver: &SolveOptions,
+    check: bool,
+    bases: &mut [Option<Basis>; BASIS_SLOTS],
+    stats: &mut QueryStats,
+) -> (Interval, Interval) {
+    let t = enc.target_vars();
+    let x = t.x.expect("target has a post-activation variable");
+    let dx_expr = if let Some(dx) = t.dx {
+        Some((1.0 * dx).compact())
+    } else {
+        t.xh.map(|xh| 1.0 * xh - 1.0 * x)
+    };
+    let (value_slots, distance_slots) = bases.split_at_mut(2);
+    let mut batch = BatchSolver::new(&mut enc.model);
+    let xr = range_in_slots(
+        &mut batch,
+        (1.0 * x).compact(),
+        fallback_x,
+        solver,
+        check,
+        value_slots,
+        stats,
+    );
+    let dxr = match dx_expr {
+        Some(e) => range_in_slots(
+            &mut batch,
+            e,
+            fallback_dx,
+            solver,
+            check,
+            distance_slots,
+            stats,
+        ),
+        None => Interval::point(0.0),
+    };
+    stats.absorb_batch(batch.stats());
+    (xr, dxr)
+}
+
+/// [`range_in_batch`] with persistent basis slots (`slots[0]` = min,
+/// `slots[1]` = max): identical grid decision and [`certified_bound`] gate,
+/// but each directed solve goes through [`BatchSolver::solve_slot`].
+#[allow(clippy::too_many_arguments)]
+fn range_in_slots(
+    batch: &mut BatchSolver<'_>,
+    expr: LinExpr,
+    fallback: Interval,
+    solver: &SolveOptions,
+    check: bool,
+    slots: &mut [Option<Basis>],
+    stats: &mut QueryStats,
+) -> Interval {
+    let (slot_lo, rest) = slots.split_first_mut().expect("two basis slots");
+    let (slot_hi, _) = rest.split_first_mut().expect("two basis slots");
+    let lo_sol = directed_solve_slot(batch, expr.clone(), Sense::Minimize, solver, slot_lo, stats);
+    let hi_sol = directed_solve_slot(batch, expr, Sense::Maximize, solver, slot_hi, stats);
+    let grid = interval_grid([
+        lo_sol.as_ref().map(Solution::bound_value),
+        hi_sol.as_ref().map(Solution::bound_value),
+    ]);
+    // As in `range_in_batch`: both solves installed the same objective
+    // expression, so the model data matches both certificates.
+    let lo = certified_bound(
+        batch.model(),
+        lo_sol,
+        Sense::Minimize,
+        grid,
+        check,
+        fallback.lo,
+        stats,
+    );
+    let hi = certified_bound(
+        batch.model(),
+        hi_sol,
+        Sense::Maximize,
+        grid,
+        check,
+        fallback.hi,
+        stats,
+    );
+    Interval::new(lo.min(hi), hi.max(lo))
+        .intersect(fallback, 1e-9)
+        .unwrap_or(fallback)
+}
+
+/// [`directed_solve`] through [`BatchSolver::solve_slot`] — same stop-check
+/// and stat accounting, plus the persistent slot.
+fn directed_solve_slot(
+    batch: &mut BatchSolver<'_>,
+    expr: LinExpr,
+    sense: Sense,
+    solver: &SolveOptions,
+    slot: &mut Option<Basis>,
+    stats: &mut QueryStats,
+) -> Option<Solution> {
+    if solver.stop.as_ref().is_some_and(StopWhen::should_stop) {
+        stats.fallbacks += 1;
+        return None;
+    }
+    stats.solves += 1;
+    match batch.solve_slot(sense, expr, solver, slot) {
+        Ok(sol) => {
+            stats.pivots += sol.stats.pivots;
+            stats.nodes += sol.stats.nodes;
+            stats.refactorizations += sol.stats.refactorizations;
+            stats.eta_len = stats.eta_len.max(sol.stats.eta_len);
+            stats.nnz = stats.nnz.max(sol.stats.nnz);
+            stats.refactor_time_ns += sol.stats.refactor_time_ns;
+            stats.ftran_btran_time_ns += sol.stats.ftran_btran_time_ns;
+            stats.lu_fill_nnz = stats.lu_fill_nnz.max(sol.stats.lu_fill_nnz);
+            Some(sol)
+        }
+        Err(_) => {
+            stats.fallbacks += 1;
+            None
+        }
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -558,6 +765,78 @@ mod tests {
             let (cy, cdy) = run(false);
             assert_eq!(wy, cy, "y range diverged at ({li}, {j})");
             assert_eq!(wdy, cdy, "Δy range diverged at ({li}, {j})");
+        }
+    }
+
+    #[test]
+    fn resident_sweep_matches_batch_and_warm_starts_across_queries() {
+        // The resident solve path (slot-seeded batch sweep) must reproduce
+        // the batch path bit-for-bit, and a repeat query over the same
+        // encoding must warm-start from the stored per-objective bases.
+        let net = fig1_affine();
+        let domain = vec![Interval::new(-1.0, 1.0); 2];
+        let bounds = ibp_twin(&net, &domain, 0.1);
+        for (li, j) in [(0usize, 0usize), (0, 1), (1, 0)] {
+            let sub = SubNetwork::decompose(&net, li, j, 2);
+            let opts = EncodeOptions {
+                delta: 0.1,
+                ..Default::default()
+            };
+            let mut enc = encode_subnet(&sub, &bounds, TargetKind::PreActivation, &opts);
+            let mut stats = QueryStats::default();
+            let batch_r = lp_relax_y(
+                &mut enc,
+                bounds.y[li][j],
+                bounds.dy[li][j],
+                &SolveOptions::default(),
+                true,
+                &mut stats,
+            );
+            let mut enc = encode_subnet(&sub, &bounds, TargetKind::PreActivation, &opts);
+            let mut bases: [Option<Basis>; BASIS_SLOTS] = Default::default();
+            let mut s1 = QueryStats::default();
+            let r1 = lp_relax_y_resident(
+                &mut enc,
+                bounds.y[li][j],
+                bounds.dy[li][j],
+                &SolveOptions::default(),
+                true,
+                &mut bases,
+                &mut s1,
+            );
+            assert_eq!(r1, batch_r, "resident diverged from batch at ({li}, {j})");
+            assert_eq!(
+                s1.cross_query_warm_hits, 0,
+                "first query has no stored basis"
+            );
+            assert_eq!(s1.cert_failures, 0);
+            assert!(
+                bases.iter().any(Option::is_some),
+                "sweep stored no basis at ({li}, {j})"
+            );
+            // Second query over the same resident encoding: each directed
+            // solve restores its own slot instead of running cold phase-1.
+            let mut s2 = QueryStats::default();
+            let r2 = lp_relax_y_resident(
+                &mut enc,
+                bounds.y[li][j],
+                bounds.dy[li][j],
+                &SolveOptions::default(),
+                true,
+                &mut bases,
+                &mut s2,
+            );
+            assert_eq!(r2, batch_r, "repeat resident query diverged at ({li}, {j})");
+            assert!(
+                s2.cross_query_warm_hits > 0,
+                "repeat query never used the stored basis: {s2:?}"
+            );
+            assert!(
+                s2.pivots <= s1.pivots,
+                "warm repeat did more pivots than cold: {} > {}",
+                s2.pivots,
+                s1.pivots
+            );
         }
     }
 

@@ -19,7 +19,7 @@
 use crate::error::SolveError;
 use crate::model::{Model, Sense};
 use crate::options::SolveOptions;
-use crate::simplex::{self, Resident, ResolveOutcome};
+use crate::simplex::{self, Basis, Resident, ResolveOutcome, WarmResidentOutcome};
 use crate::{branch_bound, LinExpr, Solution};
 
 /// Work counters for one [`BatchSolver`]'s lifetime.
@@ -43,6 +43,10 @@ pub struct BatchStats {
     /// the warm solve's own pivots, saturating at zero. An estimate — the
     /// true counterfactual would require solving cold again.
     pub pivots_saved: u64,
+    /// Warm hits whose basis came from a caller-provided cross-sweep slot
+    /// ([`BatchSolver::solve_slot`]) rather than this sweep's own previous
+    /// solve. Every seed hit is also counted in [`BatchStats::warm_hits`].
+    pub seed_hits: u64,
 }
 
 impl BatchStats {
@@ -54,6 +58,7 @@ impl BatchStats {
         self.cold_solves += other.cold_solves;
         self.pivots += other.pivots;
         self.pivots_saved += other.pivots_saved;
+        self.seed_hits += other.seed_hits;
     }
 }
 
@@ -107,6 +112,14 @@ impl<'m> BatchSolver<'m> {
     /// Counters accumulated so far.
     pub fn stats(&self) -> BatchStats {
         self.stats
+    }
+
+    /// Flattens the current resident factorization to a restorable [`Basis`]
+    /// snapshot for cross-sweep warm starts ([`BatchSolver::solve_slot`]).
+    /// `None` when no resident is held or the final basis still contains an
+    /// artificial column (redundant equality rows).
+    pub fn snapshot(&self) -> Option<Basis> {
+        self.resident.as_ref().and_then(Resident::snapshot)
     }
 
     /// Read-only view of the model being swept — the exact problem data the
@@ -200,6 +213,149 @@ impl<'m> BatchSolver<'m> {
                 self.resident = None;
                 Err(e)
             }
+        }
+    }
+
+    /// [`BatchSolver::solve`] with a persistent per-objective basis `slot`
+    /// spanning sweeps: the solve starts from the basis the *previous sweep*
+    /// stored for this same objective (a cross-sweep warm start, counted in
+    /// [`BatchStats::seed_hits`]) and writes its own final basis back for
+    /// the next one.
+    ///
+    /// With a live resident the restore reuses the compiled skeleton and
+    /// working arrays and pays only a basis refactorization
+    /// ([`Resident::resolve_from`]); the sweep's first solve rebuilds the
+    /// engine from the snapshot. Both restores fall back transparently —
+    /// first to the within-sweep chain, then to a cold solve — so the slot
+    /// is advisory and never affects results, only the work counters.
+    ///
+    /// # Errors
+    ///
+    /// See [`SolveError`]; identical failure modes to [`BatchSolver::solve`].
+    pub fn solve_slot(
+        &mut self,
+        sense: Sense,
+        expr: impl Into<LinExpr>,
+        opts: &SolveOptions,
+        slot: &mut Option<Basis>,
+    ) -> Result<Solution, SolveError> {
+        self.model.set_objective(sense, expr);
+        self.stats.solves += 1;
+        self.model.validate()?;
+
+        if self.model.num_integers() > 0 {
+            // Mixed models: no warm start, same dispatch as `solve`.
+            self.stats.cold_solves += 1;
+            let sol = branch_bound::solve_milp(self.model, opts)?;
+            self.stats.pivots += sol.stats.pivots;
+            return Ok(sol);
+        }
+
+        let m = self.model.num_constraints() as u64;
+        let cells = m.saturating_mul(2 * m + self.model.num_vars() as u64);
+        let warm_allowed = opts.warm_start && cells <= opts.warm_start_cell_limit;
+
+        if self
+            .resident
+            .as_ref()
+            .is_some_and(|r| r.engine() != opts.engine)
+        {
+            self.resident = None;
+        }
+
+        if warm_allowed {
+            if let Some(warm) = slot.as_ref() {
+                // Slot restore against the live engine: skeleton and working
+                // arrays are reused, only the basis is refactorized.
+                if let Some(resident) = &mut self.resident {
+                    match resident.resolve_from(self.model, opts, warm) {
+                        Ok(ResolveOutcome::Solved(sol)) => {
+                            self.stats.warm_hits += 1;
+                            self.stats.seed_hits += 1;
+                            self.stats.pivots += sol.stats.pivots;
+                            self.stats.pivots_saved +=
+                                self.last_cold_pivots.saturating_sub(sol.stats.pivots);
+                            self.store_slot(slot);
+                            return Ok(sol);
+                        }
+                        Ok(ResolveOutcome::Rejected { wasted_pivots }) => {
+                            // The failed restore may have left the engine
+                            // inconsistent; a full rebuild from the same
+                            // snapshot would reject for the same reason, so
+                            // go straight to a cold solve.
+                            self.stats.warm_misses += 1;
+                            self.stats.pivots += wasted_pivots;
+                            self.resident = None;
+                        }
+                        Err(e) => {
+                            self.resident = None;
+                            return Err(e);
+                        }
+                    }
+                } else {
+                    // First solve of the sweep: rebuild the engine once from
+                    // the stored snapshot; later slot solves rebase it.
+                    match simplex::solve_lp_warm_resident(self.model, opts, warm)? {
+                        WarmResidentOutcome::Solved(sol, resident) => {
+                            self.stats.warm_hits += 1;
+                            self.stats.seed_hits += 1;
+                            self.stats.pivots += sol.stats.pivots;
+                            self.resident = resident;
+                            self.store_slot(slot);
+                            return Ok(sol);
+                        }
+                        WarmResidentOutcome::Rejected => {
+                            self.stats.warm_misses += 1;
+                        }
+                    }
+                }
+            } else if let Some(resident) = &mut self.resident {
+                // Empty slot: chain from the previous solve as `solve` does.
+                match resident.resolve(self.model, opts) {
+                    Ok(ResolveOutcome::Solved(sol)) => {
+                        self.stats.warm_hits += 1;
+                        self.stats.pivots += sol.stats.pivots;
+                        self.stats.pivots_saved +=
+                            self.last_cold_pivots.saturating_sub(sol.stats.pivots);
+                        self.store_slot(slot);
+                        return Ok(sol);
+                    }
+                    Ok(ResolveOutcome::Rejected { wasted_pivots }) => {
+                        self.stats.warm_misses += 1;
+                        self.stats.pivots += wasted_pivots;
+                        self.resident = None;
+                    }
+                    Err(e) => {
+                        self.resident = None;
+                        return Err(e);
+                    }
+                }
+            }
+        }
+
+        self.stats.cold_solves += 1;
+        match simplex::solve_lp_resident(self.model, opts) {
+            Ok((sol, resident)) => {
+                self.stats.pivots += sol.stats.pivots;
+                self.last_cold_pivots = sol.stats.pivots;
+                self.resident = if warm_allowed { resident } else { None };
+                self.store_slot(slot);
+                Ok(sol)
+            }
+            Err(e) => {
+                self.resident = None;
+                Err(e)
+            }
+        }
+    }
+
+    /// Writes the current resident's final basis into `slot` for the next
+    /// sweep. A basis that cannot be snapshotted (artificial still basic)
+    /// leaves the previous slot content in place — it is still the best
+    /// known start for this objective.
+    fn store_slot(&self, slot: &mut Option<Basis>) {
+        if let Some(b) = self.snapshot() {
+            *slot = Some(b);
         }
     }
 

@@ -75,7 +75,7 @@ mod sparse;
 pub use batch::{BatchSolver, BatchStats};
 pub use error::SolveError;
 pub use linexpr::LinExpr;
-pub use model::{Cmp, Model, Sense, VarId, VarType};
+pub use model::{Cmp, Model, Sense, VarId, VarType, WarmSolve};
 pub use options::{Engine, Pricing, SolveOptions, StopWhen, TelemetryClock, Tolerances};
 pub use simplex::Basis;
 

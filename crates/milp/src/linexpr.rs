@@ -58,6 +58,24 @@ impl LinExpr {
         self
     }
 
+    /// Resets the expression to `0`, keeping the term buffer's capacity.
+    /// With [`LinExpr::add_scaled`] and the `*_buf` constraint methods on
+    /// [`crate::Model`], this lets encoders reuse one scratch expression
+    /// across thousands of constraints instead of allocating per row.
+    pub fn clear(&mut self) {
+        self.terms.clear();
+        self.constant = 0.0;
+    }
+
+    /// Appends every term of `other` scaled by `k`, plus `k ×` its constant.
+    /// Equivalent to `self + k * other.clone()` without the clone.
+    pub fn add_scaled(&mut self, other: &LinExpr, k: f64) -> &mut Self {
+        self.terms
+            .extend(other.terms.iter().map(|&(v, c)| (v, c * k)));
+        self.constant += other.constant * k;
+        self
+    }
+
     /// The constant part `k`.
     pub fn constant(&self) -> f64 {
         self.constant
@@ -71,19 +89,27 @@ impl LinExpr {
     /// Merges duplicate variables and drops exact-zero coefficients,
     /// returning the canonical form sorted by variable index.
     pub fn compact(mut self) -> Self {
+        self.compact_in_place();
+        self
+    }
+
+    /// In-place [`LinExpr::compact`]: identical canonical form (stable sort
+    /// by variable index, duplicates summed in insertion order, exact zeros
+    /// dropped), but the term buffer is retained for reuse.
+    pub fn compact_in_place(&mut self) {
         self.terms.sort_by_key(|(v, _)| v.index());
-        let mut merged: Vec<(VarId, f64)> = Vec::with_capacity(self.terms.len());
-        for (v, c) in self.terms {
-            match merged.last_mut() {
-                Some((lv, lc)) if *lv == v => *lc += c,
-                _ => merged.push((v, c)),
+        let mut write = 0usize;
+        for read in 0..self.terms.len() {
+            let (v, c) = self.terms[read];
+            if write > 0 && self.terms[write - 1].0 == v {
+                self.terms[write - 1].1 += c;
+            } else {
+                self.terms[write] = (v, c);
+                write += 1;
             }
         }
-        merged.retain(|(_, c)| *c != 0.0);
-        LinExpr {
-            terms: merged,
-            constant: self.constant,
-        }
+        self.terms.truncate(write);
+        self.terms.retain(|(_, c)| *c != 0.0);
     }
 
     /// Evaluates the expression at the given dense assignment.
@@ -227,6 +253,37 @@ mod tests {
         let y = m.add_var(0.0, 10.0);
         let e = 2.0 * x - 0.5 * y + 4.0;
         assert_eq!(e.eval(&[3.0, 2.0]), 2.0 * 3.0 - 0.5 * 2.0 + 4.0);
+    }
+
+    #[test]
+    fn compact_in_place_matches_compact() {
+        let mut m = Model::new();
+        let x = m.add_var(0.0, 1.0);
+        let y = m.add_var(0.0, 1.0);
+        let z = m.add_var(0.0, 1.0);
+        let built = 2.0 * z + 3.0 * x - z + 0.25 * y - 3.0 * x + 7.5;
+        let via_compact = built.clone().compact();
+        let mut in_place = built;
+        in_place.compact_in_place();
+        assert_eq!(in_place, via_compact);
+        assert_eq!(in_place.terms(), &[(y, 0.25), (z, 1.0)]);
+    }
+
+    #[test]
+    fn scratch_buffer_reuse_matches_fresh_build() {
+        let mut m = Model::new();
+        let x = m.add_var(0.0, 1.0);
+        let y = m.add_var(0.0, 1.0);
+        let base = 1.0 * x - 2.0 * y + 0.5;
+        let mut buf = super::LinExpr::new();
+        for k in [1.0, -3.0, 0.0] {
+            buf.clear();
+            buf.add_term(y, 4.0);
+            buf.add_scaled(&base, k);
+            let fresh = (4.0 * y + base.clone() * k).compact();
+            buf.compact_in_place();
+            assert_eq!(buf, fresh, "k = {k}");
+        }
     }
 
     #[test]

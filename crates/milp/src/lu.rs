@@ -216,36 +216,93 @@ impl LuFactors {
         // Original row → elimination position, `usize::MAX` while unpivoted.
         let mut pos_of_row = vec![usize::MAX; m];
         let mut x = vec![0.0f64; m];
+        // Gilbert–Peierls work areas. `reach` holds the already-pivoted
+        // positions this column's elimination can touch (symbolic closure
+        // over the L pattern), `fill` the unpivoted rows that can end up
+        // non-zero — together the exact support of the dense sweep, so the
+        // loop below performs the *same* floating-point operations in the
+        // same order as eliminating over all positions, at sparse cost.
+        let mut reach: Vec<usize> = Vec::new();
+        let mut fill: Vec<usize> = Vec::new();
+        let mut in_reach = vec![false; m];
+        let mut in_fill = vec![false; m];
+        let mut stack: Vec<(usize, usize)> = Vec::new(); // (position, edge cursor)
 
         for k in 0..m {
+            reach.clear();
+            fill.clear();
             for &(r, v) in &entries[col_ptr[k]..col_ptr[k + 1]] {
                 x[r] = v;
+                let t = pos_of_row[r];
+                if t == usize::MAX {
+                    if !in_fill[r] {
+                        in_fill[r] = true;
+                        fill.push(r);
+                    }
+                    continue;
+                }
+                if in_reach[t] {
+                    continue;
+                }
+                // Depth-first closure: an L column at position `t` scatters
+                // into rows that are either still unpivoted (fill) or were
+                // pivoted at some later position `t' > t` (recurse).
+                in_reach[t] = true;
+                stack.push((t, lu.l_ptr[t]));
+                while let Some(top) = stack.last_mut() {
+                    let t = top.0;
+                    let e1 = lu.l_ptr[t + 1];
+                    let mut child: Option<usize> = None;
+                    while top.1 < e1 {
+                        let rr = lu.l_idx[top.1];
+                        top.1 += 1;
+                        let tt = pos_of_row[rr];
+                        if tt == usize::MAX {
+                            if !in_fill[rr] {
+                                in_fill[rr] = true;
+                                fill.push(rr);
+                            }
+                        } else if !in_reach[tt] {
+                            in_reach[tt] = true;
+                            child = Some(tt);
+                            break;
+                        }
+                    }
+                    match child {
+                        Some(tt) => stack.push((tt, lu.l_ptr[tt])),
+                        None => {
+                            reach.push(t);
+                            stack.pop();
+                        }
+                    }
+                }
             }
-            // Left-looking forward elimination: apply the L columns of the
-            // already-pivoted positions in order. Positions whose pivot-row
-            // slot is zero contribute nothing and are skipped, which keeps
-            // the work proportional to the column's actual fill pattern.
-            for t in 0..k {
+            // Ascending position order is a topological order (L columns
+            // only scatter into positions pivoted later), and matches the
+            // dense sweep's `0..k` order exactly.
+            reach.sort_unstable();
+            for &t in &reach {
                 let xt = x[lu.pivot_row[t]];
                 if xt != 0.0 {
                     let (e0, e1) = (lu.l_ptr[t], lu.l_ptr[t + 1]);
                     kernel::scatter_sub(&mut x, &lu.l_idx[e0..e1], &lu.l_val[e0..e1], xt);
                 }
             }
-            // Threshold partial pivoting over the unpivoted rows.
+            // Threshold partial pivoting over the unpivoted rows: only rows
+            // in `fill` can be non-zero, and the ascending scan preserves
+            // the dense version's lowest-row tie-break among equal weights.
+            fill.sort_unstable();
             let mut max_mag = 0.0f64;
-            for (r, &p) in pos_of_row.iter().enumerate() {
-                if p == usize::MAX {
-                    max_mag = max_mag.max(x[r].abs());
-                }
+            for &r in &fill {
+                max_mag = max_mag.max(x[r].abs());
             }
             if max_mag <= pivot_tol {
                 return None;
             }
             let acceptable = PIVOT_THRESHOLD * max_mag;
             let mut best: Option<(usize, usize)> = None; // (weight, row)
-            for (r, &p) in pos_of_row.iter().enumerate() {
-                if p == usize::MAX && x[r].abs() >= acceptable {
+            for &r in &fill {
+                if x[r].abs() >= acceptable {
                     let w = row_weight[r];
                     if best.is_none_or(|(bw, _)| w < bw) {
                         best = Some((w, r));
@@ -255,7 +312,7 @@ impl LuFactors {
             let (_, piv) = best.expect("max_mag > pivot_tol guarantees a candidate");
             let pd = x[piv];
             // U column: entries at already-pivoted positions.
-            for t in 0..k {
+            for &t in &reach {
                 let v = x[lu.pivot_row[t]];
                 if v != 0.0 {
                     lu.u_idx.push(t);
@@ -265,8 +322,8 @@ impl LuFactors {
             lu.u_ptr.push(lu.u_idx.len());
             lu.u_diag.push(pd);
             // L column: multipliers at the remaining unpivoted rows.
-            for (r, &p) in pos_of_row.iter().enumerate() {
-                if p == usize::MAX && r != piv && x[r] != 0.0 {
+            for &r in &fill {
+                if r != piv && x[r] != 0.0 {
                     lu.l_idx.push(r);
                     lu.l_val.push(x[r] / pd);
                 }
@@ -274,7 +331,14 @@ impl LuFactors {
             lu.l_ptr.push(lu.l_idx.len());
             lu.pivot_row.push(piv);
             pos_of_row[piv] = k;
-            x.fill(0.0);
+            for &t in &reach {
+                x[lu.pivot_row[t]] = 0.0;
+                in_reach[t] = false;
+            }
+            for &r in &fill {
+                x[r] = 0.0;
+                in_fill[r] = false;
+            }
         }
         lu.finish_init();
         Some(lu)

@@ -47,6 +47,21 @@ pub enum Sense {
     Maximize,
 }
 
+/// Result of [`Model::solve_warm`]: the solution, the final basis snapshot
+/// for the next solve over this skeleton, and whether the supplied warm
+/// basis actually carried the solve (as opposed to a silent cold fallback).
+#[derive(Clone, Debug)]
+pub struct WarmSolve {
+    /// The solve result, identical to what [`Model::solve_with`] returns.
+    pub solution: crate::Solution,
+    /// Final basis snapshot (continuous models only; `None` after
+    /// branch-and-bound or when no basis exists).
+    pub basis: Option<crate::Basis>,
+    /// `true` iff the supplied warm basis restored successfully and the
+    /// solve reoptimized from it rather than starting cold.
+    pub warm_used: bool,
+}
+
 #[derive(Clone, Debug)]
 pub(crate) struct Column {
     pub lo: f64,
@@ -204,13 +219,78 @@ impl Model {
     /// Adds the constraint `expr cmp rhs`. The expression's constant moves to
     /// the right-hand side.
     pub fn add_constraint(&mut self, expr: impl Into<LinExpr>, cmp: Cmp, rhs: f64) {
-        let e = expr.into().compact();
-        let adjusted = rhs - e.constant();
+        let mut e = expr.into();
+        self.add_constraint_buf(&mut e, cmp, rhs);
+    }
+
+    /// [`Model::add_constraint`] reading from a caller-owned scratch buffer:
+    /// the expression is compacted in place and copied into the row, and the
+    /// buffer (with its capacity) stays with the caller for the next
+    /// constraint. Hot encoders build each row into one reusable [`LinExpr`]
+    /// instead of allocating per constraint.
+    pub fn add_constraint_buf(&mut self, expr: &mut LinExpr, cmp: Cmp, rhs: f64) {
+        expr.compact_in_place();
+        let adjusted = rhs - expr.constant();
         self.rows.push(Row {
-            terms: e.terms().iter().map(|&(v, c)| (v.index(), c)).collect(),
+            terms: expr.terms().iter().map(|&(v, c)| (v.index(), c)).collect(),
             cmp,
             rhs: adjusted,
         });
+    }
+
+    /// Overwrites the right-hand side of constraint row `r`, leaving its
+    /// terms and comparison untouched. The cheap re-parameterization behind
+    /// encoding reuse: a δ change perturbs bounds and right-hand sides but
+    /// not the constraint skeleton.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `r >= self.num_constraints()`.
+    pub fn update_rhs(&mut self, r: usize, rhs: f64) {
+        self.rows[r].rhs = rhs;
+    }
+
+    /// Re-parameterizes constraint row `r` in place from a scratch buffer:
+    /// compacts `expr`, and — when the row's variable-index pattern and
+    /// comparison operator match exactly — overwrites the coefficients and
+    /// the (constant-adjusted) right-hand side, returning `true`. Any
+    /// structural mismatch (different operator, different support) leaves
+    /// the row untouched and returns `false`, signalling the caller to fall
+    /// back to a fresh build.
+    pub fn reparam_row_buf(&mut self, r: usize, expr: &mut LinExpr, cmp: Cmp, rhs: f64) -> bool {
+        expr.compact_in_place();
+        let Some(row) = self.rows.get_mut(r) else {
+            return false;
+        };
+        if row.cmp != cmp
+            || row.terms.len() != expr.terms().len()
+            || row
+                .terms
+                .iter()
+                .zip(expr.terms())
+                .any(|(&(ri, _), &(v, _))| ri != v.index())
+        {
+            return false;
+        }
+        for (slot, &(_, c)) in row.terms.iter_mut().zip(expr.terms()) {
+            slot.1 = c;
+        }
+        row.rhs = rhs - expr.constant();
+        true
+    }
+
+    /// Re-parameterizes variable `j` (by creation index) in place: when the
+    /// stored variable exists and has type `ty`, overwrites its bounds and
+    /// returns its handle; otherwise leaves the model untouched and returns
+    /// `None` (structural mismatch — the caller rebuilds from scratch).
+    pub fn reparam_var(&mut self, j: usize, lo: f64, hi: f64, ty: VarType) -> Option<VarId> {
+        let col = self.cols.get_mut(j)?;
+        if col.ty != ty {
+            return None;
+        }
+        col.lo = lo;
+        col.hi = hi;
+        Some(VarId(j))
     }
 
     /// Sets the objective `sense expr`. A model without an objective is a pure
@@ -306,20 +386,51 @@ impl Model {
         opts: &SolveOptions,
         warm: Option<&crate::Basis>,
     ) -> Result<(Solution, Option<crate::Basis>), SolveError> {
+        let w = self.solve_warm(opts, warm)?;
+        Ok((w.solution, w.basis))
+    }
+
+    /// [`Model::solve_with_basis`] that also reports whether the warm basis
+    /// actually carried the solve (`warm_used`), so callers keeping
+    /// cross-query basis stores can count real warm hits instead of
+    /// attempts. Identical solving behavior: a basis that cannot be restored
+    /// silently falls back to a cold solve with `warm_used == false`.
+    ///
+    /// # Errors
+    ///
+    /// See [`SolveError`]; identical failure modes to [`Model::solve_with`].
+    pub fn solve_warm(
+        &self,
+        opts: &SolveOptions,
+        warm: Option<&crate::Basis>,
+    ) -> Result<WarmSolve, SolveError> {
         self.validate()?;
         if self.num_integers() > 0 {
-            return Ok((branch_bound::solve_milp(self, opts)?, None));
+            return Ok(WarmSolve {
+                solution: branch_bound::solve_milp(self, opts)?,
+                basis: None,
+                warm_used: false,
+            });
         }
         if opts.warm_start {
             if let Some(basis) = warm {
-                if let simplex::WarmOutcome::Solved(sol, next) =
+                if let simplex::WarmOutcome::Solved(solution, basis) =
                     simplex::solve_lp_warm(self, opts, basis)?
                 {
-                    return Ok((sol, next));
+                    return Ok(WarmSolve {
+                        solution,
+                        basis,
+                        warm_used: true,
+                    });
                 }
             }
         }
-        simplex::solve_lp_snapshot(self, opts)
+        let (solution, basis) = simplex::solve_lp_snapshot(self, opts)?;
+        Ok(WarmSolve {
+            solution,
+            basis,
+            warm_used: false,
+        })
     }
 
     pub(crate) fn validate(&self) -> Result<(), SolveError> {
@@ -376,5 +487,101 @@ impl Model {
             worst = worst.max(c.lo - x).max(x - c.hi);
         }
         worst
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::SolveOptions;
+
+    fn toy() -> (Model, VarId, VarId) {
+        let mut m = Model::new();
+        let x = m.add_var(0.0, 10.0);
+        let y = m.add_var(0.0, 10.0);
+        m.add_constraint(x + y, Cmp::Le, 6.0);
+        m.add_constraint(2.0 * x + y, Cmp::Le, 9.0);
+        m.set_objective(Sense::Maximize, 3.0 * x + 2.0 * y);
+        (m, x, y)
+    }
+
+    #[test]
+    fn update_rhs_changes_only_the_rhs() {
+        let (mut m, _, _) = toy();
+        let before = m.row_terms(0).to_vec();
+        m.update_rhs(0, 8.0);
+        assert_eq!(m.row_rhs(0), 8.0);
+        assert_eq!(m.row_terms(0), &before[..]);
+        assert_eq!(m.row_cmp(0), Cmp::Le);
+    }
+
+    #[test]
+    fn reparam_row_matching_pattern_matches_fresh_build() {
+        let (mut reused, x, y) = toy();
+        // New coefficients over the same support, plus a constant that must
+        // move to the rhs exactly as add_constraint would move it.
+        let mut buf: LinExpr = 1.5 * x + 0.5 * y + 2.0;
+        assert!(reused.reparam_row_buf(0, &mut buf, Cmp::Le, 7.0));
+
+        let mut fresh = Model::new();
+        let fx = fresh.add_var(0.0, 10.0);
+        let fy = fresh.add_var(0.0, 10.0);
+        fresh.add_constraint(1.5 * fx + 0.5 * fy + 2.0, Cmp::Le, 7.0);
+        assert_eq!(reused.row_terms(0), fresh.row_terms(0));
+        assert_eq!(reused.row_rhs(0), fresh.row_rhs(0));
+
+        let a = reused.solve().expect("feasible");
+        // Same model built cold from scratch must agree bit-for-bit.
+        let mut cold = Model::new();
+        let cx = cold.add_var(0.0, 10.0);
+        let cy = cold.add_var(0.0, 10.0);
+        cold.add_constraint(1.5 * cx + 0.5 * cy + 2.0, Cmp::Le, 7.0);
+        cold.add_constraint(2.0 * cx + cy, Cmp::Le, 9.0);
+        cold.set_objective(Sense::Maximize, 3.0 * cx + 2.0 * cy);
+        let b = cold.solve().expect("feasible");
+        assert_eq!(a.objective.to_bits(), b.objective.to_bits());
+    }
+
+    #[test]
+    fn reparam_row_rejects_structural_mismatch() {
+        let (mut m, x, y) = toy();
+        let rhs_before = m.row_rhs(0);
+        // Different operator.
+        let mut buf: LinExpr = 1.0 * x + 1.0 * y;
+        assert!(!m.reparam_row_buf(0, &mut buf, Cmp::Ge, 6.0));
+        // Different support (x only).
+        let mut buf: LinExpr = 1.0 * x;
+        assert!(!m.reparam_row_buf(0, &mut buf, Cmp::Le, 6.0));
+        // Out-of-range row.
+        let mut buf: LinExpr = 1.0 * x + 1.0 * y;
+        assert!(!m.reparam_row_buf(99, &mut buf, Cmp::Le, 6.0));
+        assert_eq!(m.row_rhs(0), rhs_before);
+    }
+
+    #[test]
+    fn reparam_var_checks_type_and_range() {
+        let (mut m, x, _) = toy();
+        assert_eq!(m.reparam_var(0, -1.0, 2.0, VarType::Continuous), Some(x));
+        assert_eq!(m.bounds(x), (-1.0, 2.0));
+        assert_eq!(m.reparam_var(0, 0.0, 1.0, VarType::Integer), None);
+        assert_eq!(m.reparam_var(7, 0.0, 1.0, VarType::Continuous), None);
+    }
+
+    #[test]
+    fn solve_warm_reports_warm_used_and_preserves_bits() {
+        let (mut m, x, y) = toy();
+        let opts = SolveOptions::default();
+        let cold = m.solve_warm(&opts, None).expect("feasible");
+        assert!(!cold.warm_used);
+        let basis = cold.basis.clone().expect("continuous model has a basis");
+
+        m.set_objective(Sense::Minimize, 1.0 * x + 4.0 * y);
+        let warm = m.solve_warm(&opts, Some(&basis)).expect("feasible");
+        let coldagain = m.solve_warm(&opts, None).expect("feasible");
+        assert!(warm.warm_used, "restorable basis must carry the solve");
+        assert_eq!(
+            warm.solution.objective.to_bits(),
+            coldagain.solution.objective.to_bits()
+        );
     }
 }

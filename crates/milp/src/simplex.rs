@@ -67,6 +67,20 @@ pub(crate) enum WarmOutcome {
     Rejected,
 }
 
+/// [`WarmOutcome`] whose success variant keeps the live engine state instead
+/// of flattening it to a [`Basis`] snapshot, so a seeded sweep
+/// ([`crate::BatchSolver::with_seed`]) can chain later objectives through
+/// in-place reoptimization — paying the snapshot-restore refactorization
+/// once per sweep rather than once per solve.
+#[allow(clippy::large_enum_variant)]
+pub(crate) enum WarmResidentOutcome {
+    /// The restored basis reoptimized to optimality; the live engine stays
+    /// available for [`Resident::resolve`].
+    Solved(Solution, Option<Resident>),
+    /// See [`WarmOutcome::Rejected`].
+    Rejected,
+}
+
 /// A live factorized tableau kept resident between the solves of one
 /// objective sweep ([`crate::BatchSolver`]). Unlike a [`Basis`] snapshot —
 /// which must refactorize `B⁻¹` from the original matrix on every restore —
@@ -112,6 +126,36 @@ impl Resident {
         match self {
             Resident::Dense(r) => r.resolve(model, opts),
             Resident::Sparse(r) => r.resolve(model, opts),
+        }
+    }
+
+    /// [`Resident::resolve`], but restoring `warm` as the starting basis
+    /// instead of continuing from the current one — the slot-restore path of
+    /// a resident sweep. Sparse engines reuse the live core (skeleton and
+    /// working arrays) and pay only the basis refactorization; the dense
+    /// engine rejects, so its callers fall back to a chain or cold solve
+    /// (dense exists for differential testing, not throughput).
+    ///
+    /// After a rejection the engine state may be inconsistent — the caller
+    /// must discard this resident.
+    pub(crate) fn resolve_from(
+        &mut self,
+        model: &Model,
+        opts: &SolveOptions,
+        warm: &Basis,
+    ) -> Result<ResolveOutcome, SolveError> {
+        match self {
+            Resident::Dense(_) => Ok(ResolveOutcome::Rejected { wasted_pivots: 0 }),
+            Resident::Sparse(r) => r.resolve_from(model, opts, warm),
+        }
+    }
+
+    /// Flattens the live factorization to a restorable [`Basis`] snapshot
+    /// (`None` when an artificial column is still basic).
+    pub(crate) fn snapshot(&self) -> Option<Basis> {
+        match self {
+            Resident::Dense(r) => r.t.snapshot(r.n),
+            Resident::Sparse(r) => r.snapshot(),
         }
     }
 }
@@ -798,14 +842,32 @@ pub(crate) fn solve_lp_warm(
     opts: &SolveOptions,
     warm: &Basis,
 ) -> Result<WarmOutcome, SolveError> {
+    Ok(match solve_lp_warm_resident(model, opts, warm)? {
+        WarmResidentOutcome::Solved(sol, res) => {
+            WarmOutcome::Solved(sol, res.as_ref().and_then(Resident::snapshot))
+        }
+        WarmResidentOutcome::Rejected => WarmOutcome::Rejected,
+    })
+}
+
+/// [`solve_lp_warm`] variant that hands back the live engine state on
+/// success (see [`WarmResidentOutcome`]): the seeded batch path
+/// ([`crate::BatchSolver::with_seed`]) installs it as the sweep's resident
+/// tableau, so the restore refactorization is paid once per sweep instead of
+/// once per solve.
+pub(crate) fn solve_lp_warm_resident(
+    model: &Model,
+    opts: &SolveOptions,
+    warm: &Basis,
+) -> Result<WarmResidentOutcome, SolveError> {
     if opts.engine != Engine::Dense {
-        return sparse::solve_warm(model, opts, warm);
+        return sparse::solve_warm_resident(model, opts, warm);
     }
     let n = model.cols.len();
     let m = model.rows.len();
     let tol = opts.tolerances;
     if warm.n != n || warm.m != m || m == 0 || warm.state.len() != n + m || warm.rows.len() != m {
-        return Ok(WarmOutcome::Rejected);
+        return Ok(WarmResidentOutcome::Rejected);
     }
     let var_bounds: Vec<(f64, f64)> = model.cols.iter().map(|c| (c.lo, c.hi)).collect();
     for &(lo, hi) in &var_bounds {
@@ -837,13 +899,13 @@ pub(crate) fn solve_lp_warm(
             ColState::Basic => {}
             ColState::AtLower => {
                 if !lo[j].is_finite() {
-                    return Ok(WarmOutcome::Rejected);
+                    return Ok(WarmResidentOutcome::Rejected);
                 }
                 xval[j] = lo[j];
             }
             ColState::AtUpper => {
                 if !hi[j].is_finite() {
-                    return Ok(WarmOutcome::Rejected);
+                    return Ok(WarmResidentOutcome::Rejected);
                 }
                 xval[j] = hi[j];
             }
@@ -855,7 +917,7 @@ pub(crate) fn solve_lp_warm(
         .iter()
         .any(|&b| b >= ncols || state[b] != ColState::Basic)
     {
-        return Ok(WarmOutcome::Rejected);
+        return Ok(WarmResidentOutcome::Rejected);
     }
 
     let mut tab = vec![0.0f64; m * ncols];
@@ -908,7 +970,7 @@ pub(crate) fn solve_lp_warm(
         }
         let (r, mag) = best.expect("one un-eliminated row per pass");
         if mag <= t.pivot_tol {
-            return Ok(WarmOutcome::Rejected);
+            return Ok(WarmResidentOutcome::Rejected);
         }
         t.pivot(r, t.basis[r]);
         eliminated[r] = true;
@@ -937,7 +999,7 @@ pub(crate) fn solve_lp_warm(
         let b = t.basis[r];
         let v = t.xval[b];
         if v < t.lo[b] - t.feas_tol || v > t.hi[b] + t.feas_tol {
-            return Ok(WarmOutcome::Rejected);
+            return Ok(WarmResidentOutcome::Rejected);
         }
         t.xval[b] = v.clamp(t.lo[b], t.hi[b]);
     }
@@ -952,7 +1014,7 @@ pub(crate) fn solve_lp_warm(
     match t.optimize(true, opts.pivot_cap(m, ncols)) {
         Ok(()) => {}
         Err(SolveError::Unbounded) => return Err(SolveError::Unbounded),
-        Err(_) => return Ok(WarmOutcome::Rejected),
+        Err(_) => return Ok(WarmResidentOutcome::Rejected),
     }
     // The restore's greedy elimination is one basis refactorization; report
     // it so warm and cold work counters stay comparable across engines.
@@ -968,11 +1030,15 @@ pub(crate) fn solve_lp_warm(
         },
         certificate,
     ) {
-        Ok(sol) => {
-            let snapshot = t.snapshot(n);
-            Ok(WarmOutcome::Solved(sol, snapshot))
-        }
-        Err(_) => Ok(WarmOutcome::Rejected),
+        Ok(sol) => Ok(WarmResidentOutcome::Solved(
+            sol,
+            Some(Resident::Dense(Box::new(DenseResident {
+                t,
+                n,
+                var_bounds,
+            }))),
+        )),
+        Err(_) => Ok(WarmResidentOutcome::Rejected),
     }
 }
 

@@ -62,7 +62,7 @@ use crate::model::{Cmp, Model, Sense};
 use crate::options::{Engine, Pricing, SolveOptions, TelemetryClock};
 use crate::simplex::{
     finish_values, initial_value, slack_bounds, solve_unconstrained, Basis, ColState,
-    EngineCounters, ResolveOutcome, WarmOutcome,
+    EngineCounters, Resident, ResolveOutcome, WarmResidentOutcome,
 };
 use crate::{DualCertificate, Solution};
 
@@ -1513,12 +1513,114 @@ pub(crate) struct SparseResident {
 }
 
 impl SparseResident {
+    /// Flattens the live engine to a restorable [`Basis`] snapshot (`None`
+    /// when an artificial column is still basic).
+    pub(crate) fn snapshot(&self) -> Option<Basis> {
+        self.core.snapshot()
+    }
+
     /// Which engine this resident's inverse belongs to (a resident built
     /// under one engine must not serve a sweep that requested another).
     pub(crate) fn engine(&self) -> Engine {
         match self.core.inverse {
             Inverse::Eta(_) => Engine::Eta,
             Inverse::Lu { .. } => Engine::Lu,
+        }
+    }
+
+    /// Restores `warm` into the live core — reusing the compiled skeleton
+    /// and every working array — then reoptimizes phase 2 under `model`'s
+    /// current objective. This is the slot-restore path of a resident sweep:
+    /// compared to [`solve_warm_resident`] it skips the `Skeleton` compile
+    /// and `Core` construction, paying only the basis refactorization.
+    ///
+    /// On [`ResolveOutcome::Rejected`] the core's basis state has been
+    /// overwritten and may be inconsistent; the caller must discard this
+    /// resident and solve cold.
+    pub(crate) fn resolve_from(
+        &mut self,
+        model: &Model,
+        opts: &SolveOptions,
+        warm: &Basis,
+    ) -> Result<ResolveOutcome, SolveError> {
+        let c = &mut self.core;
+        let nm = c.n + c.m;
+        let reject = Ok(ResolveOutcome::Rejected { wasted_pivots: 0 });
+        if model.cols.len() != c.n
+            || model.rows.len() != c.skel.m_model
+            || warm.n != c.n
+            || warm.m != c.m
+            || warm.state.len() != nm
+            || warm.rows.len() != c.m
+        {
+            return reject;
+        }
+        // Non-basic columns rest exactly at their recorded bound (the same
+        // restore contract as `solve_warm_resident`). A snapshot never
+        // records artificial columns, so any the cold solve introduced are
+        // parked non-basic at their frozen value 0.
+        for j in 0..nm {
+            match warm.state[j] {
+                ColState::Basic => {}
+                ColState::AtLower => {
+                    if !c.lo[j].is_finite() {
+                        return reject;
+                    }
+                    c.xval[j] = c.lo[j];
+                }
+                ColState::AtUpper => {
+                    if !c.hi[j].is_finite() {
+                        return reject;
+                    }
+                    c.xval[j] = c.hi[j];
+                }
+                ColState::Free => c.xval[j] = 0.0,
+            }
+        }
+        if warm
+            .rows
+            .iter()
+            .any(|&b| b >= nm || warm.state[b] != ColState::Basic)
+        {
+            return reject;
+        }
+        c.state[..nm].copy_from_slice(&warm.state);
+        for j in nm..c.ncols {
+            c.state[j] = ColState::AtLower;
+            c.xval[j] = 0.0;
+        }
+        c.basis.clear();
+        c.basis.extend_from_slice(&warm.rows);
+        // Per-solve counters, as in `resolve`; reset *before* the restore
+        // refactorization so its time lands in this solve's telemetry.
+        c.pivots = 0;
+        c.refactorizations = 0;
+        c.refactor_ns = 0;
+        c.solve_ns = 0;
+        if !c.refactorize() {
+            return reject;
+        }
+        c.refactorizations = 1; // the restore itself, not a cadence refactor
+        c.eta_peak = c.inverse.update_len();
+        c.lu_fill = match &c.inverse {
+            Inverse::Eta(_) => 0,
+            Inverse::Lu { lu, .. } => lu.nnz() as u64,
+        };
+        c.set_phase2_costs(model);
+        match c.optimize(true, opts.pivot_cap(c.m, c.ncols)) {
+            Ok(()) => {}
+            Err(SolveError::Unbounded) => return Err(SolveError::Unbounded),
+            Err(_) => {
+                return Ok(ResolveOutcome::Rejected {
+                    wasted_pivots: c.pivots,
+                })
+            }
+        }
+        match c.finish(model, &self.var_bounds, opts.emit_certificates) {
+            Ok(sol) => Ok(ResolveOutcome::Solved(sol)),
+            Err(_) => Ok(ResolveOutcome::Rejected {
+                wasted_pivots: c.pivots,
+            }),
         }
     }
 
@@ -1575,23 +1677,24 @@ pub(crate) fn solve_resident(
 }
 
 /// Warm-started solve from a [`Basis`] snapshot: refactorize the recorded
-/// column set against the original matrix and reoptimize phase 2. Anything
-/// recoverable reports [`WarmOutcome::Rejected`] so the caller can fall back
-/// cold, matching the dense engine's contract.
-pub(crate) fn solve_warm(
+/// column set against the original matrix and reoptimize phase 2, then hand
+/// back the live engine for in-place reoptimization of later objectives.
+/// Anything recoverable reports [`WarmResidentOutcome::Rejected`] so the
+/// caller can fall back cold, matching the dense engine's contract.
+pub(crate) fn solve_warm_resident(
     model: &Model,
     opts: &SolveOptions,
     warm: &Basis,
-) -> Result<WarmOutcome, SolveError> {
+) -> Result<WarmResidentOutcome, SolveError> {
     let n = model.cols.len();
     let tol = opts.tolerances;
     if warm.n != n || model.rows.is_empty() {
-        return Ok(WarmOutcome::Rejected);
+        return Ok(WarmResidentOutcome::Rejected);
     }
     let skel = Arc::new(Skeleton::build(model, folds(opts)));
     let m = skel.m();
     if warm.m != m || warm.state.len() != n + m || warm.rows.len() != m {
-        return Ok(WarmOutcome::Rejected);
+        return Ok(WarmResidentOutcome::Rejected);
     }
     let var_bounds: Vec<(f64, f64)> = model.cols.iter().map(|c| (c.lo, c.hi)).collect();
     for &(lo, hi) in &var_bounds {
@@ -1622,13 +1725,13 @@ pub(crate) fn solve_warm(
             ColState::Basic => {}
             ColState::AtLower => {
                 if !lo[j].is_finite() {
-                    return Ok(WarmOutcome::Rejected);
+                    return Ok(WarmResidentOutcome::Rejected);
                 }
                 xval[j] = lo[j];
             }
             ColState::AtUpper => {
                 if !hi[j].is_finite() {
-                    return Ok(WarmOutcome::Rejected);
+                    return Ok(WarmResidentOutcome::Rejected);
                 }
                 xval[j] = hi[j];
             }
@@ -1640,7 +1743,7 @@ pub(crate) fn solve_warm(
         .iter()
         .any(|&b| b >= ncols || state[b] != ColState::Basic)
     {
-        return Ok(WarmOutcome::Rejected);
+        return Ok(WarmResidentOutcome::Rejected);
     }
 
     let (inverse, eta_nnz_cap) = if opts.engine == Engine::Eta {
@@ -1697,7 +1800,7 @@ pub(crate) fn solve_warm(
     // Refactorize the recorded column set; a singular set or a restored
     // point that is no longer primal feasible means the snapshot is stale.
     if !core.refactorize() {
-        return Ok(WarmOutcome::Rejected);
+        return Ok(WarmResidentOutcome::Rejected);
     }
     core.pivots = 0;
     core.refactorizations = 1; // the restore itself
@@ -1706,14 +1809,17 @@ pub(crate) fn solve_warm(
     match core.optimize(true, opts.pivot_cap(m, ncols)) {
         Ok(()) => {}
         Err(SolveError::Unbounded) => return Err(SolveError::Unbounded),
-        Err(_) => return Ok(WarmOutcome::Rejected),
+        Err(_) => return Ok(WarmResidentOutcome::Rejected),
     }
     match core.finish(model, &var_bounds, opts.emit_certificates) {
-        Ok(sol) => {
-            let snapshot = core.snapshot();
-            Ok(WarmOutcome::Solved(sol, snapshot))
-        }
-        Err(_) => Ok(WarmOutcome::Rejected),
+        Ok(sol) => Ok(WarmResidentOutcome::Solved(
+            sol,
+            Some(Resident::Sparse(Box::new(SparseResident {
+                core,
+                var_bounds,
+            }))),
+        )),
+        Err(_) => Ok(WarmResidentOutcome::Rejected),
     }
 }
 

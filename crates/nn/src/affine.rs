@@ -172,6 +172,40 @@ impl AffineNetwork {
         })
     }
 
+    /// A deterministic 64-bit hash of the network's architecture and exact
+    /// weight bits: FNV-1a over the input dimension, each layer's ReLU flag
+    /// and width, and each row's sparse terms (`f64::to_bits`, so two
+    /// networks hash equal iff they compute the same lowered function
+    /// bit-for-bit). This is the key of the resident engine's model
+    /// registry — a fine-tuning step produces a new hash, and any cached
+    /// state keyed by the old one is never served for the new weights.
+    pub fn weight_hash(&self) -> u64 {
+        const OFFSET: u64 = 0xcbf2_9ce4_8422_2325;
+        const PRIME: u64 = 0x0000_0100_0000_01b3;
+        let mut h = OFFSET;
+        let mut eat = |v: u64| {
+            for byte in v.to_le_bytes() {
+                h ^= u64::from(byte);
+                h = h.wrapping_mul(PRIME);
+            }
+        };
+        eat(self.input_dim as u64);
+        eat(self.layers.len() as u64);
+        for l in &self.layers {
+            eat(u64::from(l.relu));
+            eat(l.rows.len() as u64);
+            for r in &l.rows {
+                eat(r.terms.len() as u64);
+                for &(i, c) in &r.terms {
+                    eat(i as u64);
+                    eat(c.to_bits());
+                }
+                eat(r.bias.to_bits());
+            }
+        }
+        h
+    }
+
     /// Number of affine layers `n`.
     pub fn depth(&self) -> usize {
         self.layers.len()
@@ -281,6 +315,30 @@ mod tests {
             .unwrap()
             .build();
         AffineNetwork::from_network(&net).unwrap()
+    }
+
+    #[test]
+    fn weight_hash_is_deterministic_and_weight_sensitive() {
+        let a = fig1();
+        assert_eq!(a.weight_hash(), fig1().weight_hash());
+        assert_eq!(a.weight_hash(), a.clone().weight_hash());
+
+        // The smallest possible weight change flips the hash.
+        let mut nudged = a.clone();
+        let c = &mut nudged.layers[0].rows[0].terms[0].1;
+        *c = f64::from_bits(c.to_bits() + 1);
+        assert_ne!(a.weight_hash(), nudged.weight_hash());
+
+        // Architecture changes flip it too, even with identical weights.
+        let mut no_relu = a.clone();
+        no_relu.layers[0].relu = false;
+        assert_ne!(a.weight_hash(), no_relu.weight_hash());
+
+        // ±0.0 have different bit patterns and hash differently by design
+        // (the registry key must match the certifier's bit-level view).
+        let mut negzero = a.clone();
+        negzero.layers[0].rows[0].bias = -0.0;
+        assert_ne!(a.weight_hash(), negzero.weight_hash());
     }
 
     #[test]

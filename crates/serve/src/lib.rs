@@ -1,0 +1,654 @@
+//! The resident certification engine: certification-as-a-service over the
+//! ITNE certifier, for workloads that issue many near-identical queries
+//! against the same network (δ-sweeps, window ablations, per-epoch
+//! re-certification during certified training).
+//!
+//! A [`CertEngine`] holds three cache layers, each invalidated by its own
+//! key:
+//!
+//! 1. a **model registry** keyed by the deterministic weight hash
+//!    ([`itne_nn::AffineNetwork::weight_hash`]): lowered network, domain,
+//!    and the δ-independent interval pre-bounds
+//!    ([`itne_core::ibp_values`]), computed once at registration;
+//! 2. per-session **encoding caches** inside [`ResidentState`], keyed by
+//!    `(net_hash, window, refine)`: repeated δ-values over the same window
+//!    re-parameterize the cached constraint skeletons in place instead of
+//!    re-encoding (δ only perturbs bounds/RHS);
+//! 3. a **basis store** in the same state: every directed solve's final
+//!    simplex basis persists per `(encoding, objective)` across requests,
+//!    extending within-sweep warm starts to cross-query warm starts.
+//!
+//! Re-registering an id with updated weights produces a new hash whose
+//! entry links to its predecessor; the first query against the new weights
+//! clones the predecessor's session state, so **delta re-certification**
+//! after a fine-tuning step rebuilds only bounds/RHS and warm-starts every
+//! sweep from the previous model's bases.
+//!
+//! Every cache layer is a pure optimization: cached-path results are
+//! bit-identical to a cold [`itne_core::certify_global`] run (asserted by
+//! this crate's tests, serially and under concurrency). Queries run on the
+//! certifier's deterministic work-stealing pool; a bounded in-flight gate
+//! keeps concurrent clients from oversubscribing it.
+
+#![forbid(unsafe_code)]
+
+use itne_core::query::QueryStats;
+use itne_core::{
+    certify_global_resident, ibp_values, CertifyError, CertifyOptions, CertifyStats, Interval,
+    ResidentState, ValuePreBounds,
+};
+use itne_nn::{AffineNetwork, Network};
+use std::collections::BTreeMap;
+use std::sync::{Arc, Condvar, Mutex, MutexGuard};
+
+/// Errors returned by [`CertEngine`] operations.
+#[derive(Debug)]
+pub enum ServeError {
+    /// The query named a net id that was never registered.
+    UnknownNet(String),
+    /// The underlying certifier rejected the inputs.
+    Certify(CertifyError),
+}
+
+impl std::fmt::Display for ServeError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            ServeError::UnknownNet(id) => write!(f, "unknown net id {id:?}"),
+            ServeError::Certify(e) => write!(f, "certification failed: {e}"),
+        }
+    }
+}
+
+impl std::error::Error for ServeError {}
+
+impl From<CertifyError> for ServeError {
+    fn from(e: CertifyError) -> Self {
+        ServeError::Certify(e)
+    }
+}
+
+/// One certification query against a registered net.
+#[derive(Copy, Clone, Debug)]
+pub struct QueryRequest {
+    /// Input perturbation bound δ.
+    pub delta: f64,
+    /// Decomposition window `W`.
+    pub window: usize,
+    /// Selectively-refined neurons per sub-problem.
+    pub refine: usize,
+    /// Validate every certified LP bound against its dual certificate in
+    /// exact rational arithmetic.
+    pub check_certs: bool,
+}
+
+impl QueryRequest {
+    /// A query at the paper's default configuration (`W = 2`, no
+    /// refinement, checking off).
+    pub fn new(delta: f64) -> Self {
+        QueryRequest {
+            delta,
+            window: 2,
+            refine: 0,
+            check_certs: false,
+        }
+    }
+}
+
+/// The result of one engine query.
+#[derive(Clone, Debug)]
+pub struct QueryResponse {
+    /// Weight hash of the net that answered (registry key).
+    pub net_hash: u64,
+    /// Certified `ε̄` per network output.
+    pub epsilons: Vec<f64>,
+    /// The run's work counters, including the cache telemetry
+    /// (`encoding_cache_hits/misses`, `cross_query_warm_hits`).
+    pub stats: CertifyStats,
+    /// Whether this query's session was seeded by cloning a predecessor
+    /// net's session (the delta re-certification path).
+    pub delta_seeded: bool,
+}
+
+/// Engine-lifetime counters, aggregated over every query.
+#[derive(Copy, Clone, Debug, Default, PartialEq, Eq)]
+pub struct ServeStats {
+    /// Distinct weight hashes registered.
+    pub registered_nets: u64,
+    /// Re-registrations of an existing id with new weights (each links a
+    /// predecessor for the delta path).
+    pub delta_registrations: u64,
+    /// Queries answered.
+    pub queries: u64,
+    /// Sessions seeded by cloning a predecessor net's session state.
+    pub delta_seeded_sessions: u64,
+    /// LP/MILP solves issued.
+    pub solves: u64,
+    /// Total simplex pivots.
+    pub pivots: u64,
+    /// Queries that fell back to the sound IBP interval.
+    pub fallbacks: u64,
+    /// Warm-started solves (within-sweep or cross-query).
+    pub warm_hits: u64,
+    /// Rejected warm starts that re-ran cold.
+    pub warm_misses: u64,
+    /// Resident encodings reused in place (bounds/RHS re-parameterization).
+    pub encoding_cache_hits: u64,
+    /// Resident encodings rebuilt from scratch.
+    pub encoding_cache_misses: u64,
+    /// Warm starts seeded from a basis stored by a previous query.
+    pub cross_query_warm_hits: u64,
+    /// Bounds validated in exact rational arithmetic.
+    pub certs_checked: u64,
+    /// Nanoseconds spent refactorizing bases (solver telemetry clock; never
+    /// feeds certified bounds).
+    pub refactor_time_ns: u64,
+    /// Nanoseconds spent in FTRAN/BTRAN passes (telemetry clock).
+    pub ftran_btran_time_ns: u64,
+    /// Certificate validations that failed (each fell back soundly).
+    pub cert_failures: u64,
+}
+
+impl ServeStats {
+    fn absorb_query(&mut self, q: &QueryStats) {
+        self.queries = self.queries.saturating_add(1);
+        self.solves = self.solves.saturating_add(q.solves);
+        self.pivots = self.pivots.saturating_add(q.pivots);
+        self.fallbacks = self.fallbacks.saturating_add(q.fallbacks);
+        self.warm_hits = self.warm_hits.saturating_add(q.warm_hits);
+        self.warm_misses = self.warm_misses.saturating_add(q.warm_misses);
+        self.encoding_cache_hits = self
+            .encoding_cache_hits
+            .saturating_add(q.encoding_cache_hits);
+        self.encoding_cache_misses = self
+            .encoding_cache_misses
+            .saturating_add(q.encoding_cache_misses);
+        self.cross_query_warm_hits = self
+            .cross_query_warm_hits
+            .saturating_add(q.cross_query_warm_hits);
+        self.certs_checked = self.certs_checked.saturating_add(q.certs_checked);
+        self.refactor_time_ns = self.refactor_time_ns.saturating_add(q.refactor_time_ns);
+        self.ftran_btran_time_ns = self
+            .ftran_btran_time_ns
+            .saturating_add(q.ftran_btran_time_ns);
+        self.cert_failures = self.cert_failures.saturating_add(q.cert_failures);
+    }
+}
+
+/// One registered network: everything the registry computes once per weight
+/// hash (cache layer 1).
+struct NetEntry {
+    aff: AffineNetwork,
+    domain: Vec<(f64, f64)>,
+    hash: u64,
+    /// δ-independent interval pre-bounds over `domain`.
+    pre: ValuePreBounds,
+    /// The hash this id previously resolved to, when re-registered with
+    /// updated weights — the delta re-certification link.
+    predecessor: Option<u64>,
+}
+
+#[derive(Default)]
+struct Registry {
+    by_id: BTreeMap<String, u64>,
+    by_hash: BTreeMap<u64, Arc<NetEntry>>,
+}
+
+/// Sessions are keyed by everything that shapes cached encodings:
+/// `(net_hash, window, refine)`. δ and certificate checking deliberately
+/// stay out of the key — they never change the constraint skeleton.
+type SessionKey = (u64, usize, usize);
+
+/// Bounded in-flight gate: at most `cap` queries execute concurrently; the
+/// rest block (in arrival order of lock acquisition) until a slot frees.
+struct Gate {
+    n: Mutex<usize>,
+    cv: Condvar,
+    cap: usize,
+}
+
+struct GateGuard<'a>(&'a Gate);
+
+impl Gate {
+    fn acquire(&self) -> GateGuard<'_> {
+        let mut n = lock(&self.n);
+        while *n >= self.cap {
+            n = self.cv.wait(n).unwrap_or_else(|e| e.into_inner());
+        }
+        *n += 1;
+        GateGuard(self)
+    }
+}
+
+impl Drop for GateGuard<'_> {
+    fn drop(&mut self) {
+        *lock(&self.0.n) -= 1;
+        self.0.cv.notify_one();
+    }
+}
+
+/// Poison-tolerant lock: the engine's shared state is telemetry and caches,
+/// both safe to keep serving after a panicking client thread.
+fn lock<T>(m: &Mutex<T>) -> MutexGuard<'_, T> {
+    m.lock().unwrap_or_else(|e| e.into_inner())
+}
+
+/// The resident certification engine. See the crate docs for the cache
+/// architecture; all methods take `&self`, so one engine can be shared
+/// across client threads (`&CertEngine` is `Send + Sync`).
+pub struct CertEngine {
+    threads: usize,
+    registry: Mutex<Registry>,
+    sessions: Mutex<BTreeMap<SessionKey, Arc<Mutex<ResidentState>>>>,
+    gate: Gate,
+    stats: Mutex<ServeStats>,
+}
+
+impl CertEngine {
+    /// An engine whose queries run on `threads` certifier workers, with at
+    /// most `max_in_flight` queries executing concurrently (further callers
+    /// block). Both are clamped to at least 1.
+    pub fn new(threads: usize, max_in_flight: usize) -> Self {
+        CertEngine {
+            threads: threads.max(1),
+            registry: Mutex::new(Registry::default()),
+            sessions: Mutex::new(BTreeMap::new()),
+            gate: Gate {
+                n: Mutex::new(0),
+                cv: Condvar::new(),
+                cap: max_in_flight.max(1),
+            },
+            stats: Mutex::new(ServeStats::default()),
+        }
+    }
+
+    /// Registers (or re-registers) `net` under `id` and returns its weight
+    /// hash. Lowering, hashing, and the δ-independent interval pre-bounds
+    /// happen here, once per distinct weight hash. Re-registering an id
+    /// with changed weights links the new entry to its predecessor so the
+    /// first query against it can clone the old session (delta path);
+    /// re-registering identical weights is a no-op.
+    ///
+    /// # Errors
+    ///
+    /// [`ServeError::Certify`] when the network cannot be lowered or the
+    /// domain does not match its input dimension.
+    pub fn register(
+        &self,
+        id: &str,
+        net: &Network,
+        domain: &[(f64, f64)],
+    ) -> Result<u64, ServeError> {
+        let aff = AffineNetwork::from_network(net).map_err(CertifyError::Lower)?;
+        self.register_affine(id, aff, domain)
+    }
+
+    /// [`CertEngine::register`] for an already-lowered network.
+    ///
+    /// # Errors
+    ///
+    /// See [`CertEngine::register`].
+    pub fn register_affine(
+        &self,
+        id: &str,
+        aff: AffineNetwork,
+        domain: &[(f64, f64)],
+    ) -> Result<u64, ServeError> {
+        if domain.len() != aff.input_dim {
+            return Err(CertifyError::InvalidInput(format!(
+                "domain has {} dimensions, network input is {}",
+                domain.len(),
+                aff.input_dim
+            ))
+            .into());
+        }
+        if domain
+            .iter()
+            .any(|&(lo, hi)| !lo.is_finite() || !hi.is_finite() || lo > hi)
+        {
+            return Err(
+                CertifyError::InvalidInput("domain box must be finite and ordered".into()).into(),
+            );
+        }
+        let hash = aff.weight_hash();
+        let dom_iv: Vec<Interval> = domain
+            .iter()
+            .map(|&(lo, hi)| Interval::new(lo, hi))
+            .collect();
+        let mut reg = lock(&self.registry);
+        let predecessor = match reg.by_id.get(id) {
+            Some(&old) if old == hash => return Ok(hash), // identical weights: no-op
+            Some(&old) => Some(old),
+            None => None,
+        };
+        if let std::collections::btree_map::Entry::Vacant(slot) = reg.by_hash.entry(hash) {
+            let pre = ibp_values(&aff, &dom_iv);
+            slot.insert(Arc::new(NetEntry {
+                aff,
+                domain: domain.to_vec(),
+                hash,
+                pre,
+                predecessor,
+            }));
+            lock(&self.stats).registered_nets += 1;
+        }
+        reg.by_id.insert(id.to_string(), hash);
+        if predecessor.is_some() {
+            lock(&self.stats).delta_registrations += 1;
+        }
+        Ok(hash)
+    }
+
+    /// The weight hash `id` currently resolves to.
+    pub fn net_hash(&self, id: &str) -> Option<u64> {
+        lock(&self.registry).by_id.get(id).copied()
+    }
+
+    /// Certifies `(δ, ε̄)`-global robustness of the net registered under
+    /// `net_id`, reusing every applicable cache layer. Queries against the
+    /// same `(net, window, refine)` session serialize on its state;
+    /// different nets (and different windows of one net) run concurrently
+    /// up to the engine's in-flight bound. Results are bit-identical to a
+    /// cold [`itne_core::certify_global`] run with the same options.
+    ///
+    /// # Errors
+    ///
+    /// [`ServeError::UnknownNet`] for an unregistered id;
+    /// [`ServeError::Certify`] for invalid query parameters.
+    pub fn certify(&self, net_id: &str, q: &QueryRequest) -> Result<QueryResponse, ServeError> {
+        let _slot = self.gate.acquire();
+        let entry = {
+            let reg = lock(&self.registry);
+            let hash = *reg
+                .by_id
+                .get(net_id)
+                .ok_or_else(|| ServeError::UnknownNet(net_id.to_string()))?;
+            Arc::clone(reg.by_hash.get(&hash).expect("registry id without entry"))
+        };
+        let key: SessionKey = (entry.hash, q.window, q.refine);
+        let mut delta_seeded = false;
+        let session = {
+            let mut sessions = lock(&self.sessions);
+            if let Some(s) = sessions.get(&key) {
+                Arc::clone(s)
+            } else {
+                // First query for this (net, window, refine): seed from the
+                // predecessor net's same-shaped session when one exists —
+                // its encodings re-parameterize and its bases warm-start
+                // against the updated weights (delta re-certification).
+                let seed = entry
+                    .predecessor
+                    .and_then(|p| sessions.get(&(p, q.window, q.refine)))
+                    .map(|s| lock(s).clone());
+                delta_seeded = seed.is_some();
+                let s = Arc::new(Mutex::new(seed.unwrap_or_default()));
+                sessions.insert(key, Arc::clone(&s));
+                s
+            }
+        };
+        let mut opts = CertifyOptions {
+            window: q.window,
+            refine: q.refine,
+            threads: self.threads,
+            check_certificates: q.check_certs,
+            ..Default::default()
+        };
+        // Timing telemetry (refactorization / FTRAN-BTRAN nanoseconds in the
+        // stats): audit-only clock reads inside the solver that never feed
+        // certified bounds.
+        opts.solver.telemetry = Some(itne_core::deadline::telemetry_clock());
+        let report = {
+            let mut state = lock(&session);
+            certify_global_resident(
+                &entry.aff,
+                &entry.domain,
+                q.delta,
+                &opts,
+                Some(&entry.pre),
+                &mut state,
+            )?
+        };
+        {
+            let mut stats = lock(&self.stats);
+            stats.absorb_query(&report.stats.query);
+            if delta_seeded {
+                stats.delta_seeded_sessions += 1;
+            }
+        }
+        Ok(QueryResponse {
+            net_hash: entry.hash,
+            epsilons: report.epsilons,
+            stats: report.stats,
+            delta_seeded,
+        })
+    }
+
+    /// A snapshot of the engine-lifetime counters.
+    pub fn stats(&self) -> ServeStats {
+        *lock(&self.stats)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use itne_core::certify_global_affine;
+    use itne_nn::{AffineLayer, SparseRow};
+
+    /// A deterministic dense ReLU net whose LPs take real pivots.
+    fn dense_net(seed: u64, inputs: usize, hidden: usize, outputs: usize) -> AffineNetwork {
+        let mut s = seed | 1;
+        let mut next = move || {
+            s ^= s << 13;
+            s ^= s >> 7;
+            s ^= s << 17;
+            ((s >> 11) as f64 / (1u64 << 53) as f64) * 2.0 - 1.0
+        };
+        let mut layer = |ins: usize, width: usize, relu: bool| AffineLayer {
+            rows: (0..width)
+                .map(|_| SparseRow {
+                    terms: (0..ins).map(|k| (k, next())).collect(),
+                    bias: 0.25 * next(),
+                })
+                .collect(),
+            relu,
+        };
+        AffineNetwork {
+            input_dim: inputs,
+            layers: vec![
+                layer(inputs, hidden, true),
+                layer(hidden, hidden, true),
+                layer(hidden, outputs, false),
+            ],
+        }
+    }
+
+    fn perturbed(net: &AffineNetwork, magnitude: f64) -> AffineNetwork {
+        let mut out = net.clone();
+        let mut sign = 1.0;
+        for l in &mut out.layers {
+            for r in &mut l.rows {
+                for t in &mut r.terms {
+                    t.1 += sign * magnitude;
+                    sign = -sign;
+                }
+                r.bias += sign * magnitude;
+            }
+        }
+        out
+    }
+
+    fn cold_opts(q: &QueryRequest, threads: usize) -> CertifyOptions {
+        CertifyOptions {
+            window: q.window,
+            refine: q.refine,
+            threads,
+            check_certificates: q.check_certs,
+            ..Default::default()
+        }
+    }
+
+    fn bits(eps: &[f64]) -> Vec<u64> {
+        eps.iter().map(|e| e.to_bits()).collect()
+    }
+
+    #[test]
+    fn unknown_net_and_bad_domain_are_rejected() {
+        let engine = CertEngine::new(1, 1);
+        assert!(matches!(
+            engine.certify("nope", &QueryRequest::new(0.01)),
+            Err(ServeError::UnknownNet(_))
+        ));
+        let net = dense_net(7, 3, 4, 1);
+        assert!(engine
+            .register_affine("bad", net.clone(), &[(-1.0, 1.0); 2])
+            .is_err());
+        assert!(engine
+            .register_affine("bad", net, &[(1.0, -1.0), (0.0, 1.0), (0.0, 1.0)])
+            .is_err());
+    }
+
+    #[test]
+    fn reregistering_identical_weights_is_a_noop() {
+        let engine = CertEngine::new(1, 1);
+        let net = dense_net(11, 3, 4, 1);
+        let dom = [(-1.0, 1.0); 3];
+        let h1 = engine.register_affine("m", net.clone(), &dom).unwrap();
+        let h2 = engine.register_affine("m", net, &dom).unwrap();
+        assert_eq!(h1, h2);
+        let s = engine.stats();
+        assert_eq!(s.registered_nets, 1);
+        assert_eq!(s.delta_registrations, 0);
+    }
+
+    /// The CI smoke workload: 8 concurrent queries across 2 registered
+    /// nets, golden against the cold path, `cert_failures == 0` with
+    /// certificate checking forced on.
+    #[test]
+    fn serve_smoke_concurrent_golden() {
+        let net_a = dense_net(0xA, 4, 6, 2);
+        let net_b = dense_net(0xB, 3, 5, 1);
+        let dom_a = [(-1.0, 1.0); 4];
+        let dom_b = [(0.0, 1.0); 3];
+        let engine = CertEngine::new(1, 4);
+        engine.register_affine("a", net_a.clone(), &dom_a).unwrap();
+        engine.register_affine("b", net_b.clone(), &dom_b).unwrap();
+
+        let queries: Vec<(&str, QueryRequest)> = (0..8)
+            .map(|i| {
+                let q = QueryRequest {
+                    delta: 0.001 * (1 + i % 3) as f64,
+                    window: if i % 4 == 3 { 1 } else { 2 },
+                    refine: 0,
+                    check_certs: true,
+                };
+                (if i % 2 == 0 { "a" } else { "b" }, q)
+            })
+            .collect();
+        // Golden bits from the cold one-shot path.
+        let golden: Vec<Vec<u64>> = queries
+            .iter()
+            .map(|(id, q)| {
+                let (net, dom): (&AffineNetwork, &[(f64, f64)]) = if *id == "a" {
+                    (&net_a, &dom_a)
+                } else {
+                    (&net_b, &dom_b)
+                };
+                let r = certify_global_affine(net, dom, q.delta, &cold_opts(q, 1)).unwrap();
+                bits(&r.epsilons)
+            })
+            .collect();
+
+        std::thread::scope(|scope| {
+            let handles: Vec<_> = queries
+                .iter()
+                .map(|(id, q)| scope.spawn(|| engine.certify(id, q).unwrap()))
+                .collect();
+            for (h, want) in handles.into_iter().zip(&golden) {
+                let resp = h.join().unwrap();
+                assert_eq!(&bits(&resp.epsilons), want, "concurrent bits diverged");
+                assert_eq!(resp.stats.query.cert_failures, 0);
+            }
+        });
+        let s = engine.stats();
+        assert_eq!(s.queries, 8);
+        assert_eq!(s.cert_failures, 0);
+        assert!(s.certs_checked > 0);
+        // Repeated (net, window) pairs exist in the workload, so some query
+        // must have hit the encoding cache.
+        assert!(s.encoding_cache_hits > 0, "{s:?}");
+    }
+
+    #[test]
+    fn delta_registration_seeds_the_new_session() {
+        let net = dense_net(0xD317A, 4, 6, 2);
+        let dom = [(-1.0, 1.0); 4];
+        let engine = CertEngine::new(1, 2);
+        engine.register_affine("m", net.clone(), &dom).unwrap();
+        let q = QueryRequest::new(0.001);
+        engine.certify("m", &q).unwrap();
+
+        let tuned = perturbed(&net, 1e-4);
+        let h2 = engine.register_affine("m", tuned.clone(), &dom).unwrap();
+        assert_ne!(engine.stats().delta_registrations, 0);
+        let resp = engine.certify("m", &q).unwrap();
+        assert_eq!(resp.net_hash, h2);
+        assert!(
+            resp.delta_seeded,
+            "delta path did not clone the old session"
+        );
+        assert!(resp.stats.query.cross_query_warm_hits > 0);
+        // Bits still golden against the cold path on the tuned net.
+        let cold = certify_global_affine(&tuned, &dom, q.delta, &cold_opts(&q, 1)).unwrap();
+        assert_eq!(bits(&resp.epsilons), bits(&cold.epsilons));
+        assert!(
+            resp.stats.query.pivots < cold.stats.query.pivots,
+            "delta query did not save pivots: {} vs {}",
+            resp.stats.query.pivots,
+            cold.stats.query.pivots
+        );
+    }
+
+    proptest::proptest! {
+        #![proptest_config(proptest::test_runner::Config::with_cases(6))]
+        /// Satellite: cache-hit certification — registry + encoding + basis
+        /// reuse, including the delta path after a weight perturbation and
+        /// hash change — reproduces the cold-path ε̄ bits byte-for-byte,
+        /// serially and at 4 threads.
+        #[test]
+        fn cached_paths_reproduce_cold_bits(
+            seed in 1u64..u64::MAX,
+            delta_a in 1.0e-4f64..5.0e-3,
+            delta_b in 1.0e-4f64..5.0e-3,
+            nudge in 1.0e-5f64..1.0e-3,
+        ) {
+            let net = dense_net(seed, 4, 5, 2);
+            let dom = [(-1.0, 1.0); 4];
+            let tuned = perturbed(&net, nudge);
+            for threads in [1usize, 4] {
+                let engine = CertEngine::new(threads, 2);
+                engine.register_affine("m", net.clone(), &dom).unwrap();
+                // δa cold-fills the caches, δb re-parameterizes, δa again is
+                // a full cache hit; then the delta path on the tuned net.
+                for d in [delta_a, delta_b, delta_a] {
+                    let q = QueryRequest { check_certs: true, ..QueryRequest::new(d) };
+                    let resp = engine.certify("m", &q).unwrap();
+                    let cold =
+                        certify_global_affine(&net, &dom, d, &cold_opts(&q, threads)).unwrap();
+                    proptest::prop_assert_eq!(bits(&resp.epsilons), bits(&cold.epsilons));
+                    proptest::prop_assert_eq!(resp.stats.query.cert_failures, 0);
+                }
+                engine.register_affine("m", tuned.clone(), &dom).unwrap();
+                let q = QueryRequest { check_certs: true, ..QueryRequest::new(delta_b) };
+                let resp = engine.certify("m", &q).unwrap();
+                let cold =
+                    certify_global_affine(&tuned, &dom, delta_b, &cold_opts(&q, threads)).unwrap();
+                proptest::prop_assert_eq!(bits(&resp.epsilons), bits(&cold.epsilons));
+                proptest::prop_assert_eq!(resp.stats.query.cert_failures, 0);
+                proptest::prop_assert!(resp.delta_seeded);
+                let s = engine.stats();
+                proptest::prop_assert!(s.encoding_cache_hits > 0);
+                proptest::prop_assert!(s.cross_query_warm_hits > 0);
+            }
+        }
+    }
+}
